@@ -1,0 +1,80 @@
+// Ablation A2: LUT grid resolution vs model accuracy and characterization
+// cost (table size). Sweeps the per-axis grid of the NOR2 MCSM tables and
+// reports the fast-history FO-equivalent delay error.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "core/characterizer.h"
+#include "core/model_scenarios.h"
+#include "engine/scenarios.h"
+#include "wave/metrics.h"
+
+using namespace mcsm;
+using bench::Context;
+
+int main() {
+    Context& ctx = Context::get();
+    const double vdd = ctx.vdd();
+    const core::Characterizer chr(ctx.lib());
+
+    std::printf("# Ablation: grid resolution vs accuracy (NOR2 MCSM, "
+                "model-linearization caps)\n");
+
+    const engine::HistoryStimulus stim =
+        engine::nor2_history(engine::HistoryCase::kFast10, vdd);
+    spice::TranOptions topt;
+    topt.tstop = 3.5e-9;
+    topt.dt = 1e-12;
+
+    engine::GoldenCell golden(ctx.lib(), "NOR2",
+                              {{"A", stim.a}, {"B", stim.b}},
+                              engine::LoadSpec{5e-15, 0, ""});
+    const wave::Waveform g = golden.run(topt).node_waveform(golden.out_node());
+    const double dg =
+        wave::delay_50(stim.a, false, g, true, vdd, stim.t_final - 0.2e-9)
+            .value_or(-1);
+
+    TablePrinter table({"grid_points", "table_entries", "char_ms",
+                        "delay_err_pct", "rmse_pct_vdd"});
+    std::vector<double> errs;
+    for (const std::size_t grid : {5u, 7u, 9u, 13u, 17u}) {
+        core::CharOptions opt;
+        opt.grid_points = grid;
+        opt.transient_caps = false;
+        const auto start = std::chrono::steady_clock::now();
+        const core::CsmModel model =
+            chr.characterize("NOR2", core::ModelKind::kMcsm, {"A", "B"}, opt);
+        const auto elapsed =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+
+        core::ModelLoadSpec load;
+        load.cap = 5e-15;
+        core::ModelCell mc(model, {{"A", stim.a}, {"B", stim.b}}, load);
+        const wave::Waveform m = mc.run(topt).node_waveform(mc.out_node());
+        const double dm = wave::delay_50(stim.a, false, m, true, vdd,
+                                         stim.t_final - 0.2e-9)
+                              .value_or(-1);
+        const double err = 100.0 * std::fabs(dm - dg) / dg;
+        const double rmse = 100.0 * wave::rmse_normalized(
+                                        g, m, 1.9e-9, 2.8e-9, vdd);
+        errs.push_back(err);
+        table.add_row({std::to_string(grid),
+                       std::to_string(model.i_out.value_count()),
+                       TablePrinter::num(elapsed, 4),
+                       TablePrinter::num(err, 3),
+                       TablePrinter::num(rmse, 3)});
+    }
+    table.print_csv(std::cout);
+
+    bench::Checker check;
+    check.check(errs.back() < 5.0, "dense grid reaches paper-level accuracy");
+    check.check(errs.back() <= errs.front() + 0.5,
+                "accuracy does not degrade with refinement");
+    return check.exit_code();
+}

@@ -1,0 +1,76 @@
+// Ablation A3: the paper's explicit update equations (4)-(5) vs the
+// implicit (MNA/Newton) engine on the same MCSM model and load, across time
+// steps. Shows the explicit scheme converges to the implicit solution as dt
+// shrinks, and what step the paper's formulation needs for stability.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "core/explicit_sim.h"
+#include "core/model_scenarios.h"
+#include "engine/scenarios.h"
+#include "wave/metrics.h"
+
+using namespace mcsm;
+using bench::Context;
+
+int main() {
+    Context& ctx = Context::get();
+    const double vdd = ctx.vdd();
+
+    std::printf("# Ablation: explicit (paper eqs. 4-5) vs implicit "
+                "integration of the MCSM model\n");
+
+    const engine::MisStimulus stim =
+        engine::nor2_simultaneous_fall(vdd, 1.0e-9);
+    const double cl = 5e-15;
+
+    // Implicit reference.
+    core::ModelLoadSpec load;
+    load.cap = cl;
+    core::ModelCell cell(ctx.nor_mcsm(), {{"A", stim.a}, {"B", stim.b}}, load);
+    spice::TranOptions topt;
+    topt.tstop = 2.5e-9;
+    topt.dt = 0.5e-12;
+    const wave::Waveform implicit_out =
+        cell.run(topt).node_waveform(cell.out_node());
+    const double d_imp =
+        wave::delay_50(stim.a, false, implicit_out, true, vdd, 0.8e-9)
+            .value_or(-1);
+
+    TablePrinter table({"dt_ps", "explicit_delay_ps", "delta_vs_implicit_ps",
+                        "rmse_pct_vdd"});
+    double err_small_dt = 1e9;
+    for (const double dt : {2e-12, 1e-12, 0.5e-12, 0.25e-12, 0.1e-12}) {
+        core::ExplicitOptions eopt;
+        eopt.tstop = 2.5e-9;
+        eopt.dt = dt;
+        eopt.load_cap = cl;
+        const core::ExplicitResult er =
+            core::simulate_explicit(ctx.nor_mcsm(), {stim.a, stim.b}, eopt);
+        const double d_exp =
+            wave::delay_50(stim.a, false, er.out, true, vdd, 0.8e-9)
+                .value_or(-1);
+        const double rmse = 100.0 * wave::rmse_normalized(
+                                        implicit_out, er.out, 0.8e-9, 2.4e-9,
+                                        vdd);
+        const double delta = (d_exp - d_imp) * 1e12;
+        if (dt <= 0.25e-12) err_small_dt = std::min(err_small_dt,
+                                                    std::fabs(delta));
+        table.add_row({TablePrinter::num(dt * 1e12, 3),
+                       TablePrinter::num(d_exp * 1e12, 4),
+                       TablePrinter::num(delta, 3),
+                       TablePrinter::num(rmse, 3)});
+    }
+    table.print_csv(std::cout);
+    std::printf("# implicit reference delay: %.3f ps\n", d_imp * 1e12);
+
+    bench::Checker check;
+    check.check(d_imp > 0.0, "implicit reference measured");
+    check.check(err_small_dt < 1.0,
+                "explicit scheme converges to the implicit solution "
+                "(delta < 1 ps at dt <= 0.25 ps)");
+    return check.exit_code();
+}

@@ -1,0 +1,120 @@
+// Extension A8: load independence. The paper's central argument for CSMs is
+// that characterization is load-independent - "the output voltage waveform
+// can be constructed for a given input voltage waveform in the presence of
+// an arbitrary load". This bench drives the *same* characterized NOR2 MCSM
+// into loads it was never characterized for - lumped caps, RC pi networks
+// of varying resistance, and pi + fanout - and checks it still tracks
+// golden at both the near and far end of the wire.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "core/model_scenarios.h"
+#include "engine/scenarios.h"
+#include "wave/metrics.h"
+
+using namespace mcsm;
+using bench::Context;
+
+int main() {
+    Context& ctx = Context::get();
+    const double vdd = ctx.vdd();
+
+    std::printf("# Extension: one characterization, arbitrary loads "
+                "(paper Section 3.4)\n");
+
+    const engine::HistoryStimulus stim =
+        engine::nor2_history(engine::HistoryCase::kSlow01, vdd);
+    spice::TranOptions topt;
+    topt.tstop = 3.6e-9;
+    topt.dt = 1e-12;
+
+    struct LoadCase {
+        const char* name;
+        engine::LoadSpec golden;
+        core::ModelLoadSpec model;
+    };
+    std::vector<LoadCase> cases;
+    {
+        LoadCase lumped{"lumped_5fF", {}, {}};
+        lumped.golden.cap = 5e-15;
+        lumped.model.cap = 5e-15;
+        cases.push_back(lumped);
+
+        for (const double r : {0.5e3, 2e3, 8e3}) {
+            LoadCase pi{nullptr, {}, {}};
+            static std::string names[3];
+            static int k = 0;
+            names[k] = "pi_r" + std::to_string(static_cast<int>(r)) + "_2fF_8fF";
+            pi.name = names[k].c_str();
+            ++k;
+            pi.golden.pi_c1 = 2e-15;
+            pi.golden.pi_r = r;
+            pi.golden.pi_c2 = 8e-15;
+            pi.model.pi_c1 = 2e-15;
+            pi.model.pi_r = r;
+            pi.model.pi_c2 = 8e-15;
+            cases.push_back(pi);
+        }
+        LoadCase pifo{"pi_r2000_plus_FO2", {}, {}};
+        pifo.golden.pi_c1 = 2e-15;
+        pifo.golden.pi_r = 2e3;
+        pifo.golden.pi_c2 = 4e-15;
+        pifo.golden.fanout_count = 2;
+        pifo.model.pi_c1 = 2e-15;
+        pifo.model.pi_r = 2e3;
+        pifo.model.pi_c2 = 4e-15;
+        pifo.model.fanout_count = 2;
+        pifo.model.receiver = &ctx.inv_sis();
+        cases.push_back(pifo);
+    }
+
+    TablePrinter table({"load", "near_err_pct", "far_err_pct",
+                        "far_rmse_pct_vdd"});
+    bench::Checker check;
+    const double t_from = stim.t_final - 0.2e-9;
+    for (const LoadCase& lc : cases) {
+        engine::GoldenCell golden(ctx.lib(), "NOR2",
+                                  {{"A", stim.a}, {"B", stim.b}}, lc.golden);
+        const spice::TranResult gr = golden.run(topt);
+        const wave::Waveform g_near = gr.node_waveform(golden.out_node());
+        const wave::Waveform g_far = golden.far_node() >= 0
+                                         ? gr.node_waveform(golden.far_node())
+                                         : g_near;
+
+        core::ModelCell model(ctx.nor_mcsm(), {{"A", stim.a}, {"B", stim.b}},
+                              lc.model);
+        const spice::TranResult mr = model.run(topt);
+        const wave::Waveform m_near = mr.node_waveform(model.out_node());
+        const wave::Waveform m_far = model.far_node() >= 0
+                                         ? mr.node_waveform(model.far_node())
+                                         : m_near;
+
+        const double dgn =
+            wave::delay_50(stim.a, false, g_near, true, vdd, t_from)
+                .value_or(-1);
+        const double dmn =
+            wave::delay_50(stim.a, false, m_near, true, vdd, t_from)
+                .value_or(-1);
+        const double dgf =
+            wave::delay_50(stim.a, false, g_far, true, vdd, t_from)
+                .value_or(-1);
+        const double dmf =
+            wave::delay_50(stim.a, false, m_far, true, vdd, t_from)
+                .value_or(-1);
+        const double near_err = 100.0 * std::fabs(dmn - dgn) / dgn;
+        const double far_err = 100.0 * std::fabs(dmf - dgf) / dgf;
+        const double rmse = 100.0 * wave::rmse_normalized(
+                                        g_far, m_far, t_from,
+                                        t_from + 1.2e-9, vdd);
+        table.add_row({lc.name, TablePrinter::num(near_err, 3),
+                       TablePrinter::num(far_err, 3),
+                       TablePrinter::num(rmse, 3)});
+        check.check(near_err < 5.0 && far_err < 5.0,
+                    std::string(lc.name) + ": both ends within 5%");
+    }
+    table.print_csv(std::cout);
+    return check.exit_code();
+}

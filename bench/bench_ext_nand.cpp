@@ -1,0 +1,152 @@
+// Extension A5: the stack effect on NMOS stacks (NAND2, falling output) and
+// a three-input cell (NAND3) with *two* modeled internal nodes (5-D tables).
+// The paper's analysis is symmetric ("the key concepts and analyses for
+// other types of logic cells ... are similar"); this bench verifies it.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "core/characterizer.h"
+#include "core/model_scenarios.h"
+#include "engine/scenarios.h"
+#include "wave/edges.h"
+#include "wave/metrics.h"
+
+using namespace mcsm;
+using bench::Context;
+
+namespace {
+
+// NAND2 history stimuli (dual of the NOR2 cases): final edge is both inputs
+// rising, '00' via '10' (N precharged through the top NMOS) vs via '01'
+// (N held at ground by the bottom NMOS).
+engine::HistoryStimulus nand2_history(bool n_high_case, double vdd,
+                                      double t_mid = 1.0e-9,
+                                      double t_final = 2.0e-9,
+                                      double ramp = 80e-12) {
+    engine::HistoryStimulus s;
+    s.t_mid = t_mid;
+    s.t_final = t_final;
+    s.ramp = ramp;
+    if (n_high_case) {
+        // '10' (A=1, B=0) -> '00' (A falls at t_mid) -> '11' (both rise).
+        s.a = wave::piecewise_edges(vdd,
+                                    {{t_mid, ramp, 0.0}, {t_final, ramp, vdd}});
+        s.b = wave::piecewise_edges(0.0, {{t_final, ramp, vdd}});
+    } else {
+        // '01' (A=0, B=1) -> '00' (B falls at t_mid) -> '11'.
+        s.a = wave::piecewise_edges(0.0, {{t_final, ramp, vdd}});
+        s.b = wave::piecewise_edges(vdd,
+                                    {{t_mid, ramp, 0.0}, {t_final, ramp, vdd}});
+    }
+    return s;
+}
+
+}  // namespace
+
+int main() {
+    Context& ctx = Context::get();
+    const double vdd = ctx.vdd();
+    const core::Characterizer chr(ctx.lib());
+
+    std::printf("# Extension: NMOS-stack history effect (NAND2) and "
+                "two-internal-node NAND3 model\n");
+
+    // --- NAND2: history effect on the falling output -----------------------
+    core::CharOptions opt = ctx.char_options(11);
+    const core::CsmModel nand2 =
+        chr.characterize("NAND2", core::ModelKind::kMcsm, {"A", "B"}, opt);
+    const core::CsmModel nand2_base = chr.characterize(
+        "NAND2", core::ModelKind::kMisBaseline, {"A", "B"}, opt);
+
+    spice::TranOptions topt;
+    topt.tstop = 3.5e-9;
+    topt.dt = 1e-12;
+
+    TablePrinter table({"scenario", "golden_ps", "mcsm_err_pct",
+                        "baseline_err_pct"});
+    double golden_delay[2] = {0, 0};
+    double worst_mcsm = 0.0;
+    double worst_base = 0.0;
+    for (int i = 0; i < 2; ++i) {
+        const engine::HistoryStimulus stim = nand2_history(i == 0, vdd);
+        engine::GoldenCell golden(ctx.lib(), "NAND2",
+                                  {{"A", stim.a}, {"B", stim.b}},
+                                  engine::LoadSpec{5e-15, 0, ""});
+        const wave::Waveform g =
+            golden.run(topt).node_waveform(golden.out_node());
+        // Output falls on the final (rising-input) edge.
+        const double dg = wave::delay_50(stim.a, true, g, false, vdd,
+                                         stim.t_final - 0.2e-9)
+                              .value_or(-1);
+        golden_delay[i] = dg;
+
+        double err[2];
+        const core::CsmModel* models[2] = {&nand2, &nand2_base};
+        for (int m = 0; m < 2; ++m) {
+            core::ModelLoadSpec load;
+            load.cap = 5e-15;
+            core::ModelCell mc(*models[m], {{"A", stim.a}, {"B", stim.b}},
+                               load);
+            const wave::Waveform w = mc.run(topt).node_waveform(mc.out_node());
+            const double dm = wave::delay_50(stim.a, true, w, false, vdd,
+                                             stim.t_final - 0.2e-9)
+                                  .value_or(-1);
+            err[m] = 100.0 * std::fabs(dm - dg) / dg;
+        }
+        worst_mcsm = std::max(worst_mcsm, err[0]);
+        worst_base = std::max(worst_base, err[1]);
+        table.add_row({i == 0 ? "via'10'(N high)" : "via'01'(N low)",
+                       TablePrinter::num(dg * 1e12, 4),
+                       TablePrinter::num(err[0], 3),
+                       TablePrinter::num(err[1], 3)});
+    }
+    table.print_csv(std::cout);
+    std::printf("# golden split between histories: %.1f%%\n",
+                100.0 * std::fabs(golden_delay[0] - golden_delay[1]) /
+                    std::max(golden_delay[0], golden_delay[1]));
+
+    // --- NAND3: two internal nodes, 5-D tables ------------------------------
+    core::CharOptions opt3 = ctx.char_options(7);
+    opt3.transient_caps = false;  // 5-D ramp sweeps are bench-prohibitive
+    const core::CsmModel nand3 =
+        chr.characterize("NAND3", core::ModelKind::kMcsm, {"A", "B"}, opt3);
+    std::printf("# NAND3 MCSM: dim=%zu internals=%zu table entries=%zu\n",
+                nand3.dim(), nand3.internal_count(),
+                nand3.i_out.value_count());
+
+    const engine::MisStimulus mis3 = engine::nor2_simultaneous_fall(vdd);
+    // For NAND3, the MIS event of interest is both inputs rising.
+    const wave::Waveform a3 =
+        wave::piecewise_edges(0.0, {{2.0e-9, 80e-12, vdd}});
+    const wave::Waveform b3 =
+        wave::piecewise_edges(0.0, {{2.0e-9, 80e-12, vdd}});
+    (void)mis3;
+    engine::GoldenCell g3(ctx.lib(), "NAND3", {{"A", a3}, {"B", b3}},
+                          engine::LoadSpec{5e-15, 0, ""});
+    const wave::Waveform gw3 = g3.run(topt).node_waveform(g3.out_node());
+    core::ModelLoadSpec load3;
+    load3.cap = 5e-15;
+    core::ModelCell m3(nand3, {{"A", a3}, {"B", b3}}, load3);
+    const wave::Waveform mw3 = m3.run(topt).node_waveform(m3.out_node());
+    const double dg3 =
+        wave::delay_50(a3, true, gw3, false, vdd, 1.8e-9).value_or(-1);
+    const double dm3 =
+        wave::delay_50(a3, true, mw3, false, vdd, 1.8e-9).value_or(-1);
+    const double err3 = 100.0 * std::fabs(dm3 - dg3) / dg3;
+    std::printf("# NAND3 MIS: golden %.2f ps, MCSM %.2f ps, err %.2f%%\n",
+                dg3 * 1e12, dm3 * 1e12, err3);
+
+    bench::Checker check;
+    check.check(std::fabs(golden_delay[0] - golden_delay[1]) /
+                        std::max(golden_delay[0], golden_delay[1]) >
+                    0.03,
+                "NAND2 shows a history effect on the NMOS stack");
+    check.check(worst_mcsm < 6.0, "NAND2 MCSM within 6%");
+    check.check(worst_base > worst_mcsm,
+                "NAND2 baseline (no internal node) is worse");
+    check.check(err3 < 8.0, "NAND3 two-internal-node model within 8%");
+    return check.exit_code();
+}

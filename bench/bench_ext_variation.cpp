@@ -1,0 +1,111 @@
+// Extension A10: statistical use of the model (the context of ref. [5],
+// which applies current-based models to statistical delay analysis). For a
+// set of deterministic pseudo-random process corners, the NOR2 is
+// re-characterized per corner and the MIS delay is compared model-vs-golden:
+// the model must track the corner-to-corner delay spread, not just the
+// nominal point.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "cells/library.h"
+#include "common/table_printer.h"
+#include "core/characterizer.h"
+#include "core/model_scenarios.h"
+#include "engine/scenarios.h"
+#include "wave/metrics.h"
+
+using namespace mcsm;
+using bench::Context;
+
+int main() {
+    Context& ctx = Context::get();
+    const double vdd = ctx.vdd();
+
+    std::printf("# Extension: MCSM across process corners (statistical use, "
+                "cf. ref. [5])\n");
+
+    const engine::HistoryStimulus stim =
+        engine::nor2_history(engine::HistoryCase::kSlow01, vdd);
+    spice::TranOptions topt;
+    topt.tstop = 3.6e-9;
+    topt.dt = 1e-12;
+
+    TablePrinter table({"corner", "dvt_n_mV", "kp_scale", "golden_ps",
+                        "mcsm_ps", "err_pct"});
+    const int corners = 12;
+    double golden_min = 1e9;
+    double golden_max = -1e9;
+    double worst_err = 0.0;
+    double sum_g = 0.0;
+    double sum_m = 0.0;
+    double sum_gg = 0.0;
+    double sum_mm = 0.0;
+    double sum_gm = 0.0;
+
+    for (int k = 0; k < corners; ++k) {
+        const tech::ProcessCorner corner =
+            k == 0 ? tech::ProcessCorner{}  // nominal first
+                   : tech::sample_corner(1000u + static_cast<unsigned>(k));
+        const tech::Technology t =
+            tech::apply_corner(tech::make_tech130(), corner);
+        const cells::CellLibrary lib(t);
+
+        const core::Characterizer chr(lib);
+        core::CharOptions opt;
+        opt.transient_caps = false;
+        opt.grid_points = 9;
+        const core::CsmModel nor =
+            chr.characterize("NOR2", core::ModelKind::kMcsm, {"A", "B"}, opt);
+
+        engine::GoldenCell golden(lib, "NOR2",
+                                  {{"A", stim.a}, {"B", stim.b}},
+                                  engine::LoadSpec{5e-15, 0, ""});
+        const wave::Waveform g =
+            golden.run(topt).node_waveform(golden.out_node());
+        core::ModelLoadSpec load;
+        load.cap = 5e-15;
+        core::ModelCell cell(nor, {{"A", stim.a}, {"B", stim.b}}, load);
+        const wave::Waveform w = cell.run(topt).node_waveform(cell.out_node());
+
+        const double t_from = stim.t_final - 0.2e-9;
+        const double dg = wave::delay_50(stim.a, false, g, true, vdd, t_from)
+                              .value_or(-1);
+        const double dm = wave::delay_50(stim.a, false, w, true, vdd, t_from)
+                              .value_or(-1);
+        const double err = 100.0 * std::fabs(dm - dg) / dg;
+        worst_err = std::max(worst_err, err);
+        golden_min = std::min(golden_min, dg);
+        golden_max = std::max(golden_max, dg);
+        sum_g += dg;
+        sum_m += dm;
+        sum_gg += dg * dg;
+        sum_mm += dm * dm;
+        sum_gm += dg * dm;
+        table.add_row({std::to_string(k),
+                       TablePrinter::num(corner.nmos_dvt * 1e3, 3),
+                       TablePrinter::num(corner.kp_scale, 4),
+                       TablePrinter::num(dg * 1e12, 4),
+                       TablePrinter::num(dm * 1e12, 4),
+                       TablePrinter::num(err, 3)});
+    }
+    table.print_csv(std::cout);
+
+    const double n = corners;
+    const double cov = sum_gm / n - (sum_g / n) * (sum_m / n);
+    const double var_g = sum_gg / n - (sum_g / n) * (sum_g / n);
+    const double var_m = sum_mm / n - (sum_m / n) * (sum_m / n);
+    const double corr = cov / std::sqrt(var_g * var_m);
+    std::printf("# golden spread %.2f..%.2f ps; worst model error %.2f%%; "
+                "corner-to-corner correlation %.4f\n",
+                golden_min * 1e12, golden_max * 1e12, worst_err, corr);
+
+    bench::Checker check;
+    check.check(golden_max - golden_min > 1e-12,
+                "corners produce a visible delay spread");
+    check.check(worst_err < 6.0, "model within 6% at every corner");
+    check.check(corr > 0.99,
+                "model tracks the golden corner-to-corner variation");
+    return check.exit_code();
+}

@@ -1,0 +1,67 @@
+// Fig. 5: percentage difference between the low-to-high propagation delays
+// of the '11'->'00' NOR2 transition under the two internal-node histories,
+// as a function of the output load FO1..FO8 (golden substrate).
+// Paper shape: ~26% at FO1 decreasing to ~9% at FO8.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "engine/scenarios.h"
+#include "wave/metrics.h"
+
+using namespace mcsm;
+using bench::Context;
+
+int main() {
+    Context& ctx = Context::get();
+    const double vdd = ctx.vdd();
+
+    std::printf("# Fig. 5: history-induced delay difference vs output load "
+                "(golden substrate)\n");
+
+    spice::TranOptions topt;
+    topt.tstop = 3.2e-9;
+    topt.dt = 1e-12;
+
+    TablePrinter table({"load", "delay_fast_ps", "delay_slow_ps",
+                        "difference_pct"});
+    std::vector<double> diffs;
+    for (int fo = 1; fo <= 8; ++fo) {
+        double delay[2] = {0.0, 0.0};
+        const engine::HistoryCase cases[2] = {engine::HistoryCase::kFast10,
+                                              engine::HistoryCase::kSlow01};
+        for (int i = 0; i < 2; ++i) {
+            const engine::HistoryStimulus stim =
+                engine::nor2_history(cases[i], vdd);
+            engine::GoldenCell cell(ctx.lib(), "NOR2",
+                                    {{"A", stim.a}, {"B", stim.b}},
+                                    engine::LoadSpec{0.0, fo, "INV_X1"});
+            const wave::Waveform out =
+                cell.run(topt).node_waveform(cell.out_node());
+            delay[i] = wave::delay_50(stim.a, false, out, true, vdd,
+                                      stim.t_final - 0.2e-9)
+                           .value_or(-1.0);
+        }
+        const double diff = 100.0 * (delay[1] - delay[0]) / delay[1];
+        diffs.push_back(diff);
+        table.add_row({"FO" + std::to_string(fo),
+                       TablePrinter::num(delay[0] * 1e12, 4),
+                       TablePrinter::num(delay[1] * 1e12, 4),
+                       TablePrinter::num(diff, 3)});
+    }
+    table.print_csv(std::cout);
+    std::printf("# paper: ~26%% at FO1 decreasing to ~9%% at FO8\n");
+
+    bench::Checker check;
+    check.check(diffs.front() > 8.0 && diffs.front() < 45.0,
+                "significant difference at FO1");
+    check.check(diffs.back() < diffs.front(),
+                "difference shrinks toward FO8");
+    bool broadly_decreasing = true;
+    for (std::size_t i = 1; i < diffs.size(); ++i)
+        if (diffs[i] > diffs[i - 1] + 3.0) broadly_decreasing = false;
+    check.check(broadly_decreasing, "trend is broadly decreasing with load");
+    return check.exit_code();
+}

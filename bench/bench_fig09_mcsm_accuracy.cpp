@@ -1,0 +1,115 @@
+// Fig. 9: MCSM output waveforms vs the golden (SPICE-substitute) simulation
+// for the fast and slow history cases, plus the headline numbers: the paper
+// reports a 4% maximum delay error for MCSM vs ~22% for the MIS CSM that
+// neglects the internal node (Section 3.1 baseline).
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "core/model_scenarios.h"
+#include "engine/scenarios.h"
+#include "wave/metrics.h"
+
+using namespace mcsm;
+using bench::Context;
+
+namespace {
+
+struct CaseResult {
+    wave::Waveform golden;
+    wave::Waveform mcsm;
+    wave::Waveform baseline;
+    double d_golden = 0.0;
+    double d_mcsm = 0.0;
+    double d_baseline = 0.0;
+};
+
+CaseResult run_case(Context& ctx, engine::HistoryCase hc, int fanout) {
+    const double vdd = ctx.vdd();
+    const engine::HistoryStimulus stim = engine::nor2_history(hc, vdd);
+    spice::TranOptions topt;
+    topt.tstop = 3.2e-9;
+    topt.dt = 1e-12;
+
+    CaseResult out;
+    engine::GoldenCell golden(ctx.lib(), "NOR2",
+                              {{"A", stim.a}, {"B", stim.b}},
+                              engine::LoadSpec{0.0, fanout, "INV_X1"});
+    out.golden = golden.run(topt).node_waveform(golden.out_node());
+
+    core::ModelLoadSpec load;
+    load.fanout_count = fanout;
+    load.receiver = &ctx.inv_sis();
+
+    core::ModelCell mcsm(ctx.nor_mcsm(), {{"A", stim.a}, {"B", stim.b}}, load);
+    out.mcsm = mcsm.run(topt).node_waveform(mcsm.out_node());
+    core::ModelCell base(ctx.nor_mis_baseline(),
+                         {{"A", stim.a}, {"B", stim.b}}, load);
+    out.baseline = base.run(topt).node_waveform(base.out_node());
+
+    const double t_from = stim.t_final - 0.2e-9;
+    out.d_golden =
+        wave::delay_50(stim.a, false, out.golden, true, vdd, t_from).value_or(-1);
+    out.d_mcsm =
+        wave::delay_50(stim.a, false, out.mcsm, true, vdd, t_from).value_or(-1);
+    out.d_baseline =
+        wave::delay_50(stim.a, false, out.baseline, true, vdd, t_from)
+            .value_or(-1);
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    Context& ctx = Context::get();
+
+    std::printf("# Fig. 9: MCSM vs golden waveforms for the fast/slow "
+                "history cases (FO2), plus delay errors\n");
+
+    const CaseResult fast = run_case(ctx, engine::HistoryCase::kFast10, 2);
+    const CaseResult slow = run_case(ctx, engine::HistoryCase::kSlow01, 2);
+
+    bench::print_waveform_header({"OUT1_golden", "OUT1_mcsm", "OUT2_golden",
+                                  "OUT2_mcsm"});
+    bench::print_waveform_rows(
+        {&fast.golden, &fast.mcsm, &slow.golden, &slow.mcsm}, 1.9e-9, 2.5e-9,
+        5e-12);
+
+    TablePrinter table({"case", "golden_ps", "mcsm_ps", "mcsm_err_pct",
+                        "baseline_ps", "baseline_err_pct"});
+    double max_mcsm_err = 0.0;
+    double max_base_err = 0.0;
+    const CaseResult* results[2] = {&fast, &slow};
+    const char* labels[2] = {"fast('10'->'11'->'00')",
+                             "slow('01'->'11'->'00')"};
+    for (int i = 0; i < 2; ++i) {
+        const CaseResult& r = *results[i];
+        const double em =
+            100.0 * std::fabs(r.d_mcsm - r.d_golden) / r.d_golden;
+        const double eb =
+            100.0 * std::fabs(r.d_baseline - r.d_golden) / r.d_golden;
+        max_mcsm_err = std::max(max_mcsm_err, em);
+        max_base_err = std::max(max_base_err, eb);
+        table.add_row({labels[i], TablePrinter::num(r.d_golden * 1e12, 4),
+                       TablePrinter::num(r.d_mcsm * 1e12, 4),
+                       TablePrinter::num(em, 3),
+                       TablePrinter::num(r.d_baseline * 1e12, 4),
+                       TablePrinter::num(eb, 3)});
+    }
+    table.print_csv(std::cout);
+    std::printf("# measured: max MCSM error %.2f%%, max no-internal-node "
+                "baseline error %.2f%%\n",
+                max_mcsm_err, max_base_err);
+    std::printf("# paper:    max MCSM error 4%%, baseline ~22%%\n");
+
+    bench::Checker check;
+    check.check(fast.d_golden > 0 && slow.d_golden > 0, "golden delays found");
+    check.check(max_mcsm_err < 5.0, "MCSM max delay error below 5%");
+    check.check(max_base_err > max_mcsm_err,
+                "baseline (no internal node) is worse than MCSM");
+    check.check(max_base_err > 5.0,
+                "neglecting the internal node costs real accuracy");
+    return check.exit_code();
+}

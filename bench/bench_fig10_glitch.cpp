@@ -1,0 +1,60 @@
+// Fig. 10: a glitch at the NOR2 output (A falls, B rises shortly after) -
+// the MCSM waveform must track the golden partial-swing pulse.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/model_scenarios.h"
+#include "engine/scenarios.h"
+#include "wave/metrics.h"
+
+using namespace mcsm;
+using bench::Context;
+
+int main() {
+    Context& ctx = Context::get();
+    const double vdd = ctx.vdd();
+
+    std::printf("# Fig. 10: NOR2 output glitch, golden vs MCSM\n");
+
+    const engine::GlitchStimulus stim = engine::nor2_glitch(vdd, 1.5e-9, 60e-12);
+    spice::TranOptions topt;
+    topt.tstop = 3.0e-9;
+    topt.dt = 1e-12;
+
+    engine::GoldenCell golden(ctx.lib(), "NOR2",
+                              {{"A", stim.a}, {"B", stim.b}},
+                              engine::LoadSpec{0.0, 2, "INV_X1"});
+    const wave::Waveform g_out =
+        golden.run(topt).node_waveform(golden.out_node());
+
+    core::ModelLoadSpec load;
+    load.fanout_count = 2;
+    load.receiver = &ctx.inv_sis();
+    core::ModelCell model(ctx.nor_mcsm(), {{"A", stim.a}, {"B", stim.b}},
+                          load);
+    const wave::Waveform m_out = model.run(topt).node_waveform(model.out_node());
+
+    bench::print_waveform_header({"A", "B", "OUT_golden", "OUT_mcsm"});
+    bench::print_waveform_rows({&stim.a, &stim.b, &g_out, &m_out}, 1.3e-9,
+                               2.6e-9, 5e-12);
+
+    const double g_peak = g_out.max_value();
+    const double m_peak = m_out.max_value();
+    const double nrmse =
+        wave::rmse_normalized(g_out, m_out, 1.3e-9, 2.8e-9, vdd);
+    std::printf("# summary: glitch peak golden %.3f V, MCSM %.3f V, "
+                "RMSE %.2f%% of Vdd\n",
+                g_peak, m_peak, 100.0 * nrmse);
+
+    bench::Checker check;
+    check.check(g_peak > 0.25 * vdd && g_peak < 0.95 * vdd,
+                "golden output glitch is a partial swing");
+    check.check(std::fabs(m_peak - g_peak) < 0.1 * vdd,
+                "MCSM reproduces the glitch peak within 10% of Vdd");
+    check.check(nrmse < 0.05, "waveform RMSE below 5% of Vdd");
+    check.check(g_out.at(2.9e-9) < 0.1 * vdd && m_out.at(2.9e-9) < 0.1 * vdd,
+                "both waveforms settle low");
+    return check.exit_code();
+}

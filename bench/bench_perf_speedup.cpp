@@ -1,0 +1,125 @@
+// Perf bench A4 (google-benchmark): runtime of the MCSM model transient vs
+// the transistor-level golden transient on the same scenario - the whole
+// point of CSMs in an STA/noise tool - plus characterization and query
+// micro-benchmarks.
+#include <benchmark/benchmark.h>
+
+#include <array>
+
+#include "bench_util.h"
+#include "core/characterizer.h"
+#include "core/explicit_sim.h"
+#include "core/model_scenarios.h"
+#include "engine/scenarios.h"
+
+using namespace mcsm;
+using bench::Context;
+
+namespace {
+
+spice::TranOptions tran_options() {
+    spice::TranOptions topt;
+    topt.tstop = 3.2e-9;
+    topt.dt = 1e-12;
+    return topt;
+}
+
+void BM_GoldenTransient(benchmark::State& state) {
+    Context& ctx = Context::get();
+    const engine::HistoryStimulus stim =
+        engine::nor2_history(engine::HistoryCase::kFast10, ctx.vdd());
+    for (auto _ : state) {
+        engine::GoldenCell cell(ctx.lib(), "NOR2",
+                                {{"A", stim.a}, {"B", stim.b}},
+                                engine::LoadSpec{0.0, 2, "INV_X1"});
+        benchmark::DoNotOptimize(cell.run(tran_options()));
+    }
+}
+BENCHMARK(BM_GoldenTransient)->Unit(benchmark::kMillisecond);
+
+void BM_McsmTransientImplicit(benchmark::State& state) {
+    Context& ctx = Context::get();
+    const engine::HistoryStimulus stim =
+        engine::nor2_history(engine::HistoryCase::kFast10, ctx.vdd());
+    const core::CsmModel& nor = ctx.nor_mcsm();
+    const core::CsmModel& inv = ctx.inv_sis();
+    for (auto _ : state) {
+        core::ModelLoadSpec load;
+        load.fanout_count = 2;
+        load.receiver = &inv;
+        core::ModelCell cell(nor, {{"A", stim.a}, {"B", stim.b}}, load);
+        benchmark::DoNotOptimize(cell.run(tran_options()));
+    }
+}
+BENCHMARK(BM_McsmTransientImplicit)->Unit(benchmark::kMillisecond);
+
+void BM_McsmTransientExplicit(benchmark::State& state) {
+    Context& ctx = Context::get();
+    const engine::HistoryStimulus stim =
+        engine::nor2_history(engine::HistoryCase::kFast10, ctx.vdd());
+    const core::CsmModel& nor = ctx.nor_mcsm();
+    core::ExplicitOptions eopt;
+    eopt.tstop = 3.2e-9;
+    eopt.dt = 1e-12;
+    eopt.load_cap = 7e-15;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::simulate_explicit(nor, {stim.a, stim.b}, eopt));
+    }
+}
+BENCHMARK(BM_McsmTransientExplicit)->Unit(benchmark::kMillisecond);
+
+void BM_CharacterizeNor2McsmShortcut(benchmark::State& state) {
+    Context& ctx = Context::get();
+    const core::Characterizer chr(ctx.lib());
+    core::CharOptions opt;
+    opt.grid_points = static_cast<std::size_t>(state.range(0));
+    opt.transient_caps = false;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(chr.characterize(
+            "NOR2", core::ModelKind::kMcsm, {"A", "B"}, opt));
+    }
+}
+BENCHMARK(BM_CharacterizeNor2McsmShortcut)->Arg(7)->Arg(11)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LutQuery4D(benchmark::State& state) {
+    Context& ctx = Context::get();
+    const core::CsmModel& nor = ctx.nor_mcsm();
+    double x = 0.0;
+    for (auto _ : state) {
+        x += 1e-4;
+        if (x > 1.0) x = 0.0;
+        const std::array<double, 4> q{x, 1.2 - x, 0.6 + 0.3 * x, x};
+        benchmark::DoNotOptimize(nor.io(q));
+    }
+}
+BENCHMARK(BM_LutQuery4D);
+
+void BM_LutQuery4DWithGradient(benchmark::State& state) {
+    Context& ctx = Context::get();
+    const core::CsmModel& nor = ctx.nor_mcsm();
+    double x = 0.0;
+    std::array<double, 4> grad{};
+    for (auto _ : state) {
+        x += 1e-4;
+        if (x > 1.0) x = 0.0;
+        const std::array<double, 4> q{x, 1.2 - x, 0.6 + 0.3 * x, x};
+        benchmark::DoNotOptimize(nor.i_out.at_with_gradient(q, grad));
+    }
+}
+BENCHMARK(BM_LutQuery4DWithGradient);
+
+void BM_ModelDcState(benchmark::State& state) {
+    Context& ctx = Context::get();
+    const core::CsmModel& nor = ctx.nor_mcsm();
+    for (auto _ : state) {
+        const std::array<double, 2> pins{0.0, 0.0};
+        benchmark::DoNotOptimize(nor.dc_state(pins));
+    }
+}
+BENCHMARK(BM_ModelDcState)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

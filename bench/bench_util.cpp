@@ -1,0 +1,88 @@
+#include "bench_util.h"
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <cstdlib>
+
+namespace mcsm::bench {
+
+Context::Context() : tech_(tech::make_tech130()), lib_(tech_), chr_(lib_) {
+    const char* faithful = std::getenv("MCSM_FAITHFUL_CAPS");
+    faithful_caps_ = (faithful != nullptr && faithful[0] == '1');
+    if (const char* grid = std::getenv("MCSM_GRID"))
+        grid_override_ = static_cast<std::size_t>(std::atoi(grid));
+    if (faithful_caps_)
+        std::printf(
+            "# characterization: paper-faithful transient capacitance "
+            "extraction enabled\n");
+}
+
+Context& Context::get() {
+    static Context ctx;
+    return ctx;
+}
+
+core::CharOptions Context::char_options(std::size_t grid_points) const {
+    core::CharOptions opt;
+    opt.grid_points = grid_override_ ? grid_override_ : grid_points;
+    opt.transient_caps = faithful_caps_;
+    return opt;
+}
+
+const core::CsmModel& Context::inv_sis() {
+    if (!inv_sis_) {
+        inv_sis_ = chr_.characterize("INV_X1", core::ModelKind::kSis, {"A"},
+                                     char_options(13));
+    }
+    return *inv_sis_;
+}
+
+const core::CsmModel& Context::nor_mcsm() {
+    if (!nor_mcsm_) {
+        // 4-D tables: keep the default grid moderate.
+        auto opt = char_options(faithful_caps_ ? 7 : 11);
+        nor_mcsm_ =
+            chr_.characterize("NOR2", core::ModelKind::kMcsm, {"A", "B"}, opt);
+    }
+    return *nor_mcsm_;
+}
+
+const core::CsmModel& Context::nor_mis_baseline() {
+    if (!nor_mis_) {
+        auto opt = char_options(faithful_caps_ ? 9 : 11);
+        nor_mis_ = chr_.characterize("NOR2", core::ModelKind::kMisBaseline,
+                                     {"A", "B"}, opt);
+    }
+    return *nor_mis_;
+}
+
+const core::CsmModel& Context::nor_sis_a() {
+    if (!nor_sis_a_) {
+        nor_sis_a_ = chr_.characterize("NOR2", core::ModelKind::kSis, {"A"},
+                                       char_options(13));
+    }
+    return *nor_sis_a_;
+}
+
+void Checker::check(bool ok, const std::string& message) {
+    std::printf("[%s] %s\n", ok ? "PASS" : "FAIL", message.c_str());
+    if (!ok) failed_ = true;
+}
+
+void print_waveform_header(const std::vector<std::string>& labels) {
+    std::printf("t_ns");
+    for (const auto& l : labels) std::printf(",%s", l.c_str());
+    std::printf("\n");
+}
+
+void print_waveform_rows(const std::vector<const wave::Waveform*>& waves,
+                         double t0, double t1, double step) {
+    for (double t = t0; t <= t1 + 0.5 * step; t += step) {
+        std::printf("%.4f", t * 1e9);
+        for (const wave::Waveform* w : waves) std::printf(",%.4f", w->at(t));
+        std::printf("\n");
+    }
+}
+
+}  // namespace mcsm::bench

@@ -1,0 +1,73 @@
+// Shared context for the figure-reproduction harnesses: the technology,
+// cell library, and lazily characterized CSM models, plus small reporting
+// helpers.
+//
+// Environment knobs:
+//   MCSM_FAITHFUL_CAPS=1  use the paper-faithful transient capacitance
+//                         extraction instead of the fast model-linearization
+//                         (slower; an ablation bench shows they agree).
+//   MCSM_GRID=<n>         per-axis grid points for the current tables.
+#ifndef MCSM_BENCH_BENCH_UTIL_H
+#define MCSM_BENCH_BENCH_UTIL_H
+
+#include <optional>
+#include <string>
+
+#include "cells/library.h"
+#include "core/characterizer.h"
+#include "core/model.h"
+#include "tech/tech130.h"
+#include "wave/waveform.h"
+
+namespace mcsm::bench {
+
+class Context {
+public:
+    // Lazy singleton: models are characterized on first use.
+    static Context& get();
+
+    const tech::Technology& tech() const { return tech_; }
+    const cells::CellLibrary& lib() const { return lib_; }
+    double vdd() const { return tech_.vdd; }
+
+    const core::CsmModel& inv_sis();
+    const core::CsmModel& nor_mcsm();
+    const core::CsmModel& nor_mis_baseline();
+    const core::CsmModel& nor_sis_a();  // SIS model of NOR2 through pin A
+
+    core::CharOptions char_options(std::size_t grid_points) const;
+
+private:
+    Context();
+
+    tech::Technology tech_;
+    cells::CellLibrary lib_;
+    core::Characterizer chr_;
+    bool faithful_caps_ = false;
+    std::size_t grid_override_ = 0;
+
+    std::optional<core::CsmModel> inv_sis_;
+    std::optional<core::CsmModel> nor_mcsm_;
+    std::optional<core::CsmModel> nor_mis_;
+    std::optional<core::CsmModel> nor_sis_a_;
+};
+
+// Prints "[PASS] msg" / "[FAIL] msg" and tracks the overall exit code.
+class Checker {
+public:
+    void check(bool ok, const std::string& message);
+    // 0 when every check passed, 1 otherwise.
+    int exit_code() const { return failed_ ? 1 : 0; }
+
+private:
+    bool failed_ = false;
+};
+
+// Prints a decimated waveform series as CSV columns "t_ns,<label>".
+void print_waveform_header(const std::vector<std::string>& labels);
+void print_waveform_rows(const std::vector<const wave::Waveform*>& waves,
+                         double t0, double t1, double step);
+
+}  // namespace mcsm::bench
+
+#endif  // MCSM_BENCH_BENCH_UTIL_H

@@ -1,0 +1,76 @@
+// Library characterization flow: build CSM models for a set of cells, write
+// them to .csm files (plain text), and reload them - the cache pattern a
+// timing tool would use so characterization runs once per library release.
+//
+//   $ ./characterize_library [output_dir]
+//
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "cells/library.h"
+#include "core/characterizer.h"
+#include "core/model_io.h"
+#include "tech/tech130.h"
+
+using namespace mcsm;
+
+int main(int argc, char** argv) {
+    const std::string out_dir = argc > 1 ? argv[1] : "models";
+    std::filesystem::create_directories(out_dir);
+
+    const tech::Technology tech = tech::make_tech130();
+    const cells::CellLibrary lib(tech);
+    const core::Characterizer characterizer(lib);
+
+    struct Job {
+        const char* cell;
+        core::ModelKind kind;
+        std::vector<std::string> pins;
+        std::size_t grid;
+    };
+    const std::vector<Job> jobs{
+        {"INV_X1", core::ModelKind::kSis, {"A"}, 13},
+        {"INV_X2", core::ModelKind::kSis, {"A"}, 13},
+        {"INV_X4", core::ModelKind::kSis, {"A"}, 13},
+        {"NOR2", core::ModelKind::kMcsm, {"A", "B"}, 11},
+        {"NOR2", core::ModelKind::kMisBaseline, {"A", "B"}, 11},
+        {"NAND2", core::ModelKind::kMcsm, {"A", "B"}, 11},
+        {"NOR3", core::ModelKind::kMcsm, {"A", "B"}, 7},
+        {"NAND3", core::ModelKind::kMcsm, {"A", "B"}, 7},
+        {"AOI21", core::ModelKind::kMcsm, {"A", "C"}, 7},
+        {"OAI21", core::ModelKind::kMcsm, {"A", "C"}, 7},
+    };
+
+    std::printf("%-10s %-14s %6s %10s %10s  %s\n", "cell", "kind", "dims",
+                "entries", "char/ms", "file");
+    for (const Job& job : jobs) {
+        core::CharOptions opt;
+        opt.grid_points = job.grid;
+        opt.transient_caps = false;  // set true for the paper-faithful flow
+
+        const auto start = std::chrono::steady_clock::now();
+        const core::CsmModel model =
+            characterizer.characterize(job.cell, job.kind, job.pins, opt);
+        const double ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+
+        const std::string file = out_dir + "/" + std::string(job.cell) + "_" +
+                                 core::to_string(job.kind) + ".csm";
+        core::save_model(file, model);
+
+        // Round-trip check: the reloaded model must be usable.
+        const core::CsmModel reloaded = core::load_model(file);
+        reloaded.check_consistent();
+
+        std::printf("%-10s %-14s %6zu %10zu %10.1f  %s (%.1f kB)\n", job.cell,
+                    core::to_string(job.kind), model.dim(),
+                    model.i_out.value_count(), ms, file.c_str(),
+                    static_cast<double>(
+                        std::filesystem::file_size(file)) / 1024.0);
+    }
+    std::printf("\nreload with core::load_model(path) - see quickstart.cpp\n");
+    return 0;
+}

@@ -1,0 +1,64 @@
+// Crosstalk noise analysis (the paper's Fig. 12 application): a victim line
+// feeding NOR2 input A is coupled to an aggressor through 50 fF; this
+// example sweeps the aggressor injection time around the victim transition
+// and reports how the victim-path delay shifts, comparing the CSM-based
+// analysis to the transistor-level reference.
+#include <cmath>
+#include <cstdio>
+
+#include "cells/library.h"
+#include "core/characterizer.h"
+#include "core/model_scenarios.h"
+#include "engine/crosstalk.h"
+#include "tech/tech130.h"
+#include "wave/metrics.h"
+
+using namespace mcsm;
+
+int main() {
+    const tech::Technology tech = tech::make_tech130();
+    const cells::CellLibrary lib(tech);
+    const core::Characterizer characterizer(lib);
+
+    core::CharOptions fast;
+    fast.transient_caps = false;
+    const core::CsmModel inv = characterizer.characterize(
+        "INV_X1", core::ModelKind::kSis, {"A"}, fast);
+    const core::CsmModel nor = characterizer.characterize(
+        "NOR2", core::ModelKind::kMcsm, {"A", "B"}, fast);
+
+    engine::CrosstalkConfig cfg;  // 50 fF coupling, FO2 load, 2.2 ns victim
+    spice::TranOptions topt;
+    topt.tstop = 4.2e-9;
+    topt.dt = 2e-12;
+
+    std::printf("aggressor injection sweep (victim arrives at %.1f ns):\n",
+                cfg.t_victim * 1e9);
+    std::printf("%12s %14s %14s %12s %10s\n", "t_inject/ns", "golden/ps",
+                "csm/ps", "err/ps", "rmse/%vdd");
+
+    for (double t_inj = 2.1e-9; t_inj <= 2.6e-9 + 1e-15; t_inj += 0.1e-9) {
+        engine::GoldenCrosstalk golden(lib, cfg, t_inj);
+        const wave::Waveform g_out =
+            golden.run(topt).node_waveform(golden.nor_out());
+        core::ModelCrosstalk model(inv, nor, cfg, t_inj);
+        const wave::Waveform m_out =
+            model.run(topt).node_waveform(model.nor_out());
+
+        const double dg = wave::delay_50(golden.victim_input(), false, g_out,
+                                         false, tech.vdd, 2.0e-9)
+                              .value_or(-1);
+        const double dm = wave::delay_50(model.victim_input(), false, m_out,
+                                         false, tech.vdd, 2.0e-9)
+                              .value_or(-1);
+        const double rmse = 100.0 * wave::rmse_normalized(g_out, m_out,
+                                                          2.0e-9, 4.0e-9,
+                                                          tech.vdd);
+        std::printf("%12.2f %14.2f %14.2f %12.2f %10.2f\n", t_inj * 1e9,
+                    dg * 1e12, dm * 1e12, (dm - dg) * 1e12, rmse);
+    }
+    std::printf("\nnote: the delay shifts by tens of ps as the aggressor "
+                "lands on the victim transition -\nexactly the effect "
+                "ramp-based (NLDM) models cannot represent.\n");
+    return 0;
+}

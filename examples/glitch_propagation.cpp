@@ -1,0 +1,72 @@
+// Glitch analysis: a partial-swing glitch is generated at a NOR2 output
+// (Fig. 10 scenario) and propagated through a two-inverter chain. Because
+// the CSM engine carries full waveforms, it shows how the logic filters the
+// glitch - something delay/slew-based models cannot express at all.
+#include <cmath>
+#include <cstdio>
+
+#include "cells/library.h"
+#include "core/characterizer.h"
+#include "sta/golden_flat.h"
+#include "sta/wave_sta.h"
+#include "tech/tech130.h"
+#include "wave/edges.h"
+#include "engine/scenarios.h"
+#include "wave/metrics.h"
+
+using namespace mcsm;
+
+int main() {
+    const tech::Technology tech = tech::make_tech130();
+    const cells::CellLibrary lib(tech);
+
+    // Glitch generator: NOR2 with A falling and B rising 40 ps later.
+    const engine::GlitchStimulus stim =
+        engine::nor2_glitch(tech.vdd, 1.5e-9, 40e-12);
+
+    sta::GateNetlist nl;
+    nl.add_primary_input("a", stim.a);
+    nl.add_primary_input("b", stim.b);
+    nl.add_instance({"u1", "NOR2", {{"A", "a"}, {"B", "b"}, {"OUT", "g"}}});
+    nl.add_instance({"u2", "INV_X1", {{"A", "g"}, {"OUT", "s1"}}});
+    nl.add_instance({"u3", "INV_X1", {{"A", "s1"}, {"OUT", "s2"}}});
+    nl.set_wire_cap("g", 2e-15);
+    nl.set_wire_cap("s1", 2e-15);
+    nl.set_wire_cap("s2", 4e-15);
+
+    const auto golden = sta::run_golden_flat(nl, lib, 3.5e-9);
+
+    const core::Characterizer chr(lib);
+    core::CharOptions fast;
+    fast.transient_caps = false;
+    const core::CsmModel inv =
+        chr.characterize("INV_X1", core::ModelKind::kSis, {"A"}, fast);
+    const core::CsmModel nor =
+        chr.characterize("NOR2", core::ModelKind::kMcsm, {"A", "B"}, fast);
+    sta::WaveformSta wsta(nl, {{"INV_X1", &inv}, {"NOR2", &nor}});
+    sta::WaveStaOptions wopt;
+    wopt.tstop = 3.5e-9;
+    const auto nets = wsta.run(wopt);
+
+    std::printf("%6s %18s %18s %14s\n", "net", "golden peak/V",
+                "csm peak/V", "rmse/%vdd");
+    for (const std::string net : {"g", "s1", "s2"}) {
+        // Peak excursion from the resting level (g and s2 rest low, s1
+        // rests high).
+        const bool rests_low = (net != "s1");
+        const wave::Waveform& gw = golden.at(net);
+        const wave::Waveform& mw = nets.at(net);
+        const double g_peak =
+            rests_low ? gw.max_value() : tech.vdd - gw.min_value();
+        const double m_peak =
+            rests_low ? mw.max_value() : tech.vdd - mw.min_value();
+        const double rmse = 100.0 * wave::rmse_normalized(gw, mw, 1.4e-9,
+                                                          3.4e-9, tech.vdd);
+        std::printf("%6s %18.3f %18.3f %14.2f\n", net.c_str(), g_peak,
+                    m_peak, rmse);
+    }
+    std::printf("\nthe glitch shrinks stage by stage (electrical masking); "
+                "the CSM engine tracks the\ngolden peaks closely because it "
+                "propagates complete waveforms, not (delay, slew) pairs.\n");
+    return 0;
+}

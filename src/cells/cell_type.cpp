@@ -1,0 +1,80 @@
+#include "cells/cell_type.h"
+
+#include "common/error.h"
+
+namespace mcsm::cells {
+
+int CellInstance::node(const std::string& formal) const {
+    const auto it = nodes.find(formal);
+    require(it != nodes.end(), "CellInstance: unknown formal node");
+    return it->second;
+}
+
+CellType::CellType(std::string name, const tech::Technology& tech,
+                   std::vector<PinInfo> inputs,
+                   std::vector<std::string> internals,
+                   std::vector<MosSpec> mosfets,
+                   std::function<bool(std::span<const bool>)> logic)
+    : name_(std::move(name)),
+      tech_(&tech),
+      inputs_(std::move(inputs)),
+      internals_(std::move(internals)),
+      mosfets_(std::move(mosfets)),
+      logic_(std::move(logic)) {
+    require(!mosfets_.empty(), "CellType: no transistors");
+}
+
+const PinInfo& CellType::input(const std::string& pin) const {
+    for (const PinInfo& p : inputs_)
+        if (p.name == pin) return p;
+    throw ModelError("CellType: unknown input pin " + pin);
+}
+
+bool CellType::eval_logic(std::span<const bool> in) const {
+    require(in.size() == inputs_.size(), "CellType: bad logic input arity");
+    return logic_(in);
+}
+
+CellInstance CellType::instantiate(
+    spice::Circuit& circuit, const std::string& prefix,
+    const std::unordered_map<std::string, int>& conn) const {
+    CellInstance inst;
+    inst.nodes = conn;
+
+    auto resolve = [&](const std::string& formal) -> int {
+        const auto it = inst.nodes.find(formal);
+        if (it != inst.nodes.end()) return it->second;
+        const int id = circuit.node(prefix + "." + formal);
+        inst.nodes[formal] = id;
+        return id;
+    };
+
+    require(conn.count(kVdd) && conn.count(kGnd) && conn.count(kOut),
+            "CellType::instantiate: VDD, GND and OUT must be connected");
+    for (const PinInfo& p : inputs_)
+        require(conn.count(p.name) != 0,
+                "CellType::instantiate: all input pins must be connected");
+
+    for (const MosSpec& m : mosfets_) {
+        const spice::MosParams& params = m.type == spice::MosType::kNmos
+                                             ? tech_->nmos
+                                             : tech_->pmos;
+        circuit.add_mosfet(prefix + "." + m.name, resolve(m.d), resolve(m.g),
+                           resolve(m.s), resolve(m.b), params, m.w, m.l);
+    }
+    return inst;
+}
+
+double CellType::input_cap_estimate(const std::string& pin) const {
+    double cap = 0.0;
+    for (const MosSpec& m : mosfets_) {
+        if (m.g != pin) continue;
+        const spice::MosParams& params = m.type == spice::MosType::kNmos
+                                             ? tech_->nmos
+                                             : tech_->pmos;
+        cap += params.cox * m.w * m.l + (params.cgso + params.cgdo) * m.w;
+    }
+    return cap;
+}
+
+}  // namespace mcsm::cells

@@ -1,0 +1,88 @@
+// Transistor-level standard-cell template: a list of MOSFET instances over
+// formal node names, plus the metadata the characterizer needs (input pins
+// with non-controlling values, modeled internal stack nodes, logic function).
+#ifndef MCSM_CELLS_CELL_TYPE_H
+#define MCSM_CELLS_CELL_TYPE_H
+
+#include <functional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "spice/circuit.h"
+#include "tech/tech130.h"
+
+namespace mcsm::cells {
+
+// Formal node names used by cell templates.
+inline constexpr const char* kVdd = "VDD";
+inline constexpr const char* kGnd = "GND";
+inline constexpr const char* kOut = "OUT";
+
+struct PinInfo {
+    std::string name;
+    // Input value (volts) that keeps the cell sensitive to the other inputs
+    // (0 for NOR inputs, Vdd for NAND inputs).
+    double non_controlling = 0.0;
+};
+
+struct MosSpec {
+    std::string name;  // instance suffix, e.g. "M1"
+    std::string d;
+    std::string g;
+    std::string s;
+    std::string b;
+    spice::MosType type = spice::MosType::kNmos;
+    double w = 0.0;
+    double l = 0.0;
+};
+
+// Result of instantiating a cell: resolved node ids for every formal name.
+struct CellInstance {
+    std::unordered_map<std::string, int> nodes;
+
+    int node(const std::string& formal) const;
+};
+
+class CellType {
+public:
+    CellType(std::string name, const tech::Technology& tech,
+             std::vector<PinInfo> inputs, std::vector<std::string> internals,
+             std::vector<MosSpec> mosfets,
+             std::function<bool(std::span<const bool>)> logic);
+
+    const std::string& name() const { return name_; }
+    const tech::Technology& tech() const { return *tech_; }
+    const std::vector<PinInfo>& inputs() const { return inputs_; }
+    const PinInfo& input(const std::string& pin) const;
+    std::size_t input_count() const { return inputs_.size(); }
+    const std::vector<std::string>& internal_nodes() const { return internals_; }
+    const std::vector<MosSpec>& mosfets() const { return mosfets_; }
+
+    // Logic value of the output for the given input values.
+    bool eval_logic(std::span<const bool> in) const;
+
+    // Adds the cell's transistors to `circuit`. `conn` must map VDD, GND,
+    // OUT and every input pin to circuit nodes; internal nodes may be mapped
+    // too (to probe them) and are otherwise created as "<prefix>.<formal>".
+    CellInstance instantiate(
+        spice::Circuit& circuit, const std::string& prefix,
+        const std::unordered_map<std::string, int>& conn) const;
+
+    // Rough input capacitance (gate area + overlap of devices driven by the
+    // pin), used for load estimates and sanity checks.
+    double input_cap_estimate(const std::string& pin) const;
+
+private:
+    std::string name_;
+    const tech::Technology* tech_;
+    std::vector<PinInfo> inputs_;
+    std::vector<std::string> internals_;
+    std::vector<MosSpec> mosfets_;
+    std::function<bool(std::span<const bool>)> logic_;
+};
+
+}  // namespace mcsm::cells
+
+#endif  // MCSM_CELLS_CELL_TYPE_H

@@ -1,0 +1,35 @@
+#include "cells/fanout.h"
+
+namespace mcsm::cells {
+
+double attach_fanout(spice::Circuit& circuit, const CellLibrary& lib,
+                     const std::string& receiver_cell, int net, int vdd_node,
+                     int count, const std::string& prefix) {
+    const CellType& recv = lib.get(receiver_cell);
+    double total_cap = 0.0;
+    for (int k = 0; k < count; ++k) {
+        const std::string inst = prefix + std::to_string(k);
+        std::unordered_map<std::string, int> conn;
+        conn[kVdd] = vdd_node;
+        conn[kGnd] = spice::Circuit::kGround;
+        conn[recv.inputs().front().name] = net;
+        // Remaining inputs (if any) tie to their non-controlling level rails.
+        for (std::size_t i = 1; i < recv.inputs().size(); ++i) {
+            const PinInfo& pin = recv.inputs()[i];
+            conn[pin.name] =
+                pin.non_controlling > 0.0 ? vdd_node : spice::Circuit::kGround;
+        }
+        conn[kOut] = circuit.node(inst + ".OUT");
+        recv.instantiate(circuit, inst, conn);
+        total_cap += recv.input_cap_estimate(recv.inputs().front().name);
+    }
+    return total_cap;
+}
+
+double receiver_input_cap(const CellLibrary& lib,
+                          const std::string& receiver_cell) {
+    const CellType& recv = lib.get(receiver_cell);
+    return recv.input_cap_estimate(recv.inputs().front().name);
+}
+
+}  // namespace mcsm::cells

@@ -1,0 +1,27 @@
+// Helpers for building fanout loads: FO-k = k parallel receiver-cell inputs
+// attached to a driver's output net, as in the paper's Fig. 5 sweep.
+#ifndef MCSM_CELLS_FANOUT_H
+#define MCSM_CELLS_FANOUT_H
+
+#include <string>
+
+#include "cells/library.h"
+#include "spice/circuit.h"
+
+namespace mcsm::cells {
+
+// Attaches `count` receiver instances (their input pin "A") to `net`.
+// Receivers are real transistor-level cells; their outputs are left to swing
+// freely (each output node is created as "<prefix><k>.OUT").
+// Returns the total estimated input capacitance added.
+double attach_fanout(spice::Circuit& circuit, const CellLibrary& lib,
+                     const std::string& receiver_cell, int net, int vdd_node,
+                     int count, const std::string& prefix);
+
+// Estimated input capacitance of one receiver input (pin "A").
+double receiver_input_cap(const CellLibrary& lib,
+                          const std::string& receiver_cell);
+
+}  // namespace mcsm::cells
+
+#endif  // MCSM_CELLS_FANOUT_H

@@ -1,0 +1,142 @@
+#include "cells/library.h"
+
+#include "common/error.h"
+
+namespace mcsm::cells {
+
+namespace {
+
+constexpr spice::MosType kN = spice::MosType::kNmos;
+constexpr spice::MosType kP = spice::MosType::kPmos;
+
+}  // namespace
+
+CellLibrary::CellLibrary(const tech::Technology& tech) : tech_(&tech) {
+    const double l = tech.lmin;
+    const double wn = tech.wn_unit;
+    const double wp = tech.wp_unit;
+    const double vdd = tech.vdd;
+
+    // --- inverters -------------------------------------------------------
+    for (const auto& [suffix, mult] :
+         std::vector<std::pair<std::string, double>>{
+             {"INV_X1", 1.0}, {"INV_X2", 2.0}, {"INV_X4", 4.0}}) {
+        add(std::make_unique<CellType>(
+            suffix, tech, std::vector<PinInfo>{{"A", 0.0}},
+            std::vector<std::string>{},
+            std::vector<MosSpec>{
+                {"MN", kOut, "A", kGnd, kGnd, kN, mult * wn, l},
+                {"MP", kOut, "A", kVdd, kVdd, kP, mult * wp, l}},
+            [](std::span<const bool> in) { return !in[0]; }));
+    }
+
+    // --- NOR2 (paper Fig. 2) ----------------------------------------------
+    add(std::make_unique<CellType>(
+        "NOR2", tech, std::vector<PinInfo>{{"A", 0.0}, {"B", 0.0}},
+        std::vector<std::string>{"N"},
+        std::vector<MosSpec>{
+            // PMOS stack: M4 on top (gate B), M3 below (gate A), node N
+            // between them.
+            {"M4", "N", "B", kVdd, kVdd, kP, 2.0 * wp, l},
+            {"M3", kOut, "A", "N", kVdd, kP, 2.0 * wp, l},
+            // Parallel NMOS at the output.
+            {"M1", kOut, "A", kGnd, kGnd, kN, wn, l},
+            {"M2", kOut, "B", kGnd, kGnd, kN, wn, l}},
+        [](std::span<const bool> in) { return !(in[0] || in[1]); }));
+
+    // --- NOR3 -------------------------------------------------------------
+    add(std::make_unique<CellType>(
+        "NOR3", tech,
+        std::vector<PinInfo>{{"A", 0.0}, {"B", 0.0}, {"C", 0.0}},
+        std::vector<std::string>{"N1", "N2"},
+        std::vector<MosSpec>{
+            {"MP3", "N1", "C", kVdd, kVdd, kP, 3.0 * wp, l},
+            {"MP2", "N2", "B", "N1", kVdd, kP, 3.0 * wp, l},
+            {"MP1", kOut, "A", "N2", kVdd, kP, 3.0 * wp, l},
+            {"MN1", kOut, "A", kGnd, kGnd, kN, wn, l},
+            {"MN2", kOut, "B", kGnd, kGnd, kN, wn, l},
+            {"MN3", kOut, "C", kGnd, kGnd, kN, wn, l}},
+        [](std::span<const bool> in) { return !(in[0] || in[1] || in[2]); }));
+
+    // --- NAND2 -------------------------------------------------------------
+    add(std::make_unique<CellType>(
+        "NAND2", tech, std::vector<PinInfo>{{"A", vdd}, {"B", vdd}},
+        std::vector<std::string>{"N"},
+        std::vector<MosSpec>{
+            {"MN1", kOut, "A", "N", kGnd, kN, 2.0 * wn, l},
+            {"MN2", "N", "B", kGnd, kGnd, kN, 2.0 * wn, l},
+            {"MP1", kOut, "A", kVdd, kVdd, kP, wp, l},
+            {"MP2", kOut, "B", kVdd, kVdd, kP, wp, l}},
+        [](std::span<const bool> in) { return !(in[0] && in[1]); }));
+
+    // --- NAND3 -------------------------------------------------------------
+    add(std::make_unique<CellType>(
+        "NAND3", tech,
+        std::vector<PinInfo>{{"A", vdd}, {"B", vdd}, {"C", vdd}},
+        std::vector<std::string>{"N1", "N2"},
+        std::vector<MosSpec>{
+            {"MN1", kOut, "A", "N1", kGnd, kN, 3.0 * wn, l},
+            {"MN2", "N1", "B", "N2", kGnd, kN, 3.0 * wn, l},
+            {"MN3", "N2", "C", kGnd, kGnd, kN, 3.0 * wn, l},
+            {"MP1", kOut, "A", kVdd, kVdd, kP, wp, l},
+            {"MP2", kOut, "B", kVdd, kVdd, kP, wp, l},
+            {"MP3", kOut, "C", kVdd, kVdd, kP, wp, l}},
+        [](std::span<const bool> in) {
+            return !(in[0] && in[1] && in[2]);
+        }));
+
+    // --- AOI21: OUT = !(A*B + C) -------------------------------------------
+    add(std::make_unique<CellType>(
+        "AOI21", tech,
+        std::vector<PinInfo>{{"A", vdd}, {"B", vdd}, {"C", 0.0}},
+        std::vector<std::string>{"N1", "P1"},
+        std::vector<MosSpec>{
+            // Pull-down: A-B series stack (node N1) in parallel with C.
+            {"MNA", kOut, "A", "N1", kGnd, kN, 2.0 * wn, l},
+            {"MNB", "N1", "B", kGnd, kGnd, kN, 2.0 * wn, l},
+            {"MNC", kOut, "C", kGnd, kGnd, kN, wn, l},
+            // Pull-up: (A || B) in series with C (node P1).
+            {"MPA", "P1", "A", kVdd, kVdd, kP, 2.0 * wp, l},
+            {"MPB", "P1", "B", kVdd, kVdd, kP, 2.0 * wp, l},
+            {"MPC", kOut, "C", "P1", kVdd, kP, 2.0 * wp, l}},
+        [](std::span<const bool> in) {
+            return !((in[0] && in[1]) || in[2]);
+        }));
+
+    // --- OAI21: OUT = !((A + B) * C) ----------------------------------------
+    add(std::make_unique<CellType>(
+        "OAI21", tech,
+        std::vector<PinInfo>{{"A", 0.0}, {"B", 0.0}, {"C", vdd}},
+        std::vector<std::string>{"N1", "P1"},
+        std::vector<MosSpec>{
+            // Pull-down: (A || B) in series with C (node N1).
+            {"MNC", kOut, "C", "N1", kGnd, kN, 2.0 * wn, l},
+            {"MNA", "N1", "A", kGnd, kGnd, kN, 2.0 * wn, l},
+            {"MNB", "N1", "B", kGnd, kGnd, kN, 2.0 * wn, l},
+            // Pull-up: A-B series stack (node P1) in parallel with C.
+            {"MPA", "P1", "A", kVdd, kVdd, kP, 2.0 * wp, l},
+            {"MPB", kOut, "B", "P1", kVdd, kP, 2.0 * wp, l},
+            {"MPC", kOut, "C", kVdd, kVdd, kP, wp, l}},
+        [](std::span<const bool> in) {
+            return !((in[0] || in[1]) && in[2]);
+        }));
+}
+
+void CellLibrary::add(std::unique_ptr<CellType> cell) {
+    order_.push_back(cell->name());
+    cells_[cell->name()] = std::move(cell);
+}
+
+const CellType& CellLibrary::get(const std::string& name) const {
+    const auto it = cells_.find(name);
+    require(it != cells_.end(), "CellLibrary: unknown cell");
+    return *it->second;
+}
+
+bool CellLibrary::has(const std::string& name) const {
+    return cells_.find(name) != cells_.end();
+}
+
+std::vector<std::string> CellLibrary::names() const { return order_; }
+
+}  // namespace mcsm::cells

@@ -1,0 +1,43 @@
+// Factory for the transistor-level standard-cell set used throughout the
+// repository: INV_X1/X2/X4, NAND2/3, NOR2/3, AOI21, OAI21.
+//
+// The NOR2 template follows the paper's Fig. 2: PMOS M4 (gate B) on top of
+// PMOS M3 (gate A) with the stack node N between them, NMOS M1 (A) and
+// M2 (B) in parallel at the output.
+#ifndef MCSM_CELLS_LIBRARY_H
+#define MCSM_CELLS_LIBRARY_H
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cells/cell_type.h"
+#include "tech/tech130.h"
+
+namespace mcsm::cells {
+
+class CellLibrary {
+public:
+    explicit CellLibrary(const tech::Technology& tech);
+
+    CellLibrary(const CellLibrary&) = delete;
+    CellLibrary& operator=(const CellLibrary&) = delete;
+
+    const tech::Technology& tech() const { return *tech_; }
+
+    const CellType& get(const std::string& name) const;
+    bool has(const std::string& name) const;
+    std::vector<std::string> names() const;
+
+private:
+    void add(std::unique_ptr<CellType> cell);
+
+    const tech::Technology* tech_;
+    std::unordered_map<std::string, std::unique_ptr<CellType>> cells_;
+    std::vector<std::string> order_;
+};
+
+}  // namespace mcsm::cells
+
+#endif  // MCSM_CELLS_LIBRARY_H

@@ -1,0 +1,40 @@
+#include "common/dense_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mcsm {
+
+DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+void DenseMatrix::set_zero() {
+    std::fill(data_.begin(), data_.end(), 0.0);
+}
+
+void DenseMatrix::resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0);
+}
+
+double DenseMatrix::max_abs() const {
+    double m = 0.0;
+    for (double v : data_) m = std::max(m, std::fabs(v));
+    return m;
+}
+
+std::vector<double> DenseMatrix::multiply(const std::vector<double>& x) const {
+    require(x.size() == cols_, "DenseMatrix::multiply: size mismatch");
+    std::vector<double> y(rows_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double acc = 0.0;
+        for (std::size_t c = 0; c < cols_; ++c) acc += data_[r * cols_ + c] * x[c];
+        y[r] = acc;
+    }
+    return y;
+}
+
+}  // namespace mcsm

@@ -1,0 +1,41 @@
+// Dense row-major matrix, sized for MNA systems of a few dozen unknowns.
+#ifndef MCSM_COMMON_DENSE_MATRIX_H
+#define MCSM_COMMON_DENSE_MATRIX_H
+
+#include <cstddef>
+#include <vector>
+
+namespace mcsm {
+
+class DenseMatrix {
+public:
+    DenseMatrix() = default;
+    DenseMatrix(std::size_t rows, std::size_t cols);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+    double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+    // Sets every entry to zero without reallocating.
+    void set_zero();
+
+    // Resizes to rows x cols and zero-fills.
+    void resize(std::size_t rows, std::size_t cols);
+
+    // max |a_ij|; zero for an empty matrix.
+    double max_abs() const;
+
+    // y = A x. x must have cols() entries; returns rows() entries.
+    std::vector<double> multiply(const std::vector<double>& x) const;
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+}  // namespace mcsm
+
+#endif  // MCSM_COMMON_DENSE_MATRIX_H

@@ -1,0 +1,38 @@
+// Error types shared across the MCSM libraries.
+#ifndef MCSM_COMMON_ERROR_H
+#define MCSM_COMMON_ERROR_H
+
+#include <stdexcept>
+#include <string>
+
+namespace mcsm {
+
+// Thrown when a numerical procedure fails to produce a usable result
+// (singular matrix, Newton-Raphson non-convergence, ...).
+class NumericalError : public std::runtime_error {
+public:
+    explicit NumericalError(const std::string& what_arg)
+        : std::runtime_error(what_arg) {}
+};
+
+// Thrown when a netlist / model / table is constructed or used
+// inconsistently (bad node index, mismatched axes, ...).
+class ModelError : public std::logic_error {
+public:
+    explicit ModelError(const std::string& what_arg)
+        : std::logic_error(what_arg) {}
+};
+
+// Precondition check that survives NDEBUG builds; use for API misuse that
+// must never be silently ignored.
+inline void require(bool condition, const char* message) {
+    if (!condition) throw ModelError(message);
+}
+
+inline void require(bool condition, const std::string& message) {
+    if (!condition) throw ModelError(message);
+}
+
+}  // namespace mcsm
+
+#endif  // MCSM_COMMON_ERROR_H

@@ -1,0 +1,63 @@
+#include "common/numeric.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace mcsm {
+
+double softplus(double x) {
+    // For large x, ln(1+e^x) = x + ln(1+e^-x) ~= x; switch at 30 where the
+    // correction is below double precision relative to x.
+    if (x > 30.0) return x;
+    if (x < -30.0) return std::exp(x);
+    return std::log1p(std::exp(x));
+}
+
+double logistic(double x) {
+    if (x >= 0.0) {
+        const double e = std::exp(-x);
+        return 1.0 / (1.0 + e);
+    }
+    const double e = std::exp(x);
+    return e / (1.0 + e);
+}
+
+double smooth_abs(double x, double eps) {
+    return std::sqrt(x * x + eps * eps) - eps;
+}
+
+double smooth_abs_deriv(double x, double eps) {
+    return x / std::sqrt(x * x + eps * eps);
+}
+
+double clamp(double x, double lo, double hi) {
+    return std::min(std::max(x, lo), hi);
+}
+
+double lerp(double x0, double y0, double x1, double y1, double x) {
+    return y0 + (y1 - y0) * ((x - x0) / (x1 - x0));
+}
+
+bool nearly_equal(double a, double b, double rtol, double atol) {
+    return std::fabs(a - b) <= atol + rtol * std::max(std::fabs(a), std::fabs(b));
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+    require(n >= 2, "linspace requires n >= 2");
+    std::vector<double> out(n);
+    const double step = (hi - lo) / static_cast<double>(n - 1);
+    for (std::size_t i = 0; i < n; ++i) out[i] = lo + step * static_cast<double>(i);
+    out.back() = hi;
+    return out;
+}
+
+std::size_t bracket(const std::vector<double>& xs, double x) {
+    require(xs.size() >= 2, "bracket requires at least two knots");
+    const auto it = std::upper_bound(xs.begin(), xs.end(), x);
+    if (it == xs.begin()) return 0;
+    std::size_t i = static_cast<std::size_t>(it - xs.begin()) - 1;
+    return std::min(i, xs.size() - 2);
+}
+
+}  // namespace mcsm

@@ -1,0 +1,74 @@
+// CSM cells as spice::Device implementations. Golden (transistor-level) and
+// model circuits run through the same MNA transient engine, which makes the
+// accuracy comparisons apples-to-apples and gives the model access to
+// arbitrary loads (coupled RC nets, receiver caps, other CSM cells).
+//
+// Solving the output/internal nodes inside the MNA Newton loop is the
+// implicit counterpart of the paper's explicit updates (eqs. (4), (5)); the
+// explicit integrator lives in core/explicit_sim.h and an ablation bench
+// compares the two.
+#ifndef MCSM_CORE_CSM_DEVICE_H
+#define MCSM_CORE_CSM_DEVICE_H
+
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "spice/device.h"
+
+namespace mcsm::core {
+
+class CsmCellDevice : public spice::Device {
+public:
+    // `pin_nodes` follow model.pins order; `internal_nodes` follow
+    // model.internals order (pass freshly created circuit nodes - the device
+    // owns their dynamics). When `stamp_input_caps` is set, the model's 1-D
+    // receiver caps load the input nets (needed when the inputs are driven
+    // by other cells rather than ideal sources).
+    CsmCellDevice(std::string name, const CsmModel& model,
+                  std::vector<int> pin_nodes, std::vector<int> internal_nodes,
+                  int out_node, bool stamp_input_caps = false);
+
+    int state_count() const override;
+    void stamp(spice::Stamper& st, const spice::SimContext& ctx) const override;
+    void commit(const spice::SimContext& ctx,
+                std::span<double> state_next) const override;
+
+    const CsmModel& model() const { return *model_; }
+    int out_node() const { return out_; }
+    const std::vector<int>& internal_nodes() const { return internals_; }
+
+private:
+    // Gathers [pins..., internals..., out] voltages from a solution vector.
+    void gather(const std::vector<double>& x, std::vector<double>& v) const;
+
+    const CsmModel* model_;  // non-owning; outlives the circuit
+    std::vector<int> pins_;
+    std::vector<int> internals_;
+    int out_;
+    bool input_caps_;
+};
+
+// A 1-D voltage-dependent grounded capacitor C(v), used for receiver input
+// loads (the paper's CA(VA) tables).
+class LutCapDevice : public spice::Device {
+public:
+    LutCapDevice(std::string name, const lut::NdTable& table, int node,
+                 double scale = 1.0);
+
+    int state_count() const override { return 1; }
+    void stamp(spice::Stamper& st, const spice::SimContext& ctx) const override;
+    void commit(const spice::SimContext& ctx,
+                std::span<double> state_next) const override;
+
+private:
+    double cap_at(double v) const;
+
+    const lut::NdTable* table_;  // non-owning
+    int node_;
+    double scale_;
+};
+
+}  // namespace mcsm::core
+
+#endif  // MCSM_CORE_CSM_DEVICE_H

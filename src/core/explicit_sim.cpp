@@ -1,0 +1,100 @@
+#include "core/explicit_sim.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/numeric.h"
+
+namespace mcsm::core {
+
+ExplicitResult simulate_explicit(const CsmModel& model,
+                                 const std::vector<wave::Waveform>& pin_inputs,
+                                 const ExplicitOptions& options) {
+    model.check_consistent();
+    const std::size_t n_pins = model.pin_count();
+    const std::size_t n_int = model.internal_count();
+    require(pin_inputs.size() == n_pins,
+            "simulate_explicit: one input waveform per switching pin");
+    require(options.dt > 0.0 && options.tstop > options.dt,
+            "simulate_explicit: bad time grid");
+
+    const std::size_t dim = model.dim();
+    std::vector<double> v(dim, 0.0);
+    for (std::size_t p = 0; p < n_pins; ++p) v[p] = pin_inputs[p].at(0.0);
+
+    // Initial internal/output state.
+    std::vector<double> state0 = options.initial_state;
+    if (state0.empty()) {
+        state0 = model.dc_state(
+            std::span<const double>(v.data(), n_pins));
+    }
+    require(state0.size() == n_int + 1,
+            "simulate_explicit: initial_state must hold internals + out");
+    for (std::size_t j = 0; j < n_int; ++j) v[n_pins + j] = state0[j];
+    v[dim - 1] = state0[n_int];
+
+    ExplicitResult result;
+    result.internals.resize(n_int);
+    result.out.append(0.0, v[dim - 1]);
+    for (std::size_t j = 0; j < n_int; ++j)
+        result.internals[j].append(0.0, v[n_pins + j]);
+
+    const double dt = options.dt;
+    const auto n_steps =
+        static_cast<std::size_t>(std::ceil(options.tstop / dt));
+    const double v_lo = -model.dv_margin;
+    const double v_hi = model.vdd + model.dv_margin;
+
+    for (std::size_t k = 1; k <= n_steps; ++k) {
+        const double t_prev = dt * static_cast<double>(k - 1);
+        const double t = dt * static_cast<double>(k);
+
+        // Model components at the current state (paper: evaluated at t_k).
+        const double io = model.io(v);
+        const double co = model.co(v);
+        double cm_total = 0.0;
+        double miller_charge = 0.0;
+        for (std::size_t p = 0; p < n_pins; ++p) {
+            const double cm = model.cm(p, v);
+            cm_total += cm;
+            const double dva = pin_inputs[p].at(t) - pin_inputs[p].at(t_prev);
+            miller_charge += cm * dva;
+        }
+
+        // Eq. (4): output update.
+        const double c_out_total = options.load_cap + co + cm_total;
+        const double vo_next =
+            v[dim - 1] + (miller_charge - io * dt) / c_out_total;
+
+        // Eq. (5): internal-node updates, extended with the optional
+        // pin->internal Miller charge (zero tables reproduce the paper).
+        std::vector<double> vn_next(n_int, 0.0);
+        for (std::size_t j = 0; j < n_int; ++j) {
+            const double in_j = model.in(j, v);
+            const double cn_j = model.cn(j, v);
+            double cmn_total = 0.0;
+            double miller_n = 0.0;
+            for (std::size_t p = 0; p < n_pins; ++p) {
+                const double cmn = model.cmn(p, j, v);
+                cmn_total += cmn;
+                miller_n +=
+                    cmn * (pin_inputs[p].at(t) - pin_inputs[p].at(t_prev));
+            }
+            vn_next[j] = v[n_pins + j] +
+                         (miller_n - in_j * dt) / (cn_j + cmn_total);
+        }
+
+        // Advance: inputs at t, clamp states to the characterized range.
+        for (std::size_t p = 0; p < n_pins; ++p) v[p] = pin_inputs[p].at(t);
+        for (std::size_t j = 0; j < n_int; ++j)
+            v[n_pins + j] = clamp(vn_next[j], v_lo, v_hi);
+        v[dim - 1] = clamp(vo_next, v_lo, v_hi);
+
+        result.out.append(t, v[dim - 1]);
+        for (std::size_t j = 0; j < n_int; ++j)
+            result.internals[j].append(t, v[n_pins + j]);
+    }
+    return result;
+}
+
+}  // namespace mcsm::core

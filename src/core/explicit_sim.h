@@ -1,0 +1,41 @@
+// Paper-faithful explicit integration of the MCSM equations (4) and (5):
+//
+//   Vo(t_{k+1}) = Vo(t_k) + [ CmA*dVA + CmB*dVB - Io*dt ]
+//                           / (CL + Co + CmA + CmB)
+//   VN(t_{k+1}) = VN(t_k) - IN*dt / CN
+//
+// for a single cell driving a lumped capacitive load. The implicit engine
+// (CsmCellDevice + solve_tran) is preferred for stiff or networked cases; an
+// ablation bench compares both.
+#ifndef MCSM_CORE_EXPLICIT_SIM_H
+#define MCSM_CORE_EXPLICIT_SIM_H
+
+#include <vector>
+
+#include "core/model.h"
+#include "wave/waveform.h"
+
+namespace mcsm::core {
+
+struct ExplicitOptions {
+    double tstop = 3e-9;
+    double dt = 0.5e-12;
+    double load_cap = 2e-15;  // CL
+    // Initial output / internal voltages; when empty they are derived from
+    // the model's DC state at the t=0 input values.
+    std::vector<double> initial_state;
+};
+
+struct ExplicitResult {
+    wave::Waveform out;
+    std::vector<wave::Waveform> internals;
+};
+
+// `pin_inputs` follow model.pins order.
+ExplicitResult simulate_explicit(const CsmModel& model,
+                                 const std::vector<wave::Waveform>& pin_inputs,
+                                 const ExplicitOptions& options);
+
+}  // namespace mcsm::core
+
+#endif  // MCSM_CORE_EXPLICIT_SIM_H

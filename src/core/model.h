@@ -1,0 +1,95 @@
+// Current-source-model data structures (the paper's Section 3).
+//
+// Three model families share one representation:
+//  * kSis         - single switching input, no internal node (ref. [5]),
+//  * kMisBaseline - two switching inputs, no internal node (Section 3.1,
+//                   the model shown to err by ~22%),
+//  * kMcsm        - two switching inputs plus modeled internal stack
+//                   node(s) (Section 3.2/3.3, the paper's contribution).
+//
+// Voltage-space axes are ordered [switching pins..., internal nodes..., out].
+// Current sign convention: Io / IN are the currents flowing from the node
+// INTO the cell (positive current discharges the node), matching the signs
+// in the paper's eqs. (1), (2), (4), (5).
+#ifndef MCSM_CORE_MODEL_H
+#define MCSM_CORE_MODEL_H
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "lut/ndtable.h"
+
+namespace mcsm::core {
+
+enum class ModelKind { kSis, kMisBaseline, kMcsm };
+
+const char* to_string(ModelKind kind);
+
+struct CsmModel {
+    ModelKind kind = ModelKind::kMcsm;
+    std::string cell_name;
+    double vdd = 1.2;
+    double dv_margin = 0.12;
+
+    std::vector<std::string> pins;         // switching input pins
+    std::vector<std::string> fixed_pins;   // remaining inputs...
+    std::vector<double> fixed_values;      // ...held at these voltages
+    std::vector<std::string> internals;    // modeled internal nodes (kMcsm)
+
+    // All D-dimensional tables share the axes [pins..., internals..., out].
+    lut::NdTable i_out;                    // Io(V)
+    std::vector<lut::NdTable> i_internal;  // IN_j(V), one per internal node
+    std::vector<lut::NdTable> c_miller;    // Cm_p(V), one per switching pin
+    lut::NdTable c_out;                    // Co(V)
+    std::vector<lut::NdTable> c_internal;  // CN_j(V)
+    // Pin -> internal-node Miller caps, indexed [p * internal_count + j].
+    // The paper neglects these ("we do not model the Miller effect between
+    // node N and other nodes"); with our Meyer-style substrate the stack
+    // transistor's gate-source cap is a significant part of the stack-node
+    // charge balance, so the characterizer extracts them by default. Tables
+    // of zeros reproduce the paper's simplification (ablation bench A7).
+    std::vector<lut::NdTable> c_miller_internal;
+    std::vector<lut::NdTable> c_in;        // 1-D receiver cap per pin
+
+    // --- shape helpers ---------------------------------------------------
+    std::size_t pin_count() const { return pins.size(); }
+    std::size_t internal_count() const { return internals.size(); }
+    // Rank of the D-dimensional tables: pins + internals + 1 (output).
+    std::size_t dim() const { return pins.size() + internals.size() + 1; }
+    std::size_t out_axis() const { return dim() - 1; }
+    std::size_t internal_axis(std::size_t j) const { return pins.size() + j; }
+
+    // Validates table ranks/axis counts against the declared pins/internals.
+    void check_consistent() const;
+
+    // --- queries -----------------------------------------------------------
+    // v has dim() entries ordered [pins..., internals..., out].
+    double io(std::span<const double> v) const { return i_out.at(v); }
+    double in(std::size_t j, std::span<const double> v) const {
+        return i_internal[j].at(v);
+    }
+    double cm(std::size_t p, std::span<const double> v) const {
+        return c_miller[p].at(v);
+    }
+    double co(std::span<const double> v) const { return c_out.at(v); }
+    double cn(std::size_t j, std::span<const double> v) const {
+        return c_internal[j].at(v);
+    }
+    // Miller capacitance between switching pin p and internal node j.
+    double cmn(std::size_t p, std::size_t j, std::span<const double> v) const {
+        return c_miller_internal[p * internal_count() + j].at(v);
+    }
+    // Receiver input capacitance of pin p at input voltage vin.
+    double cin(std::size_t p, double vin) const;
+
+    // Model-consistent DC state: solves Io = 0 and IN_j = 0 for the output
+    // and internal-node voltages, given the pin voltages. Used to initialize
+    // simulations. `pin_volts` has pin_count() entries. Returns
+    // [internals..., out] voltages.
+    std::vector<double> dc_state(std::span<const double> pin_volts) const;
+};
+
+}  // namespace mcsm::core
+
+#endif  // MCSM_CORE_MODEL_H

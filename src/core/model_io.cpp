@@ -1,0 +1,126 @@
+#include "core/model_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+#include "lut/table_io.h"
+
+namespace mcsm::core {
+
+namespace {
+
+ModelKind kind_from_string(const std::string& s) {
+    if (s == "SIS") return ModelKind::kSis;
+    if (s == "MIS-baseline") return ModelKind::kMisBaseline;
+    if (s == "MCSM") return ModelKind::kMcsm;
+    throw ModelError("read_model: unknown model kind " + s);
+}
+
+}  // namespace
+
+void write_model(std::ostream& os, const CsmModel& model) {
+    model.check_consistent();
+    os << "csmmodel v1\n";
+    os << "kind " << to_string(model.kind) << '\n';
+    os << "cell " << model.cell_name << '\n';
+    os << std::setprecision(17);
+    os << "vdd " << model.vdd << '\n';
+    os << "dv " << model.dv_margin << '\n';
+    os << "pins " << model.pins.size();
+    for (const auto& p : model.pins) os << ' ' << p;
+    os << '\n';
+    os << "fixed " << model.fixed_pins.size();
+    for (std::size_t i = 0; i < model.fixed_pins.size(); ++i)
+        os << ' ' << model.fixed_pins[i] << ' ' << model.fixed_values[i];
+    os << '\n';
+    os << "internals " << model.internals.size();
+    for (const auto& n : model.internals) os << ' ' << n;
+    os << '\n';
+
+    lut::write_table(os, model.i_out);
+    for (const auto& t : model.i_internal) lut::write_table(os, t);
+    for (const auto& t : model.c_miller) lut::write_table(os, t);
+    lut::write_table(os, model.c_out);
+    for (const auto& t : model.c_internal) lut::write_table(os, t);
+    for (const auto& t : model.c_miller_internal) lut::write_table(os, t);
+    for (const auto& t : model.c_in) lut::write_table(os, t);
+    os << "endmodel\n";
+}
+
+CsmModel read_model(std::istream& is) {
+    std::string word;
+    std::string version;
+    require(static_cast<bool>(is >> word >> version) && word == "csmmodel" &&
+                version == "v1",
+            "read_model: bad header");
+
+    CsmModel m;
+    std::string kind_str;
+    require(static_cast<bool>(is >> word >> kind_str) && word == "kind",
+            "read_model: missing kind");
+    m.kind = kind_from_string(kind_str);
+    require(static_cast<bool>(is >> word >> m.cell_name) && word == "cell",
+            "read_model: missing cell");
+    require(static_cast<bool>(is >> word >> m.vdd) && word == "vdd",
+            "read_model: missing vdd");
+    require(static_cast<bool>(is >> word >> m.dv_margin) && word == "dv",
+            "read_model: missing dv");
+
+    std::size_t n = 0;
+    require(static_cast<bool>(is >> word >> n) && word == "pins",
+            "read_model: missing pins");
+    m.pins.resize(n);
+    for (auto& p : m.pins)
+        require(static_cast<bool>(is >> p), "read_model: truncated pins");
+
+    require(static_cast<bool>(is >> word >> n) && word == "fixed",
+            "read_model: missing fixed");
+    m.fixed_pins.resize(n);
+    m.fixed_values.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        require(static_cast<bool>(is >> m.fixed_pins[i] >> m.fixed_values[i]),
+                "read_model: truncated fixed pins");
+
+    require(static_cast<bool>(is >> word >> n) && word == "internals",
+            "read_model: missing internals");
+    m.internals.resize(n);
+    for (auto& s : m.internals)
+        require(static_cast<bool>(is >> s), "read_model: truncated internals");
+
+    m.i_out = lut::read_table(is);
+    for (std::size_t j = 0; j < m.internals.size(); ++j)
+        m.i_internal.push_back(lut::read_table(is));
+    for (std::size_t p = 0; p < m.pins.size(); ++p)
+        m.c_miller.push_back(lut::read_table(is));
+    m.c_out = lut::read_table(is);
+    for (std::size_t j = 0; j < m.internals.size(); ++j)
+        m.c_internal.push_back(lut::read_table(is));
+    for (std::size_t k = 0; k < m.pins.size() * m.internals.size(); ++k)
+        m.c_miller_internal.push_back(lut::read_table(is));
+    for (std::size_t p = 0; p < m.pins.size(); ++p)
+        m.c_in.push_back(lut::read_table(is));
+
+    require(static_cast<bool>(is >> word) && word == "endmodel",
+            "read_model: missing endmodel");
+    m.check_consistent();
+    return m;
+}
+
+void save_model(const std::string& path, const CsmModel& model) {
+    std::ofstream os(path);
+    require(os.good(), "save_model: cannot open " + path);
+    write_model(os, model);
+    require(os.good(), "save_model: write failed for " + path);
+}
+
+CsmModel load_model(const std::string& path) {
+    std::ifstream is(path);
+    require(is.good(), "load_model: cannot open " + path);
+    return read_model(is);
+}
+
+}  // namespace mcsm::core

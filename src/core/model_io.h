@@ -1,0 +1,23 @@
+// Plain-text serialization of characterized CSM models, so that expensive
+// characterization runs can be cached across processes.
+#ifndef MCSM_CORE_MODEL_IO_H
+#define MCSM_CORE_MODEL_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "core/model.h"
+
+namespace mcsm::core {
+
+void write_model(std::ostream& os, const CsmModel& model);
+CsmModel read_model(std::istream& is);
+
+// File convenience wrappers; save_model overwrites, load_model throws
+// ModelError when the file is missing or malformed.
+void save_model(const std::string& path, const CsmModel& model);
+CsmModel load_model(const std::string& path);
+
+}  // namespace mcsm::core
+
+#endif  // MCSM_CORE_MODEL_IO_H

@@ -1,0 +1,126 @@
+#include "core/model_scenarios.h"
+
+#include "common/error.h"
+#include "wave/edges.h"
+
+namespace mcsm::core {
+
+using spice::Circuit;
+using spice::SourceSpec;
+
+ModelCell::ModelCell(
+    const CsmModel& model,
+    const std::unordered_map<std::string, wave::Waveform>& inputs,
+    const ModelLoadSpec& load) {
+    std::vector<int> pin_nodes;
+    for (const std::string& pin : model.pins) {
+        const int n = circuit_.node("in_" + pin);
+        pin_nodes.push_back(n);
+        const auto it = inputs.find(pin);
+        require(it != inputs.end(),
+                "ModelCell: missing waveform for switching pin " + pin);
+        circuit_.add_vsource("V" + pin, n, Circuit::kGround,
+                             SourceSpec::pwl(it->second));
+    }
+    for (const std::string& formal : model.internals)
+        internal_nodes_.push_back(circuit_.node("int_" + formal));
+    out_node_ = circuit_.node("out");
+
+    circuit_.add_device<CsmCellDevice>("DUT", model, pin_nodes,
+                                       internal_nodes_, out_node_,
+                                       /*stamp_input_caps=*/false);
+
+    if (load.cap > 0.0)
+        circuit_.add_capacitor("CLOAD", out_node_, Circuit::kGround, load.cap);
+    if (load.pi_r > 0.0) {
+        far_node_ = circuit_.node("far");
+        if (load.pi_c1 > 0.0)
+            circuit_.add_capacitor("CPI1", out_node_, Circuit::kGround,
+                                   load.pi_c1);
+        circuit_.add_resistor("RPI", out_node_, far_node_, load.pi_r);
+        if (load.pi_c2 > 0.0)
+            circuit_.add_capacitor("CPI2", far_node_, Circuit::kGround,
+                                   load.pi_c2);
+    }
+    if (load.fanout_count > 0) {
+        require(load.receiver != nullptr,
+                "ModelCell: fanout load needs a receiver model");
+        circuit_.add_device<LutCapDevice>(
+            "CFO", load.receiver->c_in.front(),
+            far_node_ >= 0 ? far_node_ : out_node_,
+            static_cast<double>(load.fanout_count));
+    }
+}
+
+spice::TranResult ModelCell::run(const spice::TranOptions& options) {
+    return spice::solve_tran(circuit_, options);
+}
+
+ModelCrosstalk::ModelCrosstalk(const CsmModel& inv_model,
+                               const CsmModel& nor_model,
+                               const engine::CrosstalkConfig& cfg,
+                               double t_inject) {
+    require(inv_model.pin_count() == 1,
+            "ModelCrosstalk: inverter model must have one pin");
+    require(nor_model.pin_count() == 2,
+            "ModelCrosstalk: NOR model must have two pins");
+    const double vdd = inv_model.vdd;
+
+    victim_net_ = circuit_.node("vic");
+    const int aggressor_net = circuit_.node("agg");
+    nor_out_ = circuit_.node("nor_out");
+
+    // Victim driver (SIS CSM inverter).
+    victim_input_ =
+        wave::piecewise_edges(vdd, {{cfg.t_victim, cfg.input_ramp, 0.0}});
+    const int vin = circuit_.node("vic_in");
+    circuit_.add_vsource("VVIC", vin, Circuit::kGround,
+                         SourceSpec::pwl(victim_input_));
+    circuit_.add_device<CsmCellDevice>("DRV_V", inv_model,
+                                       std::vector<int>{vin},
+                                       std::vector<int>{}, victim_net_,
+                                       /*stamp_input_caps=*/false);
+
+    // Aggressor driver.
+    const wave::Waveform agg_in =
+        cfg.aggressor_input_rising
+            ? wave::piecewise_edges(0.0, {{t_inject, cfg.input_ramp, vdd}})
+            : wave::piecewise_edges(vdd, {{t_inject, cfg.input_ramp, 0.0}});
+    const int ain = circuit_.node("agg_in");
+    circuit_.add_vsource("VAGG", ain, Circuit::kGround,
+                         SourceSpec::pwl(agg_in));
+    circuit_.add_device<CsmCellDevice>("DRV_A", inv_model,
+                                       std::vector<int>{ain},
+                                       std::vector<int>{}, aggressor_net,
+                                       /*stamp_input_caps=*/false);
+
+    // Interconnect parasitics (identical to the golden circuit).
+    circuit_.add_capacitor("CC", victim_net_, aggressor_net, cfg.coupling_cap);
+    if (cfg.victim_gnd_cap > 0.0)
+        circuit_.add_capacitor("CGV", victim_net_, Circuit::kGround,
+                               cfg.victim_gnd_cap);
+    if (cfg.aggressor_gnd_cap > 0.0)
+        circuit_.add_capacitor("CGA", aggressor_net, Circuit::kGround,
+                               cfg.aggressor_gnd_cap);
+
+    // NOR2 model: pin A on the victim net, pin B parked at ground
+    // (non-controlling); its input caps load the nets.
+    std::vector<int> nor_internals;
+    for (const std::string& formal : nor_model.internals)
+        nor_internals.push_back(circuit_.node("nor_int_" + formal));
+    circuit_.add_device<CsmCellDevice>(
+        "XNOR", nor_model, std::vector<int>{victim_net_, Circuit::kGround},
+        nor_internals, nor_out_, /*stamp_input_caps=*/true);
+
+    // FO2 receiver caps on the NOR2 output.
+    if (cfg.fanout_count > 0)
+        circuit_.add_device<LutCapDevice>(
+            "CFO", inv_model.c_in.front(), nor_out_,
+            static_cast<double>(cfg.fanout_count));
+}
+
+spice::TranResult ModelCrosstalk::run(const spice::TranOptions& options) {
+    return spice::solve_tran(circuit_, options);
+}
+
+}  // namespace mcsm::core

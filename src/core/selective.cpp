@@ -1,0 +1,37 @@
+#include "core/selective.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace mcsm::core {
+
+double internal_node_significance(const CsmModel& model, double load_cap) {
+    if (model.internal_count() == 0) return 0.0;
+    require(load_cap >= 0.0, "internal_node_significance: negative load");
+
+    // Mid-transition bias: switching pins and output at Vdd/2, internals at
+    // Vdd/2 - the regime where the stack charge matters.
+    std::vector<double> v(model.dim(), 0.5 * model.vdd);
+    const double co = model.co(v);
+    double worst = 0.0;
+    for (std::size_t j = 0; j < model.internal_count(); ++j)
+        worst = std::max(worst, model.cn(j, v) / (load_cap + co));
+    return worst;
+}
+
+bool needs_complete_model(const CsmModel& model, double load_cap,
+                          const SelectivePolicy& policy) {
+    return internal_node_significance(model, load_cap) > policy.threshold;
+}
+
+const CsmModel& select_model(const CsmModel& complete,
+                             const CsmModel& baseline, double load_cap,
+                             const SelectivePolicy& policy) {
+    require(complete.kind == ModelKind::kMcsm,
+            "select_model: 'complete' must be an MCSM model");
+    return needs_complete_model(complete, load_cap, policy) ? complete
+                                                            : baseline;
+}
+
+}  // namespace mcsm::core

@@ -1,0 +1,31 @@
+// Selective modeling (paper Section 3.4): the internal-node effect matters
+// only when the cell's internal capacitance is comparable to the total
+// output load, so lightly-loaded cells use the complete MCSM while heavily
+// loaded ones can fall back to the cheaper baseline MIS model.
+#ifndef MCSM_CORE_SELECTIVE_H
+#define MCSM_CORE_SELECTIVE_H
+
+#include "core/model.h"
+
+namespace mcsm::core {
+
+struct SelectivePolicy {
+    // Use the complete model when internal_node_significance exceeds this.
+    double threshold = 0.08;
+};
+
+// max_j CN_j / (load_cap + Co), with the capacitances evaluated at a typical
+// mid-transition bias. Zero for models without internal nodes.
+double internal_node_significance(const CsmModel& model, double load_cap);
+
+bool needs_complete_model(const CsmModel& model, double load_cap,
+                          const SelectivePolicy& policy = {});
+
+// Picks between the complete and baseline models for the given load.
+const CsmModel& select_model(const CsmModel& complete,
+                             const CsmModel& baseline, double load_cap,
+                             const SelectivePolicy& policy = {});
+
+}  // namespace mcsm::core
+
+#endif  // MCSM_CORE_SELECTIVE_H

@@ -1,0 +1,79 @@
+#include "engine/crosstalk.h"
+
+#include "cells/fanout.h"
+#include "wave/edges.h"
+
+namespace mcsm::engine {
+
+using spice::Circuit;
+using spice::SourceSpec;
+
+GoldenCrosstalk::GoldenCrosstalk(const cells::CellLibrary& lib,
+                                 const CrosstalkConfig& cfg, double t_inject) {
+    const double vdd = lib.tech().vdd;
+    const cells::CellType& driver = lib.get(cfg.driver_cell);
+    const cells::CellType& nor2 = lib.get("NOR2");
+
+    const int vdd_node = circuit_.node("vdd");
+    circuit_.add_vsource("VDD", vdd_node, Circuit::kGround,
+                         SourceSpec::dc(vdd));
+
+    victim_net_ = circuit_.node("vic");
+    aggressor_net_ = circuit_.node("agg");
+    nor_out_ = circuit_.node("nor_out");
+
+    // Victim driver: input falls at t_victim, so the victim net rises and
+    // NOR2 input A sees a rising edge.
+    victim_input_ =
+        wave::piecewise_edges(vdd, {{cfg.t_victim, cfg.input_ramp, 0.0}});
+    const int vin = circuit_.node("vic_in");
+    circuit_.add_vsource("VVIC", vin, Circuit::kGround,
+                         SourceSpec::pwl(victim_input_));
+    driver.instantiate(circuit_, "DRV_V",
+                       {{cells::kVdd, vdd_node},
+                        {cells::kGnd, Circuit::kGround},
+                        {"A", vin},
+                        {cells::kOut, victim_net_}});
+
+    // Aggressor driver switching at the injection time.
+    const wave::Waveform agg_in =
+        cfg.aggressor_input_rising
+            ? wave::piecewise_edges(0.0, {{t_inject, cfg.input_ramp, vdd}})
+            : wave::piecewise_edges(vdd, {{t_inject, cfg.input_ramp, 0.0}});
+    const int ain = circuit_.node("agg_in");
+    circuit_.add_vsource("VAGG", ain, Circuit::kGround,
+                         SourceSpec::pwl(agg_in));
+    driver.instantiate(circuit_, "DRV_A",
+                       {{cells::kVdd, vdd_node},
+                        {cells::kGnd, Circuit::kGround},
+                        {"A", ain},
+                        {cells::kOut, aggressor_net_}});
+
+    // Interconnect parasitics.
+    circuit_.add_capacitor("CC", victim_net_, aggressor_net_,
+                           cfg.coupling_cap);
+    if (cfg.victim_gnd_cap > 0.0)
+        circuit_.add_capacitor("CGV", victim_net_, Circuit::kGround,
+                               cfg.victim_gnd_cap);
+    if (cfg.aggressor_gnd_cap > 0.0)
+        circuit_.add_capacitor("CGA", aggressor_net_, Circuit::kGround,
+                               cfg.aggressor_gnd_cap);
+
+    // Victim receiver: NOR2 with A on the victim net, B non-controlling.
+    nor2.instantiate(circuit_, "XNOR",
+                     {{cells::kVdd, vdd_node},
+                      {cells::kGnd, Circuit::kGround},
+                      {"A", victim_net_},
+                      {"B", Circuit::kGround},
+                      {cells::kOut, nor_out_}});
+
+    if (cfg.fanout_count > 0)
+        cells::attach_fanout(circuit_, lib, "INV_X1", nor_out_, vdd_node,
+                             cfg.fanout_count, "FO");
+}
+
+spice::TranResult GoldenCrosstalk::run(const spice::TranOptions& options) {
+    return spice::solve_tran(circuit_, options);
+}
+
+}  // namespace mcsm::engine

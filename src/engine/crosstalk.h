@@ -1,0 +1,53 @@
+// The paper's Fig. 12 noise experiment: a victim line driving NOR2 input A
+// is capacitively coupled (50 fF) to an aggressor line; both lines are
+// driven by minimum-sized inverters and the NOR2 carries an FO2 load. The
+// aggressor switching (injection) time is swept and the victim-path delay is
+// compared between the golden transistor-level run and the CSM model run.
+//
+// This header provides the golden side; the model twin lives in
+// core/model_scenarios.h so the engine library does not depend on the model
+// library.
+#ifndef MCSM_ENGINE_CROSSTALK_H
+#define MCSM_ENGINE_CROSSTALK_H
+
+#include "cells/library.h"
+#include "spice/tran_solver.h"
+#include "wave/waveform.h"
+
+namespace mcsm::engine {
+
+struct CrosstalkConfig {
+    double coupling_cap = 50e-15;     // victim-aggressor coupling [F]
+    double victim_gnd_cap = 4e-15;    // victim wire ground capacitance [F]
+    double aggressor_gnd_cap = 4e-15; // aggressor wire ground capacitance [F]
+    double t_victim = 2.2e-9;         // victim driver input arrival [s]
+    double input_ramp = 100e-12;      // 0-100% ramp of driver inputs [s]
+    int fanout_count = 2;             // NOR2 output load (FO2 in the paper)
+    bool aggressor_input_rising = true;
+    std::string driver_cell = "INV_X1";
+};
+
+class GoldenCrosstalk {
+public:
+    GoldenCrosstalk(const cells::CellLibrary& lib, const CrosstalkConfig& cfg,
+                    double t_inject);
+
+    spice::TranResult run(const spice::TranOptions& options);
+
+    int victim_net() const { return victim_net_; }
+    int aggressor_net() const { return aggressor_net_; }
+    int nor_out() const { return nor_out_; }
+    // The ideal waveform at the victim driver's input (delay reference).
+    const wave::Waveform& victim_input() const { return victim_input_; }
+
+private:
+    spice::Circuit circuit_;
+    wave::Waveform victim_input_;
+    int victim_net_ = -1;
+    int aggressor_net_ = -1;
+    int nor_out_ = -1;
+};
+
+}  // namespace mcsm::engine
+
+#endif  // MCSM_ENGINE_CROSSTALK_H

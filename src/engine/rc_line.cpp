@@ -1,0 +1,56 @@
+#include "engine/rc_line.h"
+
+#include "common/error.h"
+
+namespace mcsm::engine {
+
+std::vector<int> attach_rc_line(spice::Circuit& circuit, int from,
+                                const RcLineSpec& spec,
+                                const std::string& prefix) {
+    require(spec.segments >= 1, "attach_rc_line: need at least one segment");
+    require(spec.total_resistance > 0.0 && spec.total_capacitance >= 0.0,
+            "attach_rc_line: bad R/C totals");
+
+    const double r_seg =
+        spec.total_resistance / static_cast<double>(spec.segments);
+    const double c_seg =
+        spec.total_capacitance / static_cast<double>(spec.segments);
+
+    std::vector<int> nodes;
+    int prev = from;
+    // Half-cap at the driven end.
+    if (c_seg > 0.0)
+        circuit.add_capacitor(prefix + ".C0", from, spice::Circuit::kGround,
+                              0.5 * c_seg);
+    for (int k = 0; k < spec.segments; ++k) {
+        const int node = circuit.node(prefix + ".n" + std::to_string(k + 1));
+        circuit.add_resistor(prefix + ".R" + std::to_string(k + 1), prev,
+                             node, r_seg);
+        // Interior nodes carry a full segment cap; the far end a half cap.
+        const double c = (k + 1 == spec.segments) ? 0.5 * c_seg : c_seg;
+        if (c > 0.0)
+            circuit.add_capacitor(prefix + ".C" + std::to_string(k + 1), node,
+                                  spice::Circuit::kGround, c);
+        nodes.push_back(node);
+        prev = node;
+    }
+    return nodes;
+}
+
+double rc_line_elmore_delay(const RcLineSpec& spec) {
+    const double r_seg =
+        spec.total_resistance / static_cast<double>(spec.segments);
+    const double c_seg =
+        spec.total_capacitance / static_cast<double>(spec.segments);
+    // Downstream capacitance seen by segment k (1-based): interior full caps
+    // plus the far-end half cap.
+    double delay = 0.0;
+    for (int k = 1; k <= spec.segments; ++k) {
+        const double downstream =
+            c_seg * static_cast<double>(spec.segments - k) + 0.5 * c_seg;
+        delay += r_seg * downstream;
+    }
+    return delay;
+}
+
+}  // namespace mcsm::engine

@@ -1,0 +1,35 @@
+// Distributed RC interconnect: an N-segment ladder between two circuit
+// nodes, the standard wire model when a lumped pi is too coarse. Used by
+// tests and benches to exercise the CSM's load-independence on genuinely
+// distributed loads.
+#ifndef MCSM_ENGINE_RC_LINE_H
+#define MCSM_ENGINE_RC_LINE_H
+
+#include <string>
+#include <vector>
+
+#include "spice/circuit.h"
+
+namespace mcsm::engine {
+
+struct RcLineSpec {
+    double total_resistance = 1e3;   // [ohm]
+    double total_capacitance = 10e-15;  // [F], distributed to ground
+    int segments = 8;
+};
+
+// Builds the ladder from `from` to a newly created far-end node, returning
+// the created node ids (the last entry is the far end). Each segment is an
+// R followed by a C-to-ground at its output; half-caps terminate both ends
+// so the total capacitance is exact.
+std::vector<int> attach_rc_line(spice::Circuit& circuit, int from,
+                                const RcLineSpec& spec,
+                                const std::string& prefix);
+
+// Elmore delay of the ladder when driven from `from` (useful reference for
+// tests): sum over segments of R_i * C_downstream_i.
+double rc_line_elmore_delay(const RcLineSpec& spec);
+
+}  // namespace mcsm::engine
+
+#endif  // MCSM_ENGINE_RC_LINE_H

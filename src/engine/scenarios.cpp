@@ -1,0 +1,115 @@
+#include "engine/scenarios.h"
+
+#include "cells/fanout.h"
+#include "common/error.h"
+#include "wave/edges.h"
+
+namespace mcsm::engine {
+
+using spice::Circuit;
+using spice::SourceSpec;
+
+GoldenCell::GoldenCell(
+    const cells::CellLibrary& lib, const std::string& cell_name,
+    const std::unordered_map<std::string, wave::Waveform>& inputs,
+    const LoadSpec& load) {
+    const cells::CellType& cell = lib.get(cell_name);
+    const double vdd = lib.tech().vdd;
+
+    const int vdd_node = circuit_.node("vdd");
+    circuit_.add_vsource("VDD", vdd_node, Circuit::kGround,
+                         SourceSpec::dc(vdd));
+
+    std::unordered_map<std::string, int> conn;
+    conn[cells::kVdd] = vdd_node;
+    conn[cells::kGnd] = Circuit::kGround;
+    out_node_ = circuit_.node("out");
+    conn[cells::kOut] = out_node_;
+
+    for (const cells::PinInfo& pin : cell.inputs()) {
+        const int n = circuit_.node("in_" + pin.name);
+        conn[pin.name] = n;
+        const auto it = inputs.find(pin.name);
+        if (it != inputs.end()) {
+            circuit_.add_vsource("V" + pin.name, n, Circuit::kGround,
+                                 SourceSpec::pwl(it->second));
+        } else {
+            // Unspecified pins are parked at their non-controlling level.
+            circuit_.add_vsource("V" + pin.name, n, Circuit::kGround,
+                                 SourceSpec::dc(pin.non_controlling));
+        }
+    }
+
+    instance_ = cell.instantiate(circuit_, "DUT", conn);
+
+    if (load.cap > 0.0)
+        circuit_.add_capacitor("CLOAD", out_node_, Circuit::kGround, load.cap);
+    if (load.pi_r > 0.0) {
+        far_node_ = circuit_.node("far");
+        if (load.pi_c1 > 0.0)
+            circuit_.add_capacitor("CPI1", out_node_, Circuit::kGround,
+                                   load.pi_c1);
+        circuit_.add_resistor("RPI", out_node_, far_node_, load.pi_r);
+        if (load.pi_c2 > 0.0)
+            circuit_.add_capacitor("CPI2", far_node_, Circuit::kGround,
+                                   load.pi_c2);
+    }
+    if (load.fanout_count > 0)
+        cells::attach_fanout(circuit_, lib, load.fanout_cell,
+                             far_node_ >= 0 ? far_node_ : out_node_, vdd_node,
+                             load.fanout_count, "FO");
+}
+
+spice::TranResult GoldenCell::run(const spice::TranOptions& options) {
+    return spice::solve_tran(circuit_, options);
+}
+
+int GoldenCell::node_of(const std::string& formal) const {
+    return instance_.node(formal);
+}
+
+HistoryStimulus nor2_history(HistoryCase c, double vdd, double t_mid,
+                             double t_final, double ramp) {
+    require(t_final > t_mid, "nor2_history: t_final must follow t_mid");
+    HistoryStimulus s;
+    s.t_mid = t_mid;
+    s.t_final = t_final;
+    s.ramp = ramp;
+    if (c == HistoryCase::kFast10) {
+        // A: 1 -> 1 -> 0 (falls only at the final edge).
+        s.a = wave::piecewise_edges(vdd, {{t_final, ramp, 0.0}});
+        // B: 0 -> 1 (at t_mid) -> 0 (at t_final).
+        s.b = wave::piecewise_edges(0.0,
+                                    {{t_mid, ramp, vdd}, {t_final, ramp, 0.0}});
+    } else {
+        // A: 0 -> 1 (at t_mid) -> 0 (at t_final).
+        s.a = wave::piecewise_edges(0.0,
+                                    {{t_mid, ramp, vdd}, {t_final, ramp, 0.0}});
+        // B: 1 -> 1 -> 0.
+        s.b = wave::piecewise_edges(vdd, {{t_final, ramp, 0.0}});
+    }
+    return s;
+}
+
+MisStimulus nor2_simultaneous_fall(double vdd, double t_edge, double ramp,
+                                   double skew) {
+    MisStimulus s;
+    s.t_edge = t_edge;
+    s.a = wave::piecewise_edges(vdd, {{t_edge, ramp, 0.0}});
+    s.b = wave::piecewise_edges(vdd, {{t_edge + skew, ramp, 0.0}});
+    return s;
+}
+
+GlitchStimulus nor2_glitch(double vdd, double t_edge, double width,
+                           double ramp) {
+    GlitchStimulus s;
+    s.t_edge = t_edge;
+    // A falls at t_edge (the output starts to rise since B=0), but B rises
+    // `width` later and cuts the rise short -> a partial-swing glitch that
+    // settles back low.
+    s.a = wave::piecewise_edges(vdd, {{t_edge, ramp, 0.0}});
+    s.b = wave::piecewise_edges(0.0, {{t_edge + width, ramp, vdd}});
+    return s;
+}
+
+}  // namespace mcsm::engine

@@ -1,0 +1,98 @@
+// Scenario builders shared by tests, benches and examples:
+//  * GoldenCell - a transistor-level single-cell testbench (the "HSPICE"
+//    reference run),
+//  * the paper's Section 2.2 input-history stimuli for the NOR2 stack-effect
+//    experiments (Figs. 3, 4, 5, 9),
+//  * glitch stimuli (Fig. 10) and simultaneous-switching stimuli (Fig. 11).
+#ifndef MCSM_ENGINE_SCENARIOS_H
+#define MCSM_ENGINE_SCENARIOS_H
+
+#include <string>
+#include <unordered_map>
+
+#include "cells/library.h"
+#include "spice/tran_solver.h"
+#include "wave/waveform.h"
+
+namespace mcsm::engine {
+
+// Output load description for single-cell testbenches.
+struct LoadSpec {
+    double cap = 0.0;                  // linear capacitance [F]
+    int fanout_count = 0;              // number of receiver-cell inputs
+    std::string fanout_cell = "INV_X1";
+    // Optional RC pi-network (near cap - series R - far cap), the standard
+    // reduced interconnect load; active when pi_r > 0. CSMs are
+    // load-independent, so the same characterized model must drive it.
+    double pi_c1 = 0.0;
+    double pi_r = 0.0;
+    double pi_c2 = 0.0;
+};
+
+// Transistor-level single-cell testbench: VDD rail, the cell under test,
+// ideal voltage sources driving every input pin, and the requested load.
+class GoldenCell {
+public:
+    GoldenCell(const cells::CellLibrary& lib, const std::string& cell_name,
+               const std::unordered_map<std::string, wave::Waveform>& inputs,
+               const LoadSpec& load);
+
+    spice::TranResult run(const spice::TranOptions& options);
+
+    spice::Circuit& circuit() { return circuit_; }
+    int out_node() const { return out_node_; }
+    // Far-end node of the pi load (-1 when no pi load was requested).
+    int far_node() const { return far_node_; }
+    // Node id of a cell-internal formal node such as "N".
+    int node_of(const std::string& formal) const;
+
+private:
+    spice::Circuit circuit_;
+    cells::CellInstance instance_;
+    int out_node_ = -1;
+    int far_node_ = -1;
+};
+
+// The two input histories of paper Section 2.2 for a two-input cell:
+//  kFast10:  '10' -> '11' (B rises at t_mid) -> '00' (both fall at t_final);
+//            the NOR2 stack node starts the final transition near Vdd.
+//  kSlow01:  '01' -> '11' (A rises at t_mid) -> '00' (both fall at t_final);
+//            the stack node starts near the body-affected |Vt,p|.
+enum class HistoryCase { kFast10, kSlow01 };
+
+struct HistoryStimulus {
+    wave::Waveform a;
+    wave::Waveform b;
+    double t_mid = 0.0;    // time of the intermediate edge
+    double t_final = 0.0;  // time of the '11' -> '00' edge
+    double ramp = 0.0;     // 0-100% ramp time of every edge
+};
+
+HistoryStimulus nor2_history(HistoryCase c, double vdd, double t_mid = 1.0e-9,
+                             double t_final = 2.0e-9, double ramp = 80e-12);
+
+// Simultaneous (or skewed) switching of both inputs: A and B fall from vdd
+// to 0, B delayed by `skew` relative to A (Fig. 11 uses skew = 0).
+struct MisStimulus {
+    wave::Waveform a;
+    wave::Waveform b;
+    double t_edge = 0.0;
+};
+
+MisStimulus nor2_simultaneous_fall(double vdd, double t_edge = 2.0e-9,
+                                   double ramp = 80e-12, double skew = 0.0);
+
+// Glitch stimulus (Fig. 10): B rises and falls again after `width`, while A
+// stays low, producing a partial-swing glitch at the NOR2 output.
+struct GlitchStimulus {
+    wave::Waveform a;
+    wave::Waveform b;
+    double t_edge = 0.0;
+};
+
+GlitchStimulus nor2_glitch(double vdd, double t_edge = 1.5e-9,
+                           double width = 150e-12, double ramp = 80e-12);
+
+}  // namespace mcsm::engine
+
+#endif  // MCSM_ENGINE_SCENARIOS_H

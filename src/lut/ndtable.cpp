@@ -1,0 +1,137 @@
+#include "lut/ndtable.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mcsm::lut {
+
+NdTable::NdTable(std::vector<Axis> axes, std::string name)
+    : name_(std::move(name)), axes_(std::move(axes)) {
+    require(!axes_.empty(), "NdTable: need at least one axis");
+    require(axes_.size() <= 8, "NdTable: rank above 8 is unsupported");
+    strides_.assign(axes_.size(), 1);
+    std::size_t total = 1;
+    // Last axis is the fastest-varying dimension.
+    for (std::size_t d = axes_.size(); d-- > 0;) {
+        strides_[d] = total;
+        total *= axes_[d].size();
+    }
+    values_.assign(total, 0.0);
+}
+
+std::size_t NdTable::flat_index(std::span<const std::size_t> idx) const {
+    require(idx.size() == axes_.size(), "NdTable: index rank mismatch");
+    std::size_t flat = 0;
+    for (std::size_t d = 0; d < axes_.size(); ++d) {
+        require(idx[d] < axes_[d].size(), "NdTable: knot index out of range");
+        flat += idx[d] * strides_[d];
+    }
+    return flat;
+}
+
+double NdTable::grid_value(std::span<const std::size_t> idx) const {
+    return values_[flat_index(idx)];
+}
+
+void NdTable::set_grid_value(std::span<const std::size_t> idx, double v) {
+    values_[flat_index(idx)] = v;
+}
+
+void NdTable::fill(const std::function<double(std::span<const double>)>& f) {
+    for_each_grid_point([&](std::span<const std::size_t>,
+                            std::span<const double> x, double& v) {
+        v = f(x);
+    });
+}
+
+void NdTable::for_each_grid_point(
+    const std::function<void(std::span<const std::size_t>,
+                             std::span<const double>, double&)>& f) {
+    const std::size_t rank = axes_.size();
+    std::vector<std::size_t> idx(rank, 0);
+    std::vector<double> coord(rank);
+    for (std::size_t d = 0; d < rank; ++d) coord[d] = axes_[d].knots()[0];
+    for (;;) {
+        f(idx, coord, values_[flat_index(idx)]);
+        // Odometer increment over the grid, last axis fastest.
+        std::size_t d = rank;
+        while (d-- > 0) {
+            if (++idx[d] < axes_[d].size()) {
+                coord[d] = axes_[d].knots()[idx[d]];
+                break;
+            }
+            idx[d] = 0;
+            coord[d] = axes_[d].knots()[0];
+            if (d == 0) return;
+        }
+    }
+}
+
+double NdTable::at(std::span<const double> x) const {
+    return at_with_gradient(x, {});
+}
+
+double NdTable::at_with_gradient(std::span<const double> x,
+                                 std::span<double> grad) const {
+    const std::size_t rank = axes_.size();
+    require(x.size() == rank, "NdTable::at: coordinate rank mismatch");
+    const bool want_grad = !grad.empty();
+    if (want_grad)
+        require(grad.size() == rank, "NdTable::at: gradient rank mismatch");
+
+    // Locate the cell and the normalized position within it per axis.
+    std::size_t base = 0;
+    double u[8];
+    double inv_h[8];
+    std::size_t stride[8];
+    for (std::size_t d = 0; d < rank; ++d) {
+        const Axis::Locate loc = axes_[d].locate(x[d]);
+        base += loc.index * strides_[d];
+        u[d] = loc.u;
+        const auto& knots = axes_[d].knots();
+        inv_h[d] = 1.0 / (knots[loc.index + 1] - knots[loc.index]);
+        stride[d] = strides_[d];
+    }
+
+    // Accumulate over the 2^rank cell corners.
+    const std::size_t corners = static_cast<std::size_t>(1) << rank;
+    double value = 0.0;
+    if (want_grad)
+        for (std::size_t d = 0; d < rank; ++d) grad[d] = 0.0;
+    for (std::size_t corner = 0; corner < corners; ++corner) {
+        std::size_t flat = base;
+        double weight = 1.0;
+        for (std::size_t d = 0; d < rank; ++d) {
+            const bool high = (corner >> d) & 1u;
+            if (high) flat += stride[d];
+            weight *= high ? u[d] : (1.0 - u[d]);
+        }
+        const double v = values_[flat];
+        value += weight * v;
+        if (want_grad) {
+            for (std::size_t d = 0; d < rank; ++d) {
+                // d(weight)/du_d: replace this axis factor by +/-1.
+                double w = 1.0;
+                for (std::size_t e = 0; e < rank; ++e) {
+                    if (e == d) continue;
+                    const bool high = (corner >> e) & 1u;
+                    w *= high ? u[e] : (1.0 - u[e]);
+                }
+                const bool high_d = (corner >> d) & 1u;
+                grad[d] += (high_d ? 1.0 : -1.0) * w * v;
+            }
+        }
+    }
+    if (want_grad)
+        for (std::size_t d = 0; d < rank; ++d) grad[d] *= inv_h[d];
+    return value;
+}
+
+double NdTable::max_abs() const {
+    double m = 0.0;
+    for (double v : values_) m = std::max(m, std::fabs(v));
+    return m;
+}
+
+}  // namespace mcsm::lut

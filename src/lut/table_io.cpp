@@ -1,0 +1,76 @@
+#include "lut/table_io.h"
+
+#include <iomanip>
+#include <istream>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace mcsm::lut {
+
+void write_table(std::ostream& os, const NdTable& table) {
+    os << "table " << (table.name().empty() ? "_" : table.name()) << ' '
+       << table.rank() << '\n';
+    os << std::setprecision(17);
+    for (const Axis& ax : table.axes()) {
+        os << "axis " << (ax.name().empty() ? "_" : ax.name()) << ' '
+           << ax.size();
+        for (double k : ax.knots()) os << ' ' << k;
+        os << '\n';
+    }
+    os << "values " << table.value_count() << '\n';
+    std::size_t col = 0;
+    for (double v : table.values()) {
+        os << v << ((++col % 8 == 0) ? '\n' : ' ');
+    }
+    if (col % 8 != 0) os << '\n';
+    os << "end\n";
+}
+
+NdTable read_table(std::istream& is) {
+    std::string keyword;
+    std::string name;
+    std::size_t rank = 0;
+    require(static_cast<bool>(is >> keyword >> name >> rank) && keyword == "table",
+            "read_table: expected 'table <name> <rank>'");
+    if (name == "_") name.clear();
+
+    std::vector<Axis> axes;
+    axes.reserve(rank);
+    for (std::size_t d = 0; d < rank; ++d) {
+        std::string axis_name;
+        std::size_t n = 0;
+        require(static_cast<bool>(is >> keyword >> axis_name >> n) &&
+                    keyword == "axis",
+                "read_table: expected axis line");
+        if (axis_name == "_") axis_name.clear();
+        std::vector<double> knots(n);
+        for (double& k : knots)
+            require(static_cast<bool>(is >> k), "read_table: truncated axis");
+        axes.emplace_back(std::move(axis_name), std::move(knots));
+    }
+
+    std::size_t count = 0;
+    require(static_cast<bool>(is >> keyword >> count) && keyword == "values",
+            "read_table: expected values line");
+
+    NdTable table(std::move(axes), std::move(name));
+    require(table.value_count() == count,
+            "read_table: value count does not match axes");
+    std::vector<double> vals(count);
+    for (double& v : vals)
+        require(static_cast<bool>(is >> v), "read_table: truncated values");
+
+    // Write values back through the grid visitor to keep the layout private.
+    std::size_t i = 0;
+    table.for_each_grid_point([&](std::span<const std::size_t>,
+                                  std::span<const double>, double& slot) {
+        slot = vals[i++];
+    });
+
+    require(static_cast<bool>(is >> keyword) && keyword == "end",
+            "read_table: expected 'end'");
+    return table;
+}
+
+}  // namespace mcsm::lut

@@ -1,0 +1,25 @@
+// Plain-text serialization for NdTable, used to cache characterized models.
+#ifndef MCSM_LUT_TABLE_IO_H
+#define MCSM_LUT_TABLE_IO_H
+
+#include <iosfwd>
+
+#include "lut/ndtable.h"
+
+namespace mcsm::lut {
+
+// Format:
+//   table <name> <rank>
+//   axis <name> <n> <knot_0> ... <knot_{n-1}>     (rank lines)
+//   values <count>
+//   <v_0> ... <v_{count-1}>                        (whitespace separated)
+//   end
+void write_table(std::ostream& os, const NdTable& table);
+
+// Parses a table written by write_table. Throws ModelError on malformed
+// input.
+NdTable read_table(std::istream& is);
+
+}  // namespace mcsm::lut
+
+#endif  // MCSM_LUT_TABLE_IO_H

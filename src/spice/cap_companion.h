@@ -1,0 +1,46 @@
+// Shared companion-model stamping for (possibly nonlinear) capacitors.
+// The capacitance value is held fixed during a step (evaluated by the caller
+// at the previous accepted solution), which keeps Newton-Raphson robust; the
+// branch current is integrated with backward Euler or trapezoidal.
+#ifndef MCSM_SPICE_CAP_COMPANION_H
+#define MCSM_SPICE_CAP_COMPANION_H
+
+#include "spice/sim_context.h"
+#include "spice/stamper.h"
+
+namespace mcsm::spice {
+
+// Stamps a capacitor of value c between nodes a and b.
+// `i_prev` is the accepted branch current at the previous step (needed for
+// trapezoidal; ignored for backward Euler).
+inline void stamp_capacitor(Stamper& st, const SimContext& ctx, int a, int b,
+                            double c, double i_prev) {
+    if (!ctx.is_tran() || ctx.dt <= 0.0) return;  // open circuit in DC
+    const double v_prev = ctx.prev_voltage(a) - ctx.prev_voltage(b);
+    double geq = 0.0;
+    double i_src = 0.0;
+    if (ctx.integrator == Integrator::kBackwardEuler) {
+        geq = c / ctx.dt;
+        i_src = -geq * v_prev;
+    } else {
+        geq = 2.0 * c / ctx.dt;
+        i_src = -geq * v_prev - i_prev;
+    }
+    st.add_conductance(a, b, geq);
+    st.add_source_current(a, b, i_src);
+}
+
+// Branch current through the capacitor at the accepted new solution,
+// consistent with stamp_capacitor. `v_now` and `v_prev` are the capacitor
+// voltages (v_a - v_b) at t_{n+1} and t_n.
+inline double capacitor_current(const SimContext& ctx, double c, double v_now,
+                                double v_prev, double i_prev) {
+    if (!ctx.is_tran() || ctx.dt <= 0.0) return 0.0;
+    if (ctx.integrator == Integrator::kBackwardEuler)
+        return c / ctx.dt * (v_now - v_prev);
+    return 2.0 * c / ctx.dt * (v_now - v_prev) - i_prev;
+}
+
+}  // namespace mcsm::spice
+
+#endif  // MCSM_SPICE_CAP_COMPANION_H

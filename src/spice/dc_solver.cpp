@@ -1,0 +1,109 @@
+#include "spice/dc_solver.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mcsm::spice {
+
+namespace {
+
+// One NR solve at fixed gmin. Returns iterations used, or -1 if it failed.
+int newton_dc(Circuit& circuit, const DcOptions& options, double gmin,
+              std::vector<double>& x) {
+    const int n_nodes = circuit.node_count();
+    Stamper st(n_nodes, circuit.branch_total());
+
+    SimContext ctx;
+    ctx.mode = SimContext::Mode::kDc;
+    ctx.time = options.time;
+    ctx.source_scale = options.source_scale;
+    ctx.x = &x;
+
+    for (int it = 0; it < options.max_iterations; ++it) {
+        st.clear();
+        for (const auto& dev : circuit.devices()) dev->stamp(st, ctx);
+        st.add_gmin_everywhere(gmin);
+
+        std::vector<double> sol;
+        try {
+            sol = st.solve();
+        } catch (const NumericalError&) {
+            return -1;
+        }
+
+        // Measure the node-voltage update before damping.
+        double dx_max = 0.0;
+        for (int node = 1; node < n_nodes; ++node) {
+            const int u = st.unknown_of_node(node);
+            dx_max = std::max(
+                dx_max, std::fabs(sol[static_cast<std::size_t>(u)] -
+                                  x[static_cast<std::size_t>(node)]));
+        }
+        const double alpha =
+            dx_max > options.max_update ? options.max_update / dx_max : 1.0;
+
+        for (int node = 1; node < n_nodes; ++node) {
+            const int u = st.unknown_of_node(node);
+            auto& xv = x[static_cast<std::size_t>(node)];
+            xv += alpha * (sol[static_cast<std::size_t>(u)] - xv);
+        }
+        for (int br = 0; br < circuit.branch_total(); ++br) {
+            const int u = st.unknown_of_branch(br);
+            auto& xb = x[static_cast<std::size_t>(n_nodes + br)];
+            xb += alpha * (sol[static_cast<std::size_t>(u)] - xb);
+        }
+
+        if (dx_max < options.vtol) return it + 1;
+        if (!std::isfinite(dx_max)) return -1;
+    }
+    return -1;
+}
+
+}  // namespace
+
+DcResult solve_dc(Circuit& circuit, const DcOptions& options,
+                  const std::vector<double>* initial) {
+    circuit.prepare();
+    const std::size_t x_size = static_cast<std::size_t>(
+        circuit.node_count() + circuit.branch_total());
+
+    DcResult result;
+    if (initial != nullptr) {
+        require(initial->size() == x_size, "solve_dc: bad initial size");
+        result.x = *initial;
+    } else {
+        result.x.assign(x_size, 0.0);
+    }
+    result.x[0] = 0.0;
+
+    // Fast path: try a direct solve at the final gmin (warm starts usually
+    // converge immediately).
+    int iters = newton_dc(circuit, options, options.gmin_final, result.x);
+    if (iters >= 0) {
+        result.iterations = iters;
+        return result;
+    }
+
+    // gmin stepping from a heavy shunt down to gmin_final.
+    result.x.assign(x_size, 0.0);
+    int total = 0;
+    for (double gmin = 1e-2; gmin > options.gmin_final * 0.5; gmin *= 0.1) {
+        const double g = std::max(gmin, options.gmin_final);
+        iters = newton_dc(circuit, options, g, result.x);
+        if (iters < 0) {
+            throw NumericalError("solve_dc: gmin stepping failed at gmin=" +
+                                 std::to_string(g));
+        }
+        total += iters;
+        if (g == options.gmin_final) break;
+    }
+    // Ensure the final stage ran at gmin_final even if the loop exited early.
+    iters = newton_dc(circuit, options, options.gmin_final, result.x);
+    if (iters < 0)
+        throw NumericalError("solve_dc: final stage failed to converge");
+    result.iterations = total + iters;
+    return result;
+}
+
+}  // namespace mcsm::spice

@@ -1,0 +1,38 @@
+// Newton-Raphson DC operating point with gmin stepping and damping.
+#ifndef MCSM_SPICE_DC_SOLVER_H
+#define MCSM_SPICE_DC_SOLVER_H
+
+#include <vector>
+
+#include "spice/circuit.h"
+
+namespace mcsm::spice {
+
+struct DcOptions {
+    double gmin_final = 1e-12;   // shunt left in place at the solution [S]
+    int max_iterations = 400;    // NR iterations per gmin stage
+    double vtol = 1e-9;          // node-voltage convergence tolerance [V]
+    double max_update = 0.3;     // damping clamp on NR voltage updates [V]
+    double time = 0.0;           // evaluation time for waveform sources
+    double source_scale = 1.0;   // scaling for source stepping callers
+};
+
+struct DcResult {
+    // Solution layout: [0] ground (0.0), [1..n_nodes-1] node voltages,
+    // [n_nodes..] branch currents.
+    std::vector<double> x;
+    int iterations = 0;
+
+    double node_voltage(int node) const {
+        return x[static_cast<std::size_t>(node)];
+    }
+};
+
+// Solves the DC operating point. `initial` optionally seeds the NR iterate
+// (same layout as DcResult::x). Throws NumericalError on non-convergence.
+DcResult solve_dc(Circuit& circuit, const DcOptions& options = {},
+                  const std::vector<double>* initial = nullptr);
+
+}  // namespace mcsm::spice
+
+#endif  // MCSM_SPICE_DC_SOLVER_H

@@ -1,0 +1,84 @@
+// Linear two-terminal devices: resistor, capacitor, independent sources.
+#ifndef MCSM_SPICE_LINEAR_DEVICES_H
+#define MCSM_SPICE_LINEAR_DEVICES_H
+
+#include <string>
+
+#include "spice/device.h"
+#include "spice/source_spec.h"
+
+namespace mcsm::spice {
+
+class Resistor : public Device {
+public:
+    Resistor(std::string name, int a, int b, double resistance);
+
+    void stamp(Stamper& st, const SimContext& ctx) const override;
+
+    double resistance() const { return resistance_; }
+
+private:
+    int a_;
+    int b_;
+    double resistance_;
+};
+
+class Capacitor : public Device {
+public:
+    Capacitor(std::string name, int a, int b, double capacitance);
+
+    int state_count() const override { return 1; }  // trapezoidal current
+    void stamp(Stamper& st, const SimContext& ctx) const override;
+    void commit(const SimContext& ctx,
+                std::span<double> state_next) const override;
+
+    double capacitance() const { return capacitance_; }
+
+private:
+    int a_;
+    int b_;
+    double capacitance_;
+};
+
+// Independent voltage source from p to m (forces v(p) - v(m) = spec value).
+class VSource : public Device {
+public:
+    VSource(std::string name, int p, int m, SourceSpec spec);
+
+    int branch_count() const override { return 1; }
+    void stamp(Stamper& st, const SimContext& ctx) const override;
+    void collect_breakpoints(std::vector<double>& out) const override;
+
+    // Replaces the drive (used by characterization sweeps).
+    void set_spec(SourceSpec spec) { spec_ = std::move(spec); }
+    const SourceSpec& spec() const { return spec_; }
+
+    int positive_node() const { return p_; }
+    int negative_node() const { return m_; }
+
+private:
+    int p_;
+    int m_;
+    SourceSpec spec_;
+};
+
+// Independent current source: value flows from p through the source to m
+// (i.e. the current leaves node p and enters node m).
+class ISource : public Device {
+public:
+    ISource(std::string name, int p, int m, SourceSpec spec);
+
+    void stamp(Stamper& st, const SimContext& ctx) const override;
+    void collect_breakpoints(std::vector<double>& out) const override;
+
+    void set_spec(SourceSpec spec) { spec_ = std::move(spec); }
+
+private:
+    int p_;
+    int m_;
+    SourceSpec spec_;
+};
+
+}  // namespace mcsm::spice
+
+#endif  // MCSM_SPICE_LINEAR_DEVICES_H

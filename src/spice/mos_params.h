@@ -1,0 +1,41 @@
+// Technology parameters for the EKV-style MOSFET model.
+#ifndef MCSM_SPICE_MOS_PARAMS_H
+#define MCSM_SPICE_MOS_PARAMS_H
+
+namespace mcsm::spice {
+
+enum class MosType { kNmos, kPmos };
+
+// Device card. Voltages inside the model are polarity-normalized, so vt0 is
+// a positive magnitude for both NMOS and PMOS.
+struct MosParams {
+    MosType type = MosType::kNmos;
+
+    // --- I-V ------------------------------------------------------------
+    double vt0 = 0.33;     // zero-bias threshold magnitude [V]
+    double n = 1.3;        // slope factor (also sets the body effect)
+    double kp = 4.0e-4;    // mu * Cox [A/V^2]
+    double lambda = 0.15;  // channel-length modulation [1/V]
+    double ut = 0.02585;   // thermal voltage [V]
+
+    // --- gate capacitance -------------------------------------------------
+    double cox = 1.55e-2;  // oxide capacitance per area [F/m^2]
+    double cgso = 3.0e-10; // gate-source overlap per width [F/m]
+    double cgdo = 3.0e-10; // gate-drain overlap per width [F/m]
+    double cgbo = 1.0e-10; // gate-bulk overlap per length [F/m]
+    double cgb_frac = 0.8; // channel-to-bulk fraction when not inverted
+    double blend_v = 0.06; // region blending width [V]
+
+    // --- junction (diffusion) capacitance --------------------------------
+    double cj = 1.0e-3;    // area junction cap at zero bias [F/m^2]
+    double mj = 0.5;       // area grading coefficient
+    double pb = 0.8;       // built-in potential [V]
+    double fc = 0.5;       // forward-bias linearization point (fraction of pb)
+    double cjsw = 2.0e-10; // sidewall cap per perimeter [F/m]
+    double mjsw = 0.33;    // sidewall grading coefficient
+    double ldiff = 0.34e-6;  // diffusion extent used for default AD/AS [m]
+};
+
+}  // namespace mcsm::spice
+
+#endif  // MCSM_SPICE_MOS_PARAMS_H

@@ -1,0 +1,232 @@
+#include "spice/netlist_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <istream>
+#include <sstream>
+#include <vector>
+
+#include "common/error.h"
+#include "wave/waveform.h"
+
+namespace mcsm::spice {
+
+namespace {
+
+std::string lower(std::string s) {
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return s;
+}
+
+[[noreturn]] void fail(int line, const std::string& what) {
+    throw ModelError("netlist parse error at line " + std::to_string(line) +
+                     ": " + what);
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+    std::vector<std::string> tokens;
+    std::string cur;
+    for (char raw : line) {
+        const char c = raw;
+        if (std::isspace(static_cast<unsigned char>(c)) || c == '(' ||
+            c == ')' || c == ',') {
+            if (!cur.empty()) {
+                tokens.push_back(cur);
+                cur.clear();
+            }
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty()) tokens.push_back(cur);
+    return tokens;
+}
+
+// key=value split; returns false when there is no '='.
+bool split_assignment(const std::string& token, std::string& key,
+                      std::string& value) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) return false;
+    key = lower(token.substr(0, eq));
+    value = token.substr(eq + 1);
+    return !key.empty() && !value.empty();
+}
+
+}  // namespace
+
+double parse_spice_number(const std::string& token) {
+    require(!token.empty(), "parse_spice_number: empty token");
+    std::size_t consumed = 0;
+    double base = 0.0;
+    try {
+        base = std::stod(token, &consumed);
+    } catch (const std::exception&) {
+        throw ModelError("parse_spice_number: bad number '" + token + "'");
+    }
+    const std::string suffix = lower(token.substr(consumed));
+    if (suffix.empty()) return base;
+    if (suffix == "f") return base * 1e-15;
+    if (suffix == "p") return base * 1e-12;
+    if (suffix == "n") return base * 1e-9;
+    if (suffix == "u") return base * 1e-6;
+    if (suffix == "m") return base * 1e-3;
+    if (suffix == "k") return base * 1e3;
+    if (suffix == "meg") return base * 1e6;
+    if (suffix == "g") return base * 1e9;
+    if (suffix == "t") return base * 1e12;
+    throw ModelError("parse_spice_number: unknown suffix '" + suffix + "'");
+}
+
+ParsedNetlist parse_netlist(std::istream& input) {
+    ParsedNetlist out;
+    std::string line;
+    int line_no = 0;
+
+    auto node_of = [&](const std::string& name) {
+        return out.circuit.node(lower(name) == "gnd" ? "0" : name);
+    };
+
+    while (std::getline(input, line)) {
+        ++line_no;
+        // Strip comments ('*' at start, ';' anywhere).
+        const auto semi = line.find(';');
+        if (semi != std::string::npos) line = line.substr(0, semi);
+        const auto tokens = tokenize(line);
+        if (tokens.empty()) continue;
+        const std::string head = lower(tokens[0]);
+        if (head[0] == '*') continue;
+
+        if (head == ".end") break;
+
+        if (head == ".model") {
+            if (tokens.size() < 3) fail(line_no, ".model needs name and type");
+            const std::string name = lower(tokens[1]);
+            const std::string type = lower(tokens[2]);
+            auto params = std::make_unique<MosParams>();
+            if (type == "nmos") {
+                params->type = MosType::kNmos;
+            } else if (type == "pmos") {
+                params->type = MosType::kPmos;
+            } else {
+                fail(line_no, "unknown model type " + type);
+            }
+            for (std::size_t i = 3; i < tokens.size(); ++i) {
+                std::string key;
+                std::string value;
+                if (!split_assignment(tokens[i], key, value))
+                    fail(line_no, "expected key=value, got " + tokens[i]);
+                const double v = parse_spice_number(value);
+                if (key == "vt0") params->vt0 = v;
+                else if (key == "n") params->n = v;
+                else if (key == "kp") params->kp = v;
+                else if (key == "lambda") params->lambda = v;
+                else if (key == "cox") params->cox = v;
+                else if (key == "cgso") params->cgso = v;
+                else if (key == "cgdo") params->cgdo = v;
+                else if (key == "cgbo") params->cgbo = v;
+                else if (key == "cj") params->cj = v;
+                else if (key == "mj") params->mj = v;
+                else if (key == "pb") params->pb = v;
+                else if (key == "cjsw") params->cjsw = v;
+                else if (key == "mjsw") params->mjsw = v;
+                else if (key == "ldiff") params->ldiff = v;
+                else fail(line_no, "unknown model parameter " + key);
+            }
+            require(out.models.find(name) == out.models.end(),
+                    "duplicate .model " + name);
+            out.models[name] = std::move(params);
+            continue;
+        }
+        if (head[0] == '.') fail(line_no, "unknown directive " + tokens[0]);
+
+        const char kind = head[0];
+        const std::string& name = tokens[0];
+        try {
+            switch (kind) {
+                case 'r': {
+                    if (tokens.size() != 4) fail(line_no, "R: name a b value");
+                    out.circuit.add_resistor(name, node_of(tokens[1]),
+                                             node_of(tokens[2]),
+                                             parse_spice_number(tokens[3]));
+                    break;
+                }
+                case 'c': {
+                    if (tokens.size() != 4) fail(line_no, "C: name a b value");
+                    out.circuit.add_capacitor(name, node_of(tokens[1]),
+                                              node_of(tokens[2]),
+                                              parse_spice_number(tokens[3]));
+                    break;
+                }
+                case 'v':
+                case 'i': {
+                    if (tokens.size() < 5)
+                        fail(line_no, "source: name p m DC|PWL values");
+                    const int p = node_of(tokens[1]);
+                    const int m = node_of(tokens[2]);
+                    const std::string mode = lower(tokens[3]);
+                    SourceSpec spec;
+                    if (mode == "dc") {
+                        spec = SourceSpec::dc(parse_spice_number(tokens[4]));
+                    } else if (mode == "pwl") {
+                        if ((tokens.size() - 4) % 2 != 0)
+                            fail(line_no, "PWL needs (t v) pairs");
+                        wave::Waveform w;
+                        for (std::size_t i = 4; i + 1 < tokens.size(); i += 2)
+                            w.append(parse_spice_number(tokens[i]),
+                                     parse_spice_number(tokens[i + 1]));
+                        spec = SourceSpec::pwl(std::move(w));
+                    } else {
+                        fail(line_no, "source mode must be DC or PWL");
+                    }
+                    if (kind == 'v')
+                        out.circuit.add_vsource(name, p, m, std::move(spec));
+                    else
+                        out.circuit.add_isource(name, p, m, std::move(spec));
+                    break;
+                }
+                case 'm': {
+                    if (tokens.size() < 8)
+                        fail(line_no, "M: name d g s b model w= l=");
+                    const std::string model_name = lower(tokens[5]);
+                    const auto it = out.models.find(model_name);
+                    if (it == out.models.end())
+                        fail(line_no, "unknown .model " + model_name);
+                    double w = -1.0;
+                    double l = -1.0;
+                    for (std::size_t i = 6; i < tokens.size(); ++i) {
+                        std::string key;
+                        std::string value;
+                        if (!split_assignment(tokens[i], key, value))
+                            fail(line_no, "expected w=/l=, got " + tokens[i]);
+                        if (key == "w") w = parse_spice_number(value);
+                        else if (key == "l") l = parse_spice_number(value);
+                        else fail(line_no, "unknown MOS parameter " + key);
+                    }
+                    if (w <= 0.0 || l <= 0.0)
+                        fail(line_no, "MOSFET needs positive w= and l=");
+                    out.circuit.add_mosfet(name, node_of(tokens[1]),
+                                           node_of(tokens[2]),
+                                           node_of(tokens[3]),
+                                           node_of(tokens[4]), *it->second, w,
+                                           l);
+                    break;
+                }
+                default:
+                    fail(line_no, "unknown element " + tokens[0]);
+            }
+        } catch (const ModelError&) {
+            throw;
+        } catch (const std::exception& e) {
+            fail(line_no, e.what());
+        }
+    }
+    return out;
+}
+
+ParsedNetlist parse_netlist_string(const std::string& text) {
+    std::istringstream is(text);
+    return parse_netlist(is);
+}
+
+}  // namespace mcsm::spice

@@ -1,0 +1,50 @@
+// SPICE-style netlist parser for the substrate, so circuits and regressions
+// can be described as decks instead of C++.
+//
+// Supported deck syntax (case-insensitive element letters, '*' comments,
+// node names are arbitrary identifiers, '0'/'gnd' is ground):
+//
+//   * comment
+//   .model nch nmos vt0=0.33 kp=4.2e-4 ...     (param names match MosParams)
+//   .model pch pmos vt0=0.32 ...
+//   Rname a b 1k
+//   Cname a b 10f
+//   Vname p m DC 1.2
+//   Vname p m PWL (0 0 1n 0 1.1n 1.2)
+//   Iname p m DC 1u
+//   Mname d g s b modelname w=0.52u l=0.13u
+//   .end                                        (optional)
+//
+// Engineering suffixes: f p n u m k meg g t.
+#ifndef MCSM_SPICE_NETLIST_PARSER_H
+#define MCSM_SPICE_NETLIST_PARSER_H
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "spice/circuit.h"
+
+namespace mcsm::spice {
+
+// A parsed deck: the circuit plus the .model cards it owns (MOSFETs hold
+// non-owning pointers into `models`, so keep the ParsedNetlist alive as
+// long as the circuit).
+struct ParsedNetlist {
+    Circuit circuit;
+    std::unordered_map<std::string, std::unique_ptr<MosParams>> models;
+};
+
+// Parses a numeric literal with an optional engineering suffix ("2.5k",
+// "10f", "0.13u", "3meg"). Throws ModelError on malformed input.
+double parse_spice_number(const std::string& token);
+
+// Parses a full deck. Throws ModelError with a line number on any syntax
+// error, unknown model reference, or duplicate element name.
+ParsedNetlist parse_netlist(std::istream& input);
+ParsedNetlist parse_netlist_string(const std::string& text);
+
+}  // namespace mcsm::spice
+
+#endif  // MCSM_SPICE_NETLIST_PARSER_H

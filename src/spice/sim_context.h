@@ -1,0 +1,44 @@
+// Per-solve context handed to devices while stamping companion models.
+#ifndef MCSM_SPICE_SIM_CONTEXT_H
+#define MCSM_SPICE_SIM_CONTEXT_H
+
+#include <vector>
+
+namespace mcsm::spice {
+
+// Integration method for the transient companion models.
+enum class Integrator {
+    kBackwardEuler,
+    kTrapezoidal,
+};
+
+// Read-only view of the solver state during one Newton-Raphson assembly.
+//
+// `x` is the current NR iterate (node voltages indexed by NodeId; entry 0 is
+// ground and always 0). `x_prev` is the accepted solution of the previous
+// time step (valid in transient mode only). `state` is the per-device state
+// (e.g. capacitor branch currents) at the previous accepted step.
+struct SimContext {
+    enum class Mode { kDc, kTran };
+
+    Mode mode = Mode::kDc;
+    double time = 0.0;  // time being solved for (t_{n+1} in transient)
+    double dt = 0.0;    // step size (transient only)
+    Integrator integrator = Integrator::kTrapezoidal;
+    // Scale factor applied to independent sources (DC source stepping).
+    double source_scale = 1.0;
+
+    const std::vector<double>* x = nullptr;
+    const std::vector<double>* x_prev = nullptr;
+    const std::vector<double>* state = nullptr;
+
+    double node_voltage(int node) const { return (*x)[static_cast<std::size_t>(node)]; }
+    double prev_voltage(int node) const {
+        return (*x_prev)[static_cast<std::size_t>(node)];
+    }
+    bool is_tran() const { return mode == Mode::kTran; }
+};
+
+}  // namespace mcsm::spice
+
+#endif  // MCSM_SPICE_SIM_CONTEXT_H

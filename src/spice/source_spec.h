@@ -1,0 +1,45 @@
+// Time-dependent value for independent sources: DC or piecewise-linear
+// (driven by a wave::Waveform).
+#ifndef MCSM_SPICE_SOURCE_SPEC_H
+#define MCSM_SPICE_SOURCE_SPEC_H
+
+#include <utility>
+
+#include "wave/waveform.h"
+
+namespace mcsm::spice {
+
+class SourceSpec {
+public:
+    SourceSpec() = default;
+
+    static SourceSpec dc(double v) {
+        SourceSpec s;
+        s.is_dc_ = true;
+        s.dc_value_ = v;
+        return s;
+    }
+
+    static SourceSpec pwl(wave::Waveform w) {
+        SourceSpec s;
+        s.is_dc_ = false;
+        s.waveform_ = std::move(w);
+        return s;
+    }
+
+    double value(double t) const {
+        return is_dc_ ? dc_value_ : waveform_.at(t);
+    }
+
+    bool is_dc() const { return is_dc_; }
+    const wave::Waveform& waveform() const { return waveform_; }
+
+private:
+    bool is_dc_ = true;
+    double dc_value_ = 0.0;
+    wave::Waveform waveform_;
+};
+
+}  // namespace mcsm::spice
+
+#endif  // MCSM_SPICE_SOURCE_SPEC_H

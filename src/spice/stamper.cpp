@@ -1,0 +1,86 @@
+#include "spice/stamper.h"
+
+#include "common/error.h"
+#include "common/linear_solver.h"
+
+namespace mcsm::spice {
+
+Stamper::Stamper(int n_nodes, int n_branches)
+    : n_nodes_(n_nodes), n_branches_(n_branches) {
+    require(n_nodes >= 1, "Stamper: need at least the ground node");
+    const std::size_t n = system_size();
+    a_.resize(n, n);
+    b_.assign(n, 0.0);
+}
+
+std::size_t Stamper::system_size() const {
+    return static_cast<std::size_t>(n_nodes_ - 1 + n_branches_);
+}
+
+void Stamper::clear() {
+    a_.set_zero();
+    std::fill(b_.begin(), b_.end(), 0.0);
+}
+
+void Stamper::add_matrix(int row_node, int col_node, double value) {
+    const int r = unknown_of_node(row_node);
+    const int c = unknown_of_node(col_node);
+    if (r < 0 || c < 0) return;
+    a_.at(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) += value;
+}
+
+void Stamper::add_rhs(int row_node, double value) {
+    const int r = unknown_of_node(row_node);
+    if (r < 0) return;
+    b_[static_cast<std::size_t>(r)] += value;
+}
+
+void Stamper::add_conductance(int a, int b, double g) {
+    add_matrix(a, a, g);
+    add_matrix(b, b, g);
+    add_matrix(a, b, -g);
+    add_matrix(b, a, -g);
+}
+
+void Stamper::add_transconductance(int from, int to, int ctrl_p, int ctrl_m,
+                                   double g) {
+    add_matrix(from, ctrl_p, g);
+    add_matrix(from, ctrl_m, -g);
+    add_matrix(to, ctrl_p, -g);
+    add_matrix(to, ctrl_m, g);
+}
+
+void Stamper::add_source_current(int from, int to, double i) {
+    // Current i leaves `from` and enters `to`; KCL rows are written as
+    // (sum of currents leaving node) = 0, with sources moved to the RHS.
+    add_rhs(from, -i);
+    add_rhs(to, i);
+}
+
+void Stamper::add_voltage_branch(int branch, int p, int m, double v) {
+    require(branch >= 0 && branch < n_branches_, "Stamper: bad branch index");
+    const int bi = unknown_of_branch(branch);
+    const int pu = unknown_of_node(p);
+    const int mu = unknown_of_node(m);
+    const auto bi_u = static_cast<std::size_t>(bi);
+    if (pu >= 0) {
+        // Branch current flows out of p through the source.
+        a_.at(static_cast<std::size_t>(pu), bi_u) += 1.0;
+        a_.at(bi_u, static_cast<std::size_t>(pu)) += 1.0;
+    }
+    if (mu >= 0) {
+        a_.at(static_cast<std::size_t>(mu), bi_u) -= 1.0;
+        a_.at(bi_u, static_cast<std::size_t>(mu)) -= 1.0;
+    }
+    b_[bi_u] += v;
+}
+
+void Stamper::add_gmin_everywhere(double gmin) {
+    for (int node = 1; node < n_nodes_; ++node) add_matrix(node, node, gmin);
+}
+
+std::vector<double> Stamper::solve() {
+    return solve_lu(a_, b_);
+}
+
+}  // namespace mcsm::spice

@@ -1,0 +1,72 @@
+// MNA matrix assembly helper. Maps node ids / branch ids onto the unknown
+// vector (ground is eliminated) and offers the stamping primitives devices
+// need.
+#ifndef MCSM_SPICE_STAMPER_H
+#define MCSM_SPICE_STAMPER_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/dense_matrix.h"
+
+namespace mcsm::spice {
+
+// Unknown ordering: node voltages for nodes 1..n_nodes-1, then branch
+// currents for devices that request them (voltage sources).
+class Stamper {
+public:
+    Stamper(int n_nodes, int n_branches);
+
+    void clear();
+
+    int n_nodes() const { return n_nodes_; }
+    int n_branches() const { return n_branches_; }
+    std::size_t system_size() const;
+
+    // --- stamping primitives -------------------------------------------
+    // Two-terminal conductance g between nodes a and b.
+    void add_conductance(int a, int b, double g);
+
+    // Transconductance: current g*(v_cp - v_cm) flows from node `from` to
+    // node `to` (out of `from`, into `to`).
+    void add_transconductance(int from, int to, int ctrl_p, int ctrl_m,
+                              double g);
+
+    // Constant current i flowing from node `from` to node `to`.
+    void add_source_current(int from, int to, double i);
+
+    // Voltage-source branch: enforces v(p) - v(m) = v, adds the branch
+    // current unknown into the KCL rows of p and m. `branch` is the branch
+    // index in [0, n_branches).
+    void add_voltage_branch(int branch, int p, int m, double v);
+
+    // Raw access (row/col are node ids; ground rows/cols are dropped).
+    void add_matrix(int row_node, int col_node, double value);
+    void add_rhs(int row_node, double value);
+
+    // Shunt conductance to ground on every non-ground node (gmin).
+    void add_gmin_everywhere(double gmin);
+
+    DenseMatrix& matrix() { return a_; }
+    std::vector<double>& rhs() { return b_; }
+
+    // Solves the assembled system; returns the full solution vector indexed
+    // like the unknowns (use unknown_of_node / unknown_of_branch).
+    std::vector<double> solve();
+
+    // Index helpers (-1 for ground).
+    int unknown_of_node(int node) const { return node == 0 ? -1 : node - 1; }
+    int unknown_of_branch(int branch) const {
+        return n_nodes_ - 1 + branch;
+    }
+
+private:
+    int n_nodes_ = 0;
+    int n_branches_ = 0;
+    DenseMatrix a_;
+    std::vector<double> b_;
+};
+
+}  // namespace mcsm::spice
+
+#endif  // MCSM_SPICE_STAMPER_H

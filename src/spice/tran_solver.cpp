@@ -1,0 +1,216 @@
+#include "spice/tran_solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mcsm::spice {
+
+TranResult::TranResult(std::vector<std::string> node_names,
+                       std::unordered_map<std::string, int> vsource_branch)
+    : node_names_(std::move(node_names)),
+      vsource_branch_(std::move(vsource_branch)) {
+    for (std::size_t i = 0; i < node_names_.size(); ++i)
+        node_index_[node_names_[i]] = static_cast<int>(i);
+    node_v_.resize(node_names_.size());
+}
+
+void TranResult::record(double t, const std::vector<double>& x, int n_nodes,
+                        int n_branches) {
+    times_.push_back(t);
+    for (int node = 0; node < n_nodes; ++node)
+        node_v_[static_cast<std::size_t>(node)].push_back(
+            x[static_cast<std::size_t>(node)]);
+    if (branch_i_.empty()) branch_i_.resize(static_cast<std::size_t>(n_branches));
+    for (int br = 0; br < n_branches; ++br)
+        branch_i_[static_cast<std::size_t>(br)].push_back(
+            x[static_cast<std::size_t>(n_nodes + br)]);
+}
+
+wave::Waveform TranResult::node_waveform(const std::string& node_name) const {
+    const auto it = node_index_.find(node_name);
+    require(it != node_index_.end(), "TranResult: unknown node name");
+    return node_waveform(it->second);
+}
+
+wave::Waveform TranResult::node_waveform(int node_id) const {
+    require(node_id >= 0 &&
+                node_id < static_cast<int>(node_v_.size()),
+            "TranResult: bad node id");
+    return wave::Waveform(times_, node_v_[static_cast<std::size_t>(node_id)]);
+}
+
+wave::Waveform TranResult::vsource_current(
+    const std::string& vsource_name) const {
+    const auto it = vsource_branch_.find(vsource_name);
+    require(it != vsource_branch_.end(), "TranResult: unknown vsource");
+    return wave::Waveform(times_,
+                          branch_i_[static_cast<std::size_t>(it->second)]);
+}
+
+double TranResult::final_node_voltage(int node_id) const {
+    require(!times_.empty(), "TranResult: empty result");
+    return node_v_[static_cast<std::size_t>(node_id)].back();
+}
+
+namespace {
+
+// One NR solve for the step ending at `time` with step `dt`. `x` enters as
+// the warm start and leaves as the solution. Returns false on divergence.
+bool newton_tran(Circuit& circuit, const TranOptions& options,
+                 Integrator integrator, double time, double dt,
+                 const std::vector<double>& x_prev,
+                 const std::vector<double>& state, std::vector<double>& x) {
+    const int n_nodes = circuit.node_count();
+    Stamper st(n_nodes, circuit.branch_total());
+
+    SimContext ctx;
+    ctx.mode = SimContext::Mode::kTran;
+    ctx.time = time;
+    ctx.dt = dt;
+    ctx.integrator = integrator;
+    ctx.x = &x;
+    ctx.x_prev = &x_prev;
+    ctx.state = &state;
+
+    for (int it = 0; it < options.max_newton; ++it) {
+        st.clear();
+        for (const auto& dev : circuit.devices()) dev->stamp(st, ctx);
+        st.add_gmin_everywhere(options.gmin);
+
+        std::vector<double> sol;
+        try {
+            sol = st.solve();
+        } catch (const NumericalError&) {
+            return false;
+        }
+
+        double dx_max = 0.0;
+        for (int node = 1; node < n_nodes; ++node) {
+            const int u = st.unknown_of_node(node);
+            dx_max = std::max(
+                dx_max, std::fabs(sol[static_cast<std::size_t>(u)] -
+                                  x[static_cast<std::size_t>(node)]));
+        }
+        if (!std::isfinite(dx_max)) return false;
+        const double alpha =
+            dx_max > options.max_update ? options.max_update / dx_max : 1.0;
+
+        for (int node = 1; node < n_nodes; ++node) {
+            const int u = st.unknown_of_node(node);
+            auto& xv = x[static_cast<std::size_t>(node)];
+            xv += alpha * (sol[static_cast<std::size_t>(u)] - xv);
+        }
+        for (int br = 0; br < circuit.branch_total(); ++br) {
+            const int u = st.unknown_of_branch(br);
+            auto& xb = x[static_cast<std::size_t>(n_nodes + br)];
+            xb += alpha * (sol[static_cast<std::size_t>(u)] - xb);
+        }
+        if (dx_max < options.vtol) return true;
+    }
+    return false;
+}
+
+// Commits device states after an accepted step.
+void commit_step(Circuit& circuit, const TranOptions& options,
+                 Integrator integrator, double time, double dt,
+                 const std::vector<double>& x_prev,
+                 const std::vector<double>& state,
+                 const std::vector<double>& x, std::vector<double>& state_next) {
+    (void)options;
+    SimContext ctx;
+    ctx.mode = SimContext::Mode::kTran;
+    ctx.time = time;
+    ctx.dt = dt;
+    ctx.integrator = integrator;
+    ctx.x = &x;
+    ctx.x_prev = &x_prev;
+    ctx.state = &state;
+    state_next = state;
+    for (const auto& dev : circuit.devices())
+        dev->commit(ctx, std::span<double>(state_next));
+}
+
+// True when a source-waveform corner lies inside [t0, t0+dt): trapezoidal
+// integration would ring across the derivative discontinuity.
+bool step_has_breakpoint(const std::vector<double>& breakpoints, double t0,
+                         double dt) {
+    const double eps = dt * 1e-6;
+    const auto it =
+        std::lower_bound(breakpoints.begin(), breakpoints.end(), t0 - eps);
+    return it != breakpoints.end() && *it < t0 + dt - eps;
+}
+
+// Advances from (x, state) at t0 to t0+dt, subdividing on failure.
+void advance(Circuit& circuit, const TranOptions& options,
+             const std::vector<double>& breakpoints, double t0, double dt,
+             std::vector<double>& x, std::vector<double>& state, int depth) {
+    const Integrator integrator =
+        step_has_breakpoint(breakpoints, t0, dt) ? Integrator::kBackwardEuler
+                                                 : options.integrator;
+    std::vector<double> x_new = x;  // warm start
+    if (newton_tran(circuit, options, integrator, t0 + dt, dt, x, state,
+                    x_new)) {
+        std::vector<double> state_next;
+        commit_step(circuit, options, integrator, t0 + dt, dt, x, state, x_new,
+                    state_next);
+        x = std::move(x_new);
+        state = std::move(state_next);
+        return;
+    }
+    if (depth >= options.max_subdivisions) {
+        throw NumericalError("solve_tran: step at t=" + std::to_string(t0) +
+                             " failed after max subdivisions");
+    }
+    advance(circuit, options, breakpoints, t0, dt * 0.5, x, state, depth + 1);
+    advance(circuit, options, breakpoints, t0 + dt * 0.5, dt * 0.5, x, state,
+            depth + 1);
+}
+
+}  // namespace
+
+TranResult solve_tran(Circuit& circuit, const TranOptions& options) {
+    require(options.tstop > 0.0 && options.dt > 0.0,
+            "solve_tran: tstop and dt must be positive");
+    circuit.prepare();
+
+    // Operating point at t=0.
+    DcOptions dc = options.dc;
+    dc.time = 0.0;
+    DcResult op = solve_dc(circuit, dc);
+
+    std::vector<double> x = op.x;
+    std::vector<double> state(static_cast<std::size_t>(circuit.state_total()),
+                              0.0);
+
+    // Collect node names and vsource branch map for the result object.
+    std::vector<std::string> names;
+    names.reserve(static_cast<std::size_t>(circuit.node_count()));
+    for (int node = 0; node < circuit.node_count(); ++node)
+        names.push_back(circuit.node_name(node));
+    std::unordered_map<std::string, int> vsrc;
+    for (const auto& dev : circuit.devices()) {
+        if (dev->branch_count() == 1) vsrc[dev->name()] = dev->branch_base();
+    }
+
+    std::vector<double> breakpoints;
+    for (const auto& dev : circuit.devices())
+        dev->collect_breakpoints(breakpoints);
+    std::sort(breakpoints.begin(), breakpoints.end());
+
+    TranResult result(std::move(names), std::move(vsrc));
+    result.record(0.0, x, circuit.node_count(), circuit.branch_total());
+
+    const auto n_steps =
+        static_cast<std::size_t>(std::ceil(options.tstop / options.dt - 1e-9));
+    for (std::size_t k = 0; k < n_steps; ++k) {
+        const double t0 = options.dt * static_cast<double>(k);
+        const double t1 = std::min(options.tstop, t0 + options.dt);
+        advance(circuit, options, breakpoints, t0, t1 - t0, x, state, 0);
+        result.record(t1, x, circuit.node_count(), circuit.branch_total());
+    }
+    return result;
+}
+
+}  // namespace mcsm::spice

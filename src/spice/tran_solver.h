@@ -1,0 +1,66 @@
+// Fixed-grid transient analysis with Newton-Raphson per step, trapezoidal or
+// backward-Euler integration, and automatic step subdivision on
+// non-convergence.
+#ifndef MCSM_SPICE_TRAN_SOLVER_H
+#define MCSM_SPICE_TRAN_SOLVER_H
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "spice/circuit.h"
+#include "spice/dc_solver.h"
+#include "wave/waveform.h"
+
+namespace mcsm::spice {
+
+struct TranOptions {
+    double tstop = 1e-9;   // end time [s]
+    double dt = 1e-12;     // recording/time-step grid [s]
+    Integrator integrator = Integrator::kTrapezoidal;
+    int max_newton = 80;
+    double vtol = 1e-7;        // NR convergence tolerance [V]
+    double max_update = 0.4;   // NR damping clamp [V]
+    double gmin = 1e-12;       // transient shunt [S]
+    int max_subdivisions = 10; // binary step subdivision depth on NR failure
+    // Operating-point options for the t=0 solve.
+    DcOptions dc;
+};
+
+class TranResult {
+public:
+    TranResult(std::vector<std::string> node_names,
+               std::unordered_map<std::string, int> vsource_branch);
+
+    void record(double t, const std::vector<double>& x, int n_nodes,
+                int n_branches);
+
+    const std::vector<double>& times() const { return times_; }
+    std::size_t sample_count() const { return times_.size(); }
+
+    // Voltage waveform of a node (by name or id).
+    wave::Waveform node_waveform(const std::string& node_name) const;
+    wave::Waveform node_waveform(int node_id) const;
+
+    // Current through a voltage source, positive flowing from the positive
+    // terminal through the source to the negative terminal.
+    wave::Waveform vsource_current(const std::string& vsource_name) const;
+
+    double final_node_voltage(int node_id) const;
+
+private:
+    std::vector<std::string> node_names_;
+    std::unordered_map<std::string, int> node_index_;
+    std::unordered_map<std::string, int> vsource_branch_;
+    std::vector<double> times_;
+    std::vector<std::vector<double>> node_v_;   // [node][sample]
+    std::vector<std::vector<double>> branch_i_; // [branch][sample]
+};
+
+// Runs a transient from the DC operating point at t=0 to options.tstop.
+// Throws NumericalError if a step fails even after subdivision.
+TranResult solve_tran(Circuit& circuit, const TranOptions& options);
+
+}  // namespace mcsm::spice
+
+#endif  // MCSM_SPICE_TRAN_SOLVER_H

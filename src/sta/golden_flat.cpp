@@ -1,0 +1,67 @@
+#include "sta/golden_flat.h"
+
+#include "common/error.h"
+#include "spice/circuit.h"
+
+namespace mcsm::sta {
+
+using spice::Circuit;
+using spice::SourceSpec;
+
+std::unordered_map<std::string, wave::Waveform> run_golden_flat(
+    const GateNetlist& netlist, const cells::CellLibrary& lib, double tstop,
+    double dt) {
+    Circuit circuit;
+    const int vdd_node = circuit.node("vdd");
+    circuit.add_vsource("VDD", vdd_node, Circuit::kGround,
+                        SourceSpec::dc(lib.tech().vdd));
+
+    for (const auto& [net, w] : netlist.primary_inputs()) {
+        circuit.add_vsource("V_" + net, circuit.node(net), Circuit::kGround,
+                            SourceSpec::pwl(w));
+    }
+
+    for (const Instance& inst : netlist.instances()) {
+        const cells::CellType& cell = lib.get(inst.cell);
+        std::unordered_map<std::string, int> conn;
+        conn[cells::kVdd] = vdd_node;
+        conn[cells::kGnd] = Circuit::kGround;
+        conn[cells::kOut] = circuit.node(inst.conn.at("OUT"));
+        for (const cells::PinInfo& pin : cell.inputs()) {
+            const auto it = inst.conn.find(pin.name);
+            if (it != inst.conn.end()) {
+                conn[pin.name] = circuit.node(it->second);
+            } else {
+                // Unconnected input: tie to its non-controlling rail.
+                conn[pin.name] = pin.non_controlling > 0.0
+                                     ? vdd_node
+                                     : Circuit::kGround;
+            }
+        }
+        cell.instantiate(circuit, inst.name, conn);
+    }
+
+    // Wire caps.
+    for (const Instance& inst : netlist.instances()) {
+        const std::string& net = inst.conn.at("OUT");
+        const double cap = netlist.wire_cap(net);
+        if (cap > 0.0)
+            circuit.add_capacitor("CW_" + net, circuit.node(net),
+                                  Circuit::kGround, cap);
+    }
+
+    spice::TranOptions topt;
+    topt.tstop = tstop;
+    topt.dt = dt;
+    const spice::TranResult result = spice::solve_tran(circuit, topt);
+
+    std::unordered_map<std::string, wave::Waveform> nets;
+    for (const auto& [net, w] : netlist.primary_inputs()) nets[net] = w;
+    for (const Instance& inst : netlist.instances()) {
+        const std::string& net = inst.conn.at("OUT");
+        nets[net] = result.node_waveform(circuit.node_id(net));
+    }
+    return nets;
+}
+
+}  // namespace mcsm::sta

@@ -1,0 +1,23 @@
+// Flattens a gate-level netlist to transistor level and simulates it in one
+// transient - the golden reference for the STA engines.
+#ifndef MCSM_STA_GOLDEN_FLAT_H
+#define MCSM_STA_GOLDEN_FLAT_H
+
+#include <string>
+#include <unordered_map>
+
+#include "cells/library.h"
+#include "spice/tran_solver.h"
+#include "sta/netlist.h"
+
+namespace mcsm::sta {
+
+// Builds the flat circuit and runs it; returns net -> waveform for every
+// net in the gate netlist (primary inputs included).
+std::unordered_map<std::string, wave::Waveform> run_golden_flat(
+    const GateNetlist& netlist, const cells::CellLibrary& lib, double tstop,
+    double dt = 1e-12);
+
+}  // namespace mcsm::sta
+
+#endif  // MCSM_STA_GOLDEN_FLAT_H

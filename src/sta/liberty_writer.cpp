@@ -1,0 +1,110 @@
+#include "sta/liberty_writer.h"
+
+#include <iomanip>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace mcsm::sta {
+
+namespace {
+
+void write_values_list(std::ostream& os, const lut::NdTable& t, double scale,
+                       const char* indent) {
+    const std::size_t rows = t.axis(0).size();
+    const std::size_t cols = t.axis(1).size();
+    os << indent << "values ( \\\n";
+    for (std::size_t r = 0; r < rows; ++r) {
+        os << indent << "  \"";
+        for (std::size_t c = 0; c < cols; ++c) {
+            const std::size_t idx[2] = {r, c};
+            os << std::setprecision(6)
+               << t.grid_value(std::span<const std::size_t>(idx, 2)) * scale;
+            if (c + 1 < cols) os << ", ";
+        }
+        os << "\"" << (r + 1 < rows ? ", \\" : " \\") << "\n";
+    }
+    os << indent << ");\n";
+}
+
+void write_axis_list(std::ostream& os, const char* key,
+                     const std::vector<double>& knots, double scale,
+                     const char* indent) {
+    os << indent << key << " (\"";
+    for (std::size_t i = 0; i < knots.size(); ++i) {
+        os << std::setprecision(6) << knots[i] * scale;
+        if (i + 1 < knots.size()) os << ", ";
+    }
+    os << "\");\n";
+}
+
+}  // namespace
+
+void write_liberty(std::ostream& os, const NldmLibrary& lib,
+                   const std::vector<std::string>& cell_names,
+                   const LibertyOptions& options) {
+    require(!cell_names.empty(), "write_liberty: no cells");
+    const double t_scale = 1e9 / options.time_unit_ns;
+    const double c_scale = 1e15 / options.cap_unit_ff;
+
+    os << "library (" << options.library_name << ") {\n";
+    os << "  time_unit : \"1ns\";\n";
+    os << "  capacitive_load_unit (1, ff);\n";
+    os << "  delay_model : table_lookup;\n";
+
+    // One shared template per distinct table shape (all arcs share axes by
+    // construction, so write the first arc's template).
+    const NldmCell& first = lib.cell(cell_names.front());
+    require(!first.arcs.empty(), "write_liberty: cell has no arcs");
+    const lut::NdTable& proto = first.arcs.front().delay;
+    os << "  lu_table_template (delay_template) {\n";
+    os << "    variable_1 : input_net_transition;\n";
+    os << "    variable_2 : total_output_net_capacitance;\n";
+    write_axis_list(os, "index_1", proto.axis(0).knots(), t_scale, "    ");
+    write_axis_list(os, "index_2", proto.axis(1).knots(), c_scale, "    ");
+    os << "  }\n";
+
+    for (const std::string& name : cell_names) {
+        const NldmCell& cell = lib.cell(name);
+        os << "  cell (" << name << ") {\n";
+        // Input pins (collect distinct arc pins).
+        std::vector<std::string> pins;
+        for (const NldmArc& arc : cell.arcs)
+            if (std::find(pins.begin(), pins.end(), arc.pin) == pins.end())
+                pins.push_back(arc.pin);
+        for (const std::string& pin : pins) {
+            os << "    pin (" << pin << ") {\n";
+            os << "      direction : input;\n";
+            os << "      capacitance : " << std::setprecision(6)
+               << cell.pin_cap * c_scale << ";\n";
+            os << "    }\n";
+        }
+        os << "    pin (OUT) {\n";
+        os << "      direction : output;\n";
+        for (const std::string& pin : pins) {
+            for (const bool rising : {true, false}) {
+                const NldmArc& arc = cell.arc(pin, rising);
+                os << "      timing () {\n";
+                os << "        related_pin : \"" << pin << "\";\n";
+                // Inverting arcs: rising input causes falling output.
+                os << "        timing_sense : negative_unate;\n";
+                const char* delay_key =
+                    rising ? "cell_fall" : "cell_rise";
+                const char* slew_key =
+                    rising ? "fall_transition" : "rise_transition";
+                os << "        " << delay_key << " (delay_template) {\n";
+                write_values_list(os, arc.delay, t_scale, "          ");
+                os << "        }\n";
+                os << "        " << slew_key << " (delay_template) {\n";
+                write_values_list(os, arc.out_slew, t_scale, "          ");
+                os << "        }\n";
+                os << "      }\n";
+            }
+        }
+        os << "    }\n";
+        os << "  }\n";
+    }
+    os << "}\n";
+}
+
+}  // namespace mcsm::sta

@@ -1,0 +1,29 @@
+// Liberty-style export of NLDM tables: the industry exchange format for
+// delay/slew tables. The subset written here (library/cell/pin/timing
+// groups with table_lookup templates) is enough for downstream tools and
+// for humans to diff characterization runs.
+#ifndef MCSM_STA_LIBERTY_WRITER_H
+#define MCSM_STA_LIBERTY_WRITER_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sta/nldm.h"
+
+namespace mcsm::sta {
+
+struct LibertyOptions {
+    std::string library_name = "mcsm130";
+    double time_unit_ns = 1.0;  // times written in ns
+    double cap_unit_ff = 1.0;   // capacitances written in fF
+};
+
+// Writes the given cells of the NLDM library as a Liberty-like document.
+void write_liberty(std::ostream& os, const NldmLibrary& lib,
+                   const std::vector<std::string>& cell_names,
+                   const LibertyOptions& options = {});
+
+}  // namespace mcsm::sta
+
+#endif  // MCSM_STA_LIBERTY_WRITER_H

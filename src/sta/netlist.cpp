@@ -1,0 +1,86 @@
+#include "sta/netlist.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace mcsm::sta {
+
+void GateNetlist::add_primary_input(const std::string& net, wave::Waveform w) {
+    require(primary_inputs_.find(net) == primary_inputs_.end(),
+            "GateNetlist: duplicate primary input " + net);
+    primary_inputs_[net] = std::move(w);
+}
+
+void GateNetlist::add_instance(Instance inst) {
+    require(inst.conn.count("OUT") == 1,
+            "GateNetlist: instance must connect OUT");
+    instances_.push_back(std::move(inst));
+}
+
+void GateNetlist::set_wire_cap(const std::string& net, double cap) {
+    require(cap >= 0.0, "GateNetlist: negative wire cap");
+    wire_caps_[net] = cap;
+}
+
+double GateNetlist::wire_cap(const std::string& net) const {
+    const auto it = wire_caps_.find(net);
+    return it == wire_caps_.end() ? 0.0 : it->second;
+}
+
+bool GateNetlist::is_primary_input(const std::string& net) const {
+    return primary_inputs_.find(net) != primary_inputs_.end();
+}
+
+std::size_t GateNetlist::driver_of(const std::string& net) const {
+    for (std::size_t i = 0; i < instances_.size(); ++i) {
+        const auto it = instances_[i].conn.find("OUT");
+        if (it != instances_[i].conn.end() && it->second == net) return i;
+    }
+    throw ModelError("GateNetlist: net has no cell driver: " + net);
+}
+
+std::vector<Sink> GateNetlist::sinks_of(const std::string& net) const {
+    std::vector<Sink> sinks;
+    for (std::size_t i = 0; i < instances_.size(); ++i) {
+        for (const auto& [pin, n] : instances_[i].conn) {
+            if (pin != "OUT" && n == net) sinks.push_back({i, pin});
+        }
+    }
+    return sinks;
+}
+
+std::vector<std::size_t> GateNetlist::topological_order() const {
+    const std::size_t n = instances_.size();
+    std::vector<int> pending(n, 0);
+    // pending[i] = number of input nets of i not yet resolved.
+    std::vector<std::vector<std::size_t>> dependents(n);
+    std::vector<std::size_t> ready;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        for (const auto& [pin, net] : instances_[i].conn) {
+            if (pin == "OUT") continue;
+            if (is_primary_input(net)) continue;
+            const std::size_t drv = driver_of(net);
+            ++pending[i];
+            dependents[drv].push_back(i);
+        }
+        if (pending[i] == 0) ready.push_back(i);
+    }
+
+    std::vector<std::size_t> order;
+    order.reserve(n);
+    while (!ready.empty()) {
+        const std::size_t i = ready.back();
+        ready.pop_back();
+        order.push_back(i);
+        for (const std::size_t dep : dependents[i]) {
+            if (--pending[dep] == 0) ready.push_back(dep);
+        }
+    }
+    require(order.size() == n,
+            "GateNetlist: combinational cycle detected");
+    return order;
+}
+
+}  // namespace mcsm::sta

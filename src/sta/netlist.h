@@ -1,0 +1,64 @@
+// Gate-level netlist for the STA layer: cell instances connected by named
+// nets, with waveform-driven primary inputs.
+#ifndef MCSM_STA_NETLIST_H
+#define MCSM_STA_NETLIST_H
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "wave/waveform.h"
+
+namespace mcsm::sta {
+
+struct Instance {
+    std::string name;
+    std::string cell;  // cell type name in the CellLibrary
+    // pin -> net name; must include every input pin and "OUT".
+    std::unordered_map<std::string, std::string> conn;
+};
+
+// A sink of a net: (instance index, input pin name).
+struct Sink {
+    std::size_t instance;
+    std::string pin;
+};
+
+class GateNetlist {
+public:
+    // Declares a primary input driven by the given waveform.
+    void add_primary_input(const std::string& net, wave::Waveform w);
+
+    void add_instance(Instance inst);
+
+    // Extra lumped wire capacitance on a net (farads).
+    void set_wire_cap(const std::string& net, double cap);
+    double wire_cap(const std::string& net) const;
+
+    const std::vector<Instance>& instances() const { return instances_; }
+    const std::unordered_map<std::string, wave::Waveform>& primary_inputs()
+        const {
+        return primary_inputs_;
+    }
+
+    bool is_primary_input(const std::string& net) const;
+    // The instance index driving a net; throws for primary inputs or
+    // undriven nets.
+    std::size_t driver_of(const std::string& net) const;
+    // All (instance, pin) sinks fed by a net.
+    std::vector<Sink> sinks_of(const std::string& net) const;
+
+    // Instance evaluation order such that every instance appears after the
+    // drivers of all its input nets. Throws ModelError on combinational
+    // cycles or undriven nets.
+    std::vector<std::size_t> topological_order() const;
+
+private:
+    std::vector<Instance> instances_;
+    std::unordered_map<std::string, wave::Waveform> primary_inputs_;
+    std::unordered_map<std::string, double> wire_caps_;
+};
+
+}  // namespace mcsm::sta
+
+#endif  // MCSM_STA_NETLIST_H

@@ -1,0 +1,151 @@
+#include "sta/nldm.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "engine/scenarios.h"
+#include "wave/edges.h"
+#include "wave/metrics.h"
+
+namespace mcsm::sta {
+
+namespace {
+
+// 10-90% slew of a saturated ramp is 0.8 of its 0-100% time.
+double ramp_time_from_slew(double slew) { return slew / 0.8; }
+
+}  // namespace
+
+const NldmArc& NldmCell::arc(const std::string& pin, bool input_rising) const {
+    for (const NldmArc& a : arcs)
+        if (a.pin == pin && a.input_rising == input_rising) return a;
+    throw ModelError("NldmCell: no arc for pin " + pin);
+}
+
+NldmLibrary::NldmLibrary(const cells::CellLibrary& lib,
+                         const std::vector<std::string>& cell_names,
+                         const NldmOptions& options) {
+    vdd_ = lib.tech().vdd;
+    const lut::Axis slew_axis("slew", options.slews);
+    const lut::Axis load_axis("load", options.loads);
+
+    for (const std::string& name : cell_names) {
+        const cells::CellType& cell = lib.get(name);
+        NldmCell out;
+        out.cell = name;
+        double cap_sum = 0.0;
+        for (const cells::PinInfo& pin : cell.inputs())
+            cap_sum += cell.input_cap_estimate(pin.name);
+        out.pin_cap = cap_sum / static_cast<double>(cell.input_count());
+
+        for (const cells::PinInfo& pin : cell.inputs()) {
+            for (const bool input_rising : {true, false}) {
+                NldmArc arc;
+                arc.pin = pin.name;
+                arc.input_rising = input_rising;
+                arc.delay = lut::NdTable({slew_axis, load_axis},
+                                         name + "." + pin.name + ".delay");
+                arc.out_slew = lut::NdTable({slew_axis, load_axis},
+                                            name + "." + pin.name + ".slew");
+
+                for (std::size_t si = 0; si < options.slews.size(); ++si) {
+                    for (std::size_t li = 0; li < options.loads.size(); ++li) {
+                        const double slew = options.slews[si];
+                        const double load = options.loads[li];
+                        const double t_edge = 0.5e-9;
+                        const double ramp = ramp_time_from_slew(slew);
+                        const wave::Waveform in = wave::piecewise_edges(
+                            input_rising ? 0.0 : vdd_,
+                            {{t_edge, ramp, input_rising ? vdd_ : 0.0}});
+                        engine::GoldenCell bench(
+                            lib, name, {{pin.name, in}},
+                            engine::LoadSpec{load, 0, ""});
+                        spice::TranOptions topt;
+                        topt.tstop = t_edge + ramp + 2.0e-9;
+                        topt.dt = options.dt;
+                        const spice::TranResult r = bench.run(topt);
+                        const wave::Waveform vout =
+                            r.node_waveform(bench.out_node());
+                        // Inverting cells: output moves opposite the input.
+                        const bool out_rising = !input_rising;
+                        const auto d = wave::delay_50(in, input_rising, vout,
+                                                      out_rising, vdd_);
+                        const auto s =
+                            wave::slew_10_90(vout, vdd_, out_rising, t_edge);
+                        require(d.has_value() && s.has_value(),
+                                "NldmLibrary: arc did not switch: " + name);
+                        const std::size_t idx[2] = {si, li};
+                        arc.delay.set_grid_value(
+                            std::span<const std::size_t>(idx, 2), *d);
+                        arc.out_slew.set_grid_value(
+                            std::span<const std::size_t>(idx, 2), *s);
+                    }
+                }
+                out.arcs.push_back(std::move(arc));
+            }
+        }
+        cells_[name] = std::move(out);
+    }
+}
+
+const NldmCell& NldmLibrary::cell(const std::string& name) const {
+    const auto it = cells_.find(name);
+    require(it != cells_.end(), "NldmLibrary: unknown cell " + name);
+    return it->second;
+}
+
+std::unordered_map<std::string, NldmArrival> run_nldm_sta(
+    const GateNetlist& netlist, const NldmLibrary& lib, double vdd) {
+    std::unordered_map<std::string, NldmArrival> arrivals;
+
+    // Primary inputs: measure t50/slew from the given waveforms. Constant
+    // inputs (tied pins) carry no arrival.
+    for (const auto& [net, w] : netlist.primary_inputs()) {
+        NldmArrival a;
+        const bool rising = w.last_value() > w.first_value();
+        const auto t50 = wave::crossing(w, vdd, 0.5, rising);
+        const auto slew = wave::slew_10_90(w, vdd, rising);
+        if (t50.has_value() && slew.has_value()) {
+            a.t50 = *t50;
+            a.slew = *slew;
+            a.rising = rising;
+            a.valid = true;
+        }
+        arrivals[net] = a;
+    }
+
+    for (const std::size_t idx : netlist.topological_order()) {
+        const Instance& inst = netlist.instances()[idx];
+        const NldmCell& cell = lib.cell(inst.cell);
+        const std::string& out_net = inst.conn.at("OUT");
+
+        // Total load: sink pin caps plus wire cap.
+        double load = netlist.wire_cap(out_net);
+        for (const Sink& sink : netlist.sinks_of(out_net))
+            load += lib.cell(netlist.instances()[sink.instance].cell).pin_cap;
+
+        // Worst (latest) arriving switching input wins (classic STA).
+        NldmArrival best;
+        for (const auto& [pin, net] : inst.conn) {
+            if (pin == "OUT") continue;
+            const auto it = arrivals.find(net);
+            if (it == arrivals.end() || !it->second.valid) continue;
+            const NldmArrival& in = it->second;
+            const NldmArc& arc = cell.arc(pin, in.rising);
+            const double q[2] = {in.slew, load};
+            const std::span<const double> qs(q, 2);
+            NldmArrival out;
+            out.t50 = in.t50 + arc.delay.at(qs);
+            out.slew = arc.out_slew.at(qs);
+            out.rising = !in.rising;
+            out.valid = true;
+            if (!best.valid || out.t50 > best.t50) best = out;
+        }
+        require(best.valid,
+                "run_nldm_sta: no switching input for " + inst.name);
+        arrivals[out_net] = best;
+    }
+    return arrivals;
+}
+
+}  // namespace mcsm::sta

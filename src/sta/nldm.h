@@ -1,0 +1,72 @@
+// The "voltage-based method" the paper argues against: classic NLDM
+// delay/slew tables indexed by (input slew, load capacitance), characterized
+// per timing arc with saturated-ramp inputs on the golden substrate, and a
+// saturated-ramp STA propagation engine on top.
+#ifndef MCSM_STA_NLDM_H
+#define MCSM_STA_NLDM_H
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cells/library.h"
+#include "lut/ndtable.h"
+#include "sta/netlist.h"
+
+namespace mcsm::sta {
+
+// One timing arc: input pin edge -> output edge, for an inverting cell.
+struct NldmArc {
+    std::string pin;
+    bool input_rising = true;  // output direction is the inverse
+    lut::NdTable delay;        // axes [input slew (10-90%), load cap]
+    lut::NdTable out_slew;
+};
+
+struct NldmCell {
+    std::string cell;
+    double pin_cap = 0.0;  // average input pin capacitance [F]
+    std::vector<NldmArc> arcs;
+
+    const NldmArc& arc(const std::string& pin, bool input_rising) const;
+};
+
+struct NldmOptions {
+    std::vector<double> slews{20e-12, 50e-12, 100e-12, 200e-12, 400e-12};
+    std::vector<double> loads{1e-15, 2e-15, 4e-15, 8e-15, 16e-15, 32e-15};
+    double dt = 1e-12;
+};
+
+class NldmLibrary {
+public:
+    // Characterizes every cell in `cell_names` (inverting single-output
+    // cells; the non-switching pins are held at non-controlling values).
+    NldmLibrary(const cells::CellLibrary& lib,
+                const std::vector<std::string>& cell_names,
+                const NldmOptions& options = {});
+
+    const NldmCell& cell(const std::string& name) const;
+    double vdd() const { return vdd_; }
+
+private:
+    std::unordered_map<std::string, NldmCell> cells_;
+    double vdd_ = 0.0;
+};
+
+// Arrival-time/slew record propagated by the NLDM engine.
+struct NldmArrival {
+    double t50 = 0.0;    // 50% crossing time
+    double slew = 0.0;   // 10-90% transition time
+    bool rising = true;  // edge direction
+    bool valid = false;
+};
+
+// Classic STA sweep: saturated ramps only. For each instance the worst
+// (latest) input arrival defines the output arrival. Returns per-net
+// arrivals keyed by net name.
+std::unordered_map<std::string, NldmArrival> run_nldm_sta(
+    const GateNetlist& netlist, const NldmLibrary& lib, double vdd);
+
+}  // namespace mcsm::sta
+
+#endif  // MCSM_STA_NLDM_H

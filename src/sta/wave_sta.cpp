@@ -1,0 +1,93 @@
+#include "sta/wave_sta.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "core/csm_device.h"
+#include "spice/circuit.h"
+
+namespace mcsm::sta {
+
+using core::CsmModel;
+using spice::Circuit;
+using spice::SourceSpec;
+
+WaveformSta::WaveformSta(
+    const GateNetlist& netlist,
+    std::unordered_map<std::string, const CsmModel*> models)
+    : netlist_(&netlist), models_(std::move(models)) {
+    for (const Instance& inst : netlist.instances())
+        require(models_.count(inst.cell) == 1,
+                "WaveformSta: no model for cell " + inst.cell);
+}
+
+std::unordered_map<std::string, wave::Waveform> WaveformSta::run(
+    const WaveStaOptions& options) const {
+    std::unordered_map<std::string, wave::Waveform> nets;
+    for (const auto& [net, w] : netlist_->primary_inputs()) nets[net] = w;
+
+    for (const std::size_t idx : netlist_->topological_order()) {
+        const Instance& inst = netlist_->instances()[idx];
+        const CsmModel& model = *models_.at(inst.cell);
+        const std::string& out_net = inst.conn.at("OUT");
+
+        // Stage circuit: input sources -> CSM device -> receiver caps.
+        Circuit circuit;
+        std::vector<int> pin_nodes;
+        for (const std::string& pin : model.pins) {
+            const int n = circuit.node("in_" + pin);
+            pin_nodes.push_back(n);
+            const auto cit = inst.conn.find(pin);
+            if (cit != inst.conn.end()) {
+                const auto nit = nets.find(cit->second);
+                require(nit != nets.end(),
+                        "WaveformSta: net evaluated out of order: " +
+                            cit->second);
+                circuit.add_vsource("V" + pin, n, Circuit::kGround,
+                                    SourceSpec::pwl(nit->second));
+            } else {
+                // Unconnected model pin: park at the non-controlling level
+                // recorded... the model itself holds non-controlling values
+                // only for its fixed pins, so an unconnected switching pin
+                // is a netlist error.
+                throw ModelError("WaveformSta: instance " + inst.name +
+                                 " leaves model pin " + pin + " unconnected");
+            }
+        }
+        std::vector<int> internal_nodes;
+        for (const std::string& formal : model.internals)
+            internal_nodes.push_back(circuit.node("int_" + formal));
+        const int out_node = circuit.node("out");
+        circuit.add_device<core::CsmCellDevice>("DRV", model, pin_nodes,
+                                                internal_nodes, out_node,
+                                                /*stamp_input_caps=*/false);
+
+        const double wire = netlist_->wire_cap(out_net);
+        if (wire > 0.0)
+            circuit.add_capacitor("CW", out_node, Circuit::kGround, wire);
+        int sink_idx = 0;
+        for (const Sink& sink : netlist_->sinks_of(out_net)) {
+            const Instance& s_inst = netlist_->instances()[sink.instance];
+            const CsmModel& s_model = *models_.at(s_inst.cell);
+            const auto pin_it = std::find(s_model.pins.begin(),
+                                          s_model.pins.end(), sink.pin);
+            require(pin_it != s_model.pins.end(),
+                    "WaveformSta: sink pin not in receiver model: " +
+                        sink.pin);
+            const auto p =
+                static_cast<std::size_t>(pin_it - s_model.pins.begin());
+            circuit.add_device<core::LutCapDevice>(
+                "CSINK" + std::to_string(sink_idx++), s_model.c_in[p],
+                out_node);
+        }
+
+        spice::TranOptions topt;
+        topt.tstop = options.tstop;
+        topt.dt = options.dt;
+        const spice::TranResult result = spice::solve_tran(circuit, topt);
+        nets[out_net] = result.node_waveform(out_node);
+    }
+    return nets;
+}
+
+}  // namespace mcsm::sta

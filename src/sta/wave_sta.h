@@ -1,0 +1,44 @@
+// Waveform-propagation STA using CSM cell models: every stage is simulated
+// as a small CSM circuit (driver model + receiver input caps + wire cap) and
+// the full output waveform - not just delay/slew - is handed to the next
+// stage. This is what makes the CSM approach robust to noisy and
+// multiple-input-switching waveforms.
+#ifndef MCSM_STA_WAVE_STA_H
+#define MCSM_STA_WAVE_STA_H
+
+#include <string>
+#include <unordered_map>
+
+#include "core/model.h"
+#include "sta/netlist.h"
+#include "spice/tran_solver.h"
+
+namespace mcsm::sta {
+
+struct WaveStaOptions {
+    double tstop = 5e-9;
+    double dt = 1e-12;
+};
+
+class WaveformSta {
+public:
+    // `models` maps cell type name -> characterized CSM model. Each model's
+    // switching pins must cover every connected input pin of instances of
+    // that cell (remaining model pins are driven with their non-controlling
+    // constants).
+    WaveformSta(const GateNetlist& netlist,
+                std::unordered_map<std::string, const core::CsmModel*> models);
+
+    // Simulates every stage in topological order; returns net -> waveform
+    // (primary inputs included verbatim).
+    std::unordered_map<std::string, wave::Waveform> run(
+        const WaveStaOptions& options = {}) const;
+
+private:
+    const GateNetlist* netlist_;
+    std::unordered_map<std::string, const core::CsmModel*> models_;
+};
+
+}  // namespace mcsm::sta
+
+#endif  // MCSM_STA_WAVE_STA_H

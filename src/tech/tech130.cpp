@@ -1,0 +1,67 @@
+#include "tech/tech130.h"
+
+#include <algorithm>
+#include <random>
+
+namespace mcsm::tech {
+
+Technology make_tech130() {
+    Technology t;
+
+    spice::MosParams& n = t.nmos;
+    n.type = spice::MosType::kNmos;
+    n.vt0 = 0.33;
+    n.n = 1.30;
+    n.kp = 4.2e-4;
+    n.lambda = 0.18;
+    n.cox = 1.55e-2;
+    n.cgso = 3.0e-10;
+    n.cgdo = 3.0e-10;
+    n.cgbo = 1.0e-10;
+    n.cj = 2.6e-3;
+    n.mj = 0.5;
+    n.pb = 0.8;
+    n.cjsw = 5.2e-10;
+    n.mjsw = 0.33;
+    n.ldiff = 0.42e-6;
+
+    spice::MosParams& p = t.pmos;
+    p = n;
+    p.type = spice::MosType::kPmos;
+    p.vt0 = 0.32;
+    p.n = 1.35;
+    p.kp = 1.8e-4;
+    p.lambda = 0.22;
+
+    return t;
+}
+
+Technology apply_corner(const Technology& nominal, const ProcessCorner& c) {
+    Technology t = nominal;
+    t.nmos.vt0 += c.nmos_dvt;
+    t.pmos.vt0 += c.pmos_dvt;
+    t.nmos.kp *= c.kp_scale;
+    t.pmos.kp *= c.kp_scale;
+    t.nmos.cox *= c.cox_scale;
+    t.pmos.cox *= c.cox_scale;
+    return t;
+}
+
+ProcessCorner sample_corner(unsigned seed) {
+    std::mt19937 gen(seed);
+    // sigma = 10 mV / 2.67% so the 3-sigma spread matches the documented
+    // bounds; clamp at 3 sigma to keep corners physical.
+    std::normal_distribution<double> vt(0.0, 0.010);
+    std::normal_distribution<double> scale(1.0, 0.0267);
+    auto clamp3 = [](double x, double mid, double sig) {
+        return std::min(std::max(x, mid - 3.0 * sig), mid + 3.0 * sig);
+    };
+    ProcessCorner c;
+    c.nmos_dvt = clamp3(vt(gen), 0.0, 0.010);
+    c.pmos_dvt = clamp3(vt(gen), 0.0, 0.010);
+    c.kp_scale = clamp3(scale(gen), 1.0, 0.0267);
+    c.cox_scale = clamp3(scale(gen), 1.0, 0.0267);
+    return c;
+}
+
+}  // namespace mcsm::tech

@@ -1,0 +1,50 @@
+// Synthetic 130nm-class technology card (Vdd = 1.2 V), standing in for the
+// proprietary 130nm library used by the paper. Parameters are tuned so that
+// inverter FO4-class delays land in a plausible range for the node and the
+// NOR2 stack-effect magnitudes match the paper's qualitative behaviour.
+#ifndef MCSM_TECH_TECH130_H
+#define MCSM_TECH_TECH130_H
+
+#include "spice/mos_params.h"
+
+namespace mcsm::tech {
+
+struct Technology {
+    spice::MosParams nmos;
+    spice::MosParams pmos;
+    double vdd = 1.2;        // supply voltage [V]
+    double lmin = 0.13e-6;   // minimum channel length [m]
+    double wn_unit = 0.52e-6;  // unit NMOS width [m]
+    double wp_unit = 1.04e-6;  // unit PMOS width [m]
+    // Characterization sweep margin (the paper's unspecified "safety margin
+    // delta-v"). Must cover the worst over/undershoot the models see;
+    // 50 fF-class coupling noise can push a driven net several hundred mV
+    // past the rails, so the margin is generous.
+    double dv_margin = 0.3;
+};
+
+// The default 130nm-class card used across tests, benches and examples.
+Technology make_tech130();
+
+// Process-corner parameters as fractions of nominal: vt shifts are absolute
+// volts, the others multiply the nominal value. Used by the statistical
+// extension (ref. [5] applies current-based models to statistical delay
+// analysis).
+struct ProcessCorner {
+    double nmos_dvt = 0.0;   // NMOS threshold shift [V]
+    double pmos_dvt = 0.0;   // PMOS threshold shift [V]
+    double kp_scale = 1.0;   // mobility/current-factor multiplier
+    double cox_scale = 1.0;  // oxide-capacitance multiplier
+};
+
+// Applies a corner to a nominal card.
+Technology apply_corner(const Technology& nominal, const ProcessCorner& c);
+
+// Deterministic pseudo-random corner (seeded), with 3-sigma bounds of
+// +/-30 mV on thresholds and +/-8% on kp/cox - representative 130nm global
+// variation.
+ProcessCorner sample_corner(unsigned seed);
+
+}  // namespace mcsm::tech
+
+#endif  // MCSM_TECH_TECH130_H

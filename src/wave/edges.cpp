@@ -1,0 +1,46 @@
+#include "wave/edges.h"
+
+#include "common/error.h"
+
+namespace mcsm::wave {
+
+Waveform saturated_ramp(double t_start, double ramp_time, double v0, double v1) {
+    require(ramp_time > 0.0, "saturated_ramp: ramp_time must be positive");
+    Waveform w;
+    w.append(t_start - 1.0, v0);  // hold region well before the edge
+    w.append(t_start, v0);
+    w.append(t_start + ramp_time, v1);
+    return w;
+}
+
+Waveform piecewise_edges(double v_initial, const std::vector<Edge>& edges) {
+    Waveform w;
+    double v = v_initial;
+    double t_done = -1e300;
+    bool first = true;
+    for (const Edge& e : edges) {
+        require(e.ramp_time > 0.0, "piecewise_edges: ramp_time must be positive");
+        require(first || e.t_start >= t_done,
+                "piecewise_edges: edges must not overlap");
+        if (first) {
+            w.append(e.t_start - 1.0, v);
+            first = false;
+        }
+        if (e.t_start > w.last_time()) w.append(e.t_start, v);
+        w.append(e.t_start + e.ramp_time, e.v_to);
+        v = e.v_to;
+        t_done = e.t_start + e.ramp_time;
+    }
+    if (first) return Waveform::constant(v_initial);
+    return w;
+}
+
+Waveform pulse(double t_start, double width, double ramp_time, double v_base,
+               double v_peak) {
+    require(width > ramp_time, "pulse: width must exceed ramp_time");
+    return piecewise_edges(
+        v_base, {{t_start, ramp_time, v_peak},
+                 {t_start + width, ramp_time, v_base}});
+}
+
+}  // namespace mcsm::wave

@@ -1,0 +1,35 @@
+// Builders for standard stimulus waveforms: saturated ramps, pulses,
+// glitches, and multi-edge input histories.
+#ifndef MCSM_WAVE_EDGES_H
+#define MCSM_WAVE_EDGES_H
+
+#include <vector>
+
+#include "wave/waveform.h"
+
+namespace mcsm::wave {
+
+// A saturated ramp from v0 to v1: constant v0 until t_start, linear ramp of
+// duration ramp_time (0-to-100%), then constant v1.
+Waveform saturated_ramp(double t_start, double ramp_time, double v0, double v1);
+
+// A single edge specification for building piecewise inputs.
+struct Edge {
+    double t_start = 0.0;    // when the transition begins
+    double ramp_time = 0.0;  // 0-to-100% transition duration (> 0)
+    double v_to = 0.0;       // value after the edge
+};
+
+// A waveform that starts at v_initial and applies the given edges in order.
+// Edges must not overlap: each edge must start at or after the previous edge
+// has completed.
+Waveform piecewise_edges(double v_initial, const std::vector<Edge>& edges);
+
+// A pulse: v_base -> v_peak at t_start (rise ramp_time), back to v_base at
+// t_start + width (fall ramp_time). Useful for glitch stimuli.
+Waveform pulse(double t_start, double width, double ramp_time, double v_base,
+               double v_peak);
+
+}  // namespace mcsm::wave
+
+#endif  // MCSM_WAVE_EDGES_H

@@ -1,0 +1,117 @@
+#include "wave/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+
+namespace mcsm::wave {
+
+std::optional<double> crossing(const Waveform& w, double vdd, double frac,
+                               bool rising, double t_from) {
+    return w.cross_time(frac * vdd, rising, t_from);
+}
+
+std::optional<double> delay_50(const Waveform& input, bool input_rising,
+                               const Waveform& output, bool output_rising,
+                               double vdd, double t_from) {
+    const auto t_in = crossing(input, vdd, 0.5, input_rising, t_from);
+    if (!t_in) return std::nullopt;
+    const auto t_out = crossing(output, vdd, 0.5, output_rising, *t_in);
+    if (!t_out) return std::nullopt;
+    return *t_out - *t_in;
+}
+
+std::optional<double> slew_10_90(const Waveform& w, double vdd, bool rising,
+                                 double t_from) {
+    const double lo = 0.1 * vdd;
+    const double hi = 0.9 * vdd;
+    if (rising) {
+        const auto t_lo = w.cross_time(lo, true, t_from);
+        if (!t_lo) return std::nullopt;
+        const auto t_hi = w.cross_time(hi, true, *t_lo);
+        if (!t_hi) return std::nullopt;
+        return *t_hi - *t_lo;
+    }
+    const auto t_hi = w.cross_time(hi, false, t_from);
+    if (!t_hi) return std::nullopt;
+    const auto t_lo = w.cross_time(lo, false, *t_hi);
+    if (!t_lo) return std::nullopt;
+    return *t_lo - *t_hi;
+}
+
+double rmse(const Waveform& a, const Waveform& b, double t0, double t1,
+            std::size_t n_samples) {
+    require(t1 > t0, "rmse: t1 must exceed t0");
+    require(n_samples >= 2, "rmse: need at least 2 samples");
+    double acc = 0.0;
+    const double step = (t1 - t0) / static_cast<double>(n_samples - 1);
+    for (std::size_t k = 0; k < n_samples; ++k) {
+        const double t = t0 + step * static_cast<double>(k);
+        const double d = a.at(t) - b.at(t);
+        acc += d * d;
+    }
+    return std::sqrt(acc / static_cast<double>(n_samples));
+}
+
+double rmse_normalized(const Waveform& a, const Waveform& b, double t0,
+                       double t1, double vdd, std::size_t n_samples) {
+    require(vdd > 0.0, "rmse_normalized: vdd must be positive");
+    return rmse(a, b, t0, t1, n_samples) / vdd;
+}
+
+double integral(const Waveform& w, double t0, double t1) {
+    require(t1 > t0, "integral: t1 must exceed t0");
+    // Integrate segment-exactly: collect the breakpoints inside [t0, t1]
+    // plus the interval ends, then apply the trapezoid rule (exact for a
+    // piecewise-linear function).
+    std::vector<double> ts;
+    ts.push_back(t0);
+    for (double t : w.times())
+        if (t > t0 && t < t1) ts.push_back(t);
+    ts.push_back(t1);
+    double acc = 0.0;
+    for (std::size_t i = 0; i + 1 < ts.size(); ++i)
+        acc += 0.5 * (w.at(ts[i]) + w.at(ts[i + 1])) * (ts[i + 1] - ts[i]);
+    return acc;
+}
+
+double peak_excursion(const Waveform& w, double level, bool above, double t0,
+                      double t1) {
+    require(t1 > t0, "peak_excursion: t1 must exceed t0");
+    double peak = 0.0;
+    auto consider = [&](double v) {
+        const double e = above ? v - level : level - v;
+        peak = std::max(peak, e);
+    };
+    consider(w.at(t0));
+    consider(w.at(t1));
+    for (std::size_t i = 0; i < w.size(); ++i) {
+        if (w.time(i) > t0 && w.time(i) < t1) consider(w.value(i));
+    }
+    return peak;
+}
+
+double width_above(const Waveform& w, double level, double t0, double t1) {
+    const auto up = w.cross_time(level, true, t0);
+    if (!up || *up >= t1) return 0.0;
+    const auto down = w.cross_time(level, false, *up);
+    const double end = (down && *down < t1) ? *down : t1;
+    return end - *up;
+}
+
+double max_abs_error(const Waveform& a, const Waveform& b, double t0,
+                     double t1, std::size_t n_samples) {
+    require(t1 > t0, "max_abs_error: t1 must exceed t0");
+    require(n_samples >= 2, "max_abs_error: need at least 2 samples");
+    double m = 0.0;
+    const double step = (t1 - t0) / static_cast<double>(n_samples - 1);
+    for (std::size_t k = 0; k < n_samples; ++k) {
+        const double t = t0 + step * static_cast<double>(k);
+        m = std::max(m, std::fabs(a.at(t) - b.at(t)));
+    }
+    return m;
+}
+
+}  // namespace mcsm::wave

@@ -1,0 +1,57 @@
+// Timing and similarity metrics over waveforms: 50% propagation delay,
+// 10-90% transition (slew) time, and the paper's RMSE (eq. (6)).
+#ifndef MCSM_WAVE_METRICS_H
+#define MCSM_WAVE_METRICS_H
+
+#include <cstddef>
+#include <optional>
+
+#include "wave/waveform.h"
+
+namespace mcsm::wave {
+
+// Time at which w crosses frac * vdd in the given direction, at/after t_from.
+std::optional<double> crossing(const Waveform& w, double vdd, double frac,
+                               bool rising, double t_from = -1e300);
+
+// 50% input-to-output propagation delay: output 50% crossing minus input 50%
+// crossing. `input_rising` / `output_rising` select the edge directions.
+std::optional<double> delay_50(const Waveform& input, bool input_rising,
+                               const Waveform& output, bool output_rising,
+                               double vdd, double t_from = -1e300);
+
+// 10%-90% transition time of the first edge in the given direction at/after
+// t_from (for falling edges this is the 90%->10% interval).
+std::optional<double> slew_10_90(const Waveform& w, double vdd, bool rising,
+                                 double t_from = -1e300);
+
+// Root-mean-squared difference between two waveforms, sampled at n_samples
+// uniform points over [t0, t1] (paper eq. (6)). Not normalized.
+double rmse(const Waveform& a, const Waveform& b, double t0, double t1,
+            std::size_t n_samples = 256);
+
+// RMSE normalized to vdd, as reported by the paper (fraction, not percent).
+double rmse_normalized(const Waveform& a, const Waveform& b, double t0,
+                       double t1, double vdd, std::size_t n_samples = 256);
+
+// Maximum absolute difference over [t0, t1], sampled at n_samples points.
+double max_abs_error(const Waveform& a, const Waveform& b, double t0,
+                     double t1, std::size_t n_samples = 256);
+
+// Trapezoidal integral of the waveform over [t0, t1] (e.g. charge when the
+// waveform is a current, volt-seconds when a voltage).
+double integral(const Waveform& w, double t0, double t1);
+
+// Peak excursion above `level` within [t0, t1]; zero when the waveform
+// never exceeds it. With rising=false, measures the excursion below.
+double peak_excursion(const Waveform& w, double level, bool above, double t0,
+                      double t1);
+
+// Width of the (first) interval within [t0, t1] where the waveform exceeds
+// `level` (crosses up then back down); zero if it never does. The classic
+// glitch-width metric for noise analysis.
+double width_above(const Waveform& w, double level, double t0, double t1);
+
+}  // namespace mcsm::wave
+
+#endif  // MCSM_WAVE_METRICS_H

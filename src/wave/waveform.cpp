@@ -1,0 +1,121 @@
+#include "wave/waveform.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/numeric.h"
+
+namespace mcsm::wave {
+
+Waveform::Waveform(std::vector<double> times, std::vector<double> values)
+    : times_(std::move(times)), values_(std::move(values)) {
+    require(times_.size() == values_.size(),
+            "Waveform: times/values size mismatch");
+    for (std::size_t i = 1; i < times_.size(); ++i)
+        require(times_[i] > times_[i - 1], "Waveform: times must increase");
+}
+
+Waveform Waveform::constant(double value) {
+    return Waveform({0.0}, {value});
+}
+
+double Waveform::first_time() const {
+    require(!empty(), "Waveform::first_time on empty waveform");
+    return times_.front();
+}
+
+double Waveform::last_time() const {
+    require(!empty(), "Waveform::last_time on empty waveform");
+    return times_.back();
+}
+
+double Waveform::first_value() const {
+    require(!empty(), "Waveform::first_value on empty waveform");
+    return values_.front();
+}
+
+double Waveform::last_value() const {
+    require(!empty(), "Waveform::last_value on empty waveform");
+    return values_.back();
+}
+
+void Waveform::append(double t, double v) {
+    require(times_.empty() || t > times_.back(),
+            "Waveform::append: time must increase");
+    times_.push_back(t);
+    values_.push_back(v);
+}
+
+double Waveform::at(double t) const {
+    require(!empty(), "Waveform::at on empty waveform");
+    if (t <= times_.front()) return values_.front();
+    if (t >= times_.back()) return values_.back();
+    const std::size_t i = bracket(times_, t);
+    return lerp(times_[i], values_[i], times_[i + 1], values_[i + 1], t);
+}
+
+double Waveform::slope_at(double t) const {
+    require(!empty(), "Waveform::slope_at on empty waveform");
+    if (times_.size() < 2 || t < times_.front() || t > times_.back()) return 0.0;
+    const std::size_t i = bracket(times_, t);
+    return (values_[i + 1] - values_[i]) / (times_[i + 1] - times_[i]);
+}
+
+std::optional<double> Waveform::cross_time(double level, bool rising,
+                                           double t_from) const {
+    for (std::size_t i = 0; i + 1 < times_.size(); ++i) {
+        if (times_[i + 1] < t_from) continue;
+        const double v0 = values_[i];
+        const double v1 = values_[i + 1];
+        const bool crosses = rising ? (v0 < level && v1 >= level)
+                                    : (v0 > level && v1 <= level);
+        if (!crosses) continue;
+        const double tc = lerp(v0, times_[i], v1, times_[i + 1], level);
+        if (tc >= t_from) return tc;
+    }
+    return std::nullopt;
+}
+
+std::optional<double> Waveform::last_cross_time(double level, bool rising) const {
+    std::optional<double> found;
+    for (std::size_t i = 0; i + 1 < times_.size(); ++i) {
+        const double v0 = values_[i];
+        const double v1 = values_[i + 1];
+        const bool crosses = rising ? (v0 < level && v1 >= level)
+                                    : (v0 > level && v1 <= level);
+        if (crosses) found = lerp(v0, times_[i], v1, times_[i + 1], level);
+    }
+    return found;
+}
+
+Waveform Waveform::shifted(double dt) const {
+    std::vector<double> t = times_;
+    for (double& x : t) x += dt;
+    return Waveform(std::move(t), values_);
+}
+
+Waveform Waveform::resampled(const std::vector<double>& new_times) const {
+    std::vector<double> v;
+    v.reserve(new_times.size());
+    for (double t : new_times) v.push_back(at(t));
+    return Waveform(new_times, std::move(v));
+}
+
+Waveform Waveform::scaled(double scale, double offset) const {
+    std::vector<double> v = values_;
+    for (double& x : v) x = scale * x + offset;
+    return Waveform(times_, std::move(v));
+}
+
+double Waveform::min_value() const {
+    require(!empty(), "Waveform::min_value on empty waveform");
+    return *std::min_element(values_.begin(), values_.end());
+}
+
+double Waveform::max_value() const {
+    require(!empty(), "Waveform::max_value on empty waveform");
+    return *std::max_element(values_.begin(), values_.end());
+}
+
+}  // namespace mcsm::wave

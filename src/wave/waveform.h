@@ -1,0 +1,74 @@
+// Piecewise-linear voltage waveform: the common currency between the SPICE
+// substrate, the CSM models and the STA layer.
+#ifndef MCSM_WAVE_WAVEFORM_H
+#define MCSM_WAVE_WAVEFORM_H
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace mcsm::wave {
+
+// A sampled voltage waveform v(t) with strictly increasing time points,
+// interpreted as piecewise-linear between samples and constant outside the
+// sampled range (held at the first / last value).
+class Waveform {
+public:
+    Waveform() = default;
+    Waveform(std::vector<double> times, std::vector<double> values);
+
+    static Waveform constant(double value);
+
+    std::size_t size() const { return times_.size(); }
+    bool empty() const { return times_.empty(); }
+
+    const std::vector<double>& times() const { return times_; }
+    const std::vector<double>& values() const { return values_; }
+
+    double time(std::size_t i) const { return times_[i]; }
+    double value(std::size_t i) const { return values_[i]; }
+
+    double first_time() const;
+    double last_time() const;
+    double first_value() const;
+    double last_value() const;
+
+    // Appends a sample; t must exceed the current last time.
+    void append(double t, double v);
+
+    // Linear interpolation; clamps to end values outside the range.
+    double at(double t) const;
+
+    // Time derivative of the piecewise-linear interpolant at t (uses the
+    // segment containing t; zero outside the range).
+    double slope_at(double t) const;
+
+    // First time the waveform crosses `level` moving in the given direction
+    // (rising: from below to >= level). Searches from t_from onward.
+    std::optional<double> cross_time(double level, bool rising,
+                                     double t_from = -1e300) const;
+
+    // Last crossing of `level` in the given direction.
+    std::optional<double> last_cross_time(double level, bool rising) const;
+
+    // Returns a copy shifted in time by dt.
+    Waveform shifted(double dt) const;
+
+    // Returns a copy sampled at the given times (linear interpolation).
+    Waveform resampled(const std::vector<double>& new_times) const;
+
+    // Returns a copy with values mapped through v -> scale * v + offset.
+    Waveform scaled(double scale, double offset = 0.0) const;
+
+    // Minimum / maximum sample value; requires a non-empty waveform.
+    double min_value() const;
+    double max_value() const;
+
+private:
+    std::vector<double> times_;
+    std::vector<double> values_;
+};
+
+}  // namespace mcsm::wave
+
+#endif  // MCSM_WAVE_WAVEFORM_H

@@ -1,0 +1,162 @@
+// Cell-library tests: truth tables via DC analysis, internal stack node
+// steady states (the paper's Section 2.2 observations), fanout helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "cells/cell_type.h"
+#include "cells/fanout.h"
+#include "cells/library.h"
+#include "spice/dc_solver.h"
+#include "tech/tech130.h"
+
+namespace mcsm::cells {
+namespace {
+
+using spice::Circuit;
+using spice::DcResult;
+using spice::SourceSpec;
+
+class CellFixture : public ::testing::Test {
+protected:
+    CellFixture() : tech_(tech::make_tech130()), lib_(tech_) {}
+
+    // DC-solves the cell with the given input values; returns the solution
+    // and records node ids in out_/instance_.
+    DcResult solve_cell(const std::string& cell_name,
+                        const std::vector<double>& input_volts) {
+        const CellType& cell = lib_.get(cell_name);
+        circuit_ = Circuit();
+        const int vdd = circuit_.node("vdd");
+        circuit_.add_vsource("VDD", vdd, Circuit::kGround,
+                             SourceSpec::dc(tech_.vdd));
+        std::unordered_map<std::string, int> conn;
+        conn[kVdd] = vdd;
+        conn[kGnd] = Circuit::kGround;
+        out_ = circuit_.node("out");
+        conn[kOut] = out_;
+        for (std::size_t i = 0; i < cell.inputs().size(); ++i) {
+            const int n = circuit_.node("in_" + cell.inputs()[i].name);
+            conn[cell.inputs()[i].name] = n;
+            circuit_.add_vsource("V" + cell.inputs()[i].name, n,
+                                 Circuit::kGround,
+                                 SourceSpec::dc(input_volts[i]));
+        }
+        instance_ = cell.instantiate(circuit_, "X0", conn);
+        return spice::solve_dc(circuit_);
+    }
+
+    tech::Technology tech_;
+    CellLibrary lib_;
+    Circuit circuit_;
+    CellInstance instance_;
+    int out_ = -1;
+};
+
+TEST_F(CellFixture, AllCellsMatchTruthTablesAtDc) {
+    for (const std::string& name : lib_.names()) {
+        const CellType& cell = lib_.get(name);
+        const std::size_t n_in = cell.input_count();
+        for (unsigned pattern = 0; pattern < (1u << n_in); ++pattern) {
+            std::vector<double> volts(n_in);
+            std::vector<bool> bits(n_in);
+            for (std::size_t i = 0; i < n_in; ++i) {
+                bits[i] = (pattern >> i) & 1u;
+                volts[i] = bits[i] ? tech_.vdd : 0.0;
+            }
+            const DcResult r = solve_cell(name, volts);
+            // Plain bool array (std::vector<bool> has no contiguous data()).
+            bool arr[4] = {false, false, false, false};
+            for (std::size_t i = 0; i < n_in; ++i) arr[i] = bits[i];
+            const bool logic = cell.eval_logic(std::span<const bool>(arr, n_in));
+            const double vout = r.node_voltage(out_);
+            if (logic) {
+                EXPECT_GT(vout, 0.9 * tech_.vdd)
+                    << name << " pattern=" << pattern;
+            } else {
+                EXPECT_LT(vout, 0.1 * tech_.vdd)
+                    << name << " pattern=" << pattern;
+            }
+        }
+    }
+}
+
+TEST_F(CellFixture, Nor2StackNodeHighWhenTopPmosOn) {
+    // Inputs '10' (A=1, B=0): M4 (gate B) connects N to VDD.
+    const DcResult r = solve_cell("NOR2", {tech_.vdd, 0.0});
+    const double vn = r.node_voltage(instance_.node("N"));
+    EXPECT_NEAR(vn, tech_.vdd, 0.03);
+}
+
+TEST_F(CellFixture, Nor2StackNodeAtBodyAffectedVtpWhenBottomPmosOn) {
+    // Inputs '01' (A=0, B=1): N discharges through M3 toward OUT=0 and
+    // settles near the body-affected |Vt,p| (paper Section 2.2).
+    const DcResult r = solve_cell("NOR2", {0.0, tech_.vdd});
+    const double vn = r.node_voltage(instance_.node("N"));
+    EXPECT_GT(vn, 0.10);
+    EXPECT_LT(vn, 0.55);
+}
+
+TEST_F(CellFixture, Nor2StackNodeStatesDiffer) {
+    const DcResult r10 = solve_cell("NOR2", {tech_.vdd, 0.0});
+    const double vn10 = r10.node_voltage(instance_.node("N"));
+    const DcResult r01 = solve_cell("NOR2", {0.0, tech_.vdd});
+    const double vn01 = r01.node_voltage(instance_.node("N"));
+    // The two input histories leave very different internal-node voltages.
+    EXPECT_GT(vn10 - vn01, 0.5);
+}
+
+TEST_F(CellFixture, Nand2StackNodeStates) {
+    // '01' (A=0, B=1): bottom NMOS on, N pulled to ground.
+    const DcResult r01 = solve_cell("NAND2", {0.0, tech_.vdd});
+    const double vn01 = r01.node_voltage(instance_.node("N"));
+    EXPECT_NEAR(vn01, 0.0, 0.03);
+    // '10' (A=1, B=0): N charges through the top NMOS toward VDD - Vt,n.
+    const DcResult r10 = solve_cell("NAND2", {tech_.vdd, 0.0});
+    const double vn10 = r10.node_voltage(instance_.node("N"));
+    EXPECT_GT(vn10, 0.6);
+    EXPECT_LT(vn10, 1.1);
+}
+
+TEST_F(CellFixture, InputCapEstimateScalesWithDrive) {
+    const double c1 = lib_.get("INV_X1").input_cap_estimate("A");
+    const double c2 = lib_.get("INV_X2").input_cap_estimate("A");
+    const double c4 = lib_.get("INV_X4").input_cap_estimate("A");
+    EXPECT_NEAR(c2 / c1, 2.0, 0.01);
+    EXPECT_NEAR(c4 / c1, 4.0, 0.01);
+    // Order of magnitude: a unit inverter input is a fF-scale load.
+    EXPECT_GT(c1, 0.2e-15);
+    EXPECT_LT(c1, 20e-15);
+}
+
+TEST_F(CellFixture, InstantiateRejectsMissingPins) {
+    const CellType& cell = lib_.get("NOR2");
+    Circuit c;
+    std::unordered_map<std::string, int> conn;
+    conn[kVdd] = c.node("vdd");
+    conn[kGnd] = Circuit::kGround;
+    // OUT and inputs missing.
+    EXPECT_THROW(cell.instantiate(c, "X", conn), ModelError);
+}
+
+TEST_F(CellFixture, FanoutAttachesReceivers) {
+    Circuit c;
+    const int vdd = c.node("vdd");
+    const int net = c.node("net");
+    c.add_vsource("VDD", vdd, Circuit::kGround, SourceSpec::dc(tech_.vdd));
+    c.add_vsource("VNET", net, Circuit::kGround, SourceSpec::dc(0.0));
+    const double cap = attach_fanout(c, lib_, "INV_X1", net, vdd, 4, "fo");
+    EXPECT_NEAR(cap, 4.0 * receiver_input_cap(lib_, "INV_X1"), 1e-20);
+    // 4 receivers x 2 transistors.
+    int mosfets = 0;
+    for (const auto& dev : c.devices())
+        if (dynamic_cast<const spice::Mosfet*>(dev.get()) != nullptr) ++mosfets;
+    EXPECT_EQ(mosfets, 8);
+    // The circuit solves (receivers see a driven input).
+    EXPECT_NO_THROW(spice::solve_dc(c));
+}
+
+}  // namespace
+}  // namespace mcsm::cells

@@ -1,0 +1,163 @@
+// Direct tests of the paper-faithful explicit integrator (eqs. (4)-(5)):
+// initialization from the model DC state, explicit initial-state override
+// (the knob that expresses history-dependent stack charge), internal-node
+// trajectories, convergence in dt, and baseline-model behaviour.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "core/characterizer.h"
+#include "core/explicit_sim.h"
+#include "engine/scenarios.h"
+#include "tech/tech130.h"
+#include "wave/edges.h"
+#include "wave/metrics.h"
+
+namespace mcsm::core {
+namespace {
+
+struct Shared {
+    tech::Technology tech = tech::make_tech130();
+    cells::CellLibrary lib{tech};
+    CsmModel nor;
+    CsmModel nor_baseline;
+
+    static const Shared& get() {
+        static Shared s;
+        return s;
+    }
+
+private:
+    Shared() {
+        const Characterizer chr(lib);
+        CharOptions fast;
+        fast.transient_caps = false;
+        fast.grid_points = 11;
+        nor = chr.characterize("NOR2", ModelKind::kMcsm, {"A", "B"}, fast);
+        nor_baseline = chr.characterize("NOR2", ModelKind::kMisBaseline,
+                                        {"A", "B"}, fast);
+    }
+};
+
+TEST(ExplicitSim, InitializesFromModelDcState) {
+    const Shared& s = Shared::get();
+    // Constant inputs '10': the simulation must hold the DC state (out low,
+    // N at Vdd) without drift.
+    const auto a = wave::Waveform::constant(s.tech.vdd);
+    const auto b = wave::Waveform::constant(0.0);
+    ExplicitOptions opt;
+    opt.tstop = 1e-9;
+    opt.dt = 0.5e-12;
+    const ExplicitResult r = simulate_explicit(s.nor, {a, b}, opt);
+    EXPECT_NEAR(r.out.first_value(), 0.0, 0.05);
+    EXPECT_NEAR(r.out.last_value(), 0.0, 0.05);
+    ASSERT_EQ(r.internals.size(), 1u);
+    EXPECT_NEAR(r.internals[0].first_value(), s.tech.vdd, 0.05);
+    EXPECT_NEAR(r.internals[0].last_value(), s.tech.vdd, 0.05);
+}
+
+TEST(ExplicitSim, InitialStateOverrideControlsHistory) {
+    const Shared& s = Shared::get();
+    // '11' -> '00' final transition only, with the stack node seeded at the
+    // two history levels: the Vdd seed must switch faster (the paper's
+    // central claim, expressed directly through eq. (5) initial conditions).
+    const auto edge =
+        wave::piecewise_edges(s.tech.vdd, {{0.3e-9, 80e-12, 0.0}});
+    ExplicitOptions opt;
+    opt.tstop = 1.5e-9;
+    opt.dt = 0.25e-12;
+    opt.load_cap = 5e-15;
+
+    opt.initial_state = {s.tech.vdd, 0.0};  // [N, out]: N precharged
+    const ExplicitResult fast = simulate_explicit(s.nor, {edge, edge}, opt);
+    opt.initial_state = {0.35, 0.0};  // N at ~|Vt,p|
+    const ExplicitResult slow = simulate_explicit(s.nor, {edge, edge}, opt);
+
+    const auto d_fast =
+        wave::delay_50(edge, false, fast.out, true, s.tech.vdd, 0.1e-9);
+    const auto d_slow =
+        wave::delay_50(edge, false, slow.out, true, s.tech.vdd, 0.1e-9);
+    ASSERT_TRUE(d_fast.has_value());
+    ASSERT_TRUE(d_slow.has_value());
+    EXPECT_LT(*d_fast, *d_slow);
+    // The split is material (the stack effect), not numerical noise.
+    EXPECT_GT((*d_slow - *d_fast) / *d_slow, 0.04);
+}
+
+TEST(ExplicitSim, InternalNodeRechargesAfterTransition) {
+    const Shared& s = Shared::get();
+    const engine::HistoryStimulus stim =
+        engine::nor2_history(engine::HistoryCase::kSlow01, s.tech.vdd);
+    ExplicitOptions opt;
+    opt.tstop = 3.2e-9;
+    opt.dt = 0.5e-12;
+    opt.load_cap = 5e-15;
+    const ExplicitResult r = simulate_explicit(s.nor, {stim.a, stim.b}, opt);
+    // Before the final edge N sits near |Vt,p|; afterwards the pull-up
+    // stack recharges it to Vdd.
+    EXPECT_LT(r.internals[0].at(stim.t_final - 50e-12), 0.8);
+    EXPECT_NEAR(r.internals[0].last_value(), s.tech.vdd, 0.05);
+    EXPECT_NEAR(r.out.last_value(), s.tech.vdd, 0.05);
+}
+
+TEST(ExplicitSim, ConvergesAsDtShrinks) {
+    const Shared& s = Shared::get();
+    const engine::MisStimulus stim =
+        engine::nor2_simultaneous_fall(s.tech.vdd, 0.5e-9);
+    ExplicitOptions ref_opt;
+    ref_opt.tstop = 1.5e-9;
+    ref_opt.dt = 0.05e-12;
+    ref_opt.load_cap = 5e-15;
+    const ExplicitResult ref =
+        simulate_explicit(s.nor, {stim.a, stim.b}, ref_opt);
+
+    double prev_err = 1e9;
+    for (const double dt : {2e-12, 1e-12, 0.5e-12}) {
+        ExplicitOptions opt = ref_opt;
+        opt.dt = dt;
+        const ExplicitResult r =
+            simulate_explicit(s.nor, {stim.a, stim.b}, opt);
+        const double err = wave::rmse(ref.out, r.out, 0.4e-9, 1.4e-9);
+        EXPECT_LT(err, prev_err + 1e-6) << dt;
+        prev_err = err;
+    }
+    EXPECT_LT(prev_err, 0.01);  // 10 mV RMSE at dt = 0.5 ps
+}
+
+TEST(ExplicitSim, BaselineModelHasNoInternalTrajectory) {
+    const Shared& s = Shared::get();
+    const engine::MisStimulus stim =
+        engine::nor2_simultaneous_fall(s.tech.vdd, 0.5e-9);
+    ExplicitOptions opt;
+    opt.tstop = 1.5e-9;
+    opt.dt = 0.5e-12;
+    opt.load_cap = 5e-15;
+    const ExplicitResult r =
+        simulate_explicit(s.nor_baseline, {stim.a, stim.b}, opt);
+    EXPECT_TRUE(r.internals.empty());
+    // It still produces a full-swing transition.
+    EXPECT_NEAR(r.out.first_value(), 0.0, 0.05);
+    EXPECT_NEAR(r.out.last_value(), s.tech.vdd, 0.05);
+}
+
+TEST(ExplicitSim, StateStaysWithinCharacterizedRange) {
+    const Shared& s = Shared::get();
+    // Very fast edges maximize Miller kick; the clamp must keep the state
+    // inside [-dv, vdd+dv] where the tables are defined.
+    const auto a = wave::piecewise_edges(s.tech.vdd, {{0.3e-9, 10e-12, 0.0}});
+    const auto b = wave::piecewise_edges(s.tech.vdd, {{0.3e-9, 10e-12, 0.0}});
+    ExplicitOptions opt;
+    opt.tstop = 1e-9;
+    opt.dt = 0.25e-12;
+    opt.load_cap = 1e-15;
+    const ExplicitResult r = simulate_explicit(s.nor, {a, b}, opt);
+    EXPECT_GE(r.out.min_value(), -s.nor.dv_margin - 1e-12);
+    EXPECT_LE(r.out.max_value(), s.tech.vdd + s.nor.dv_margin + 1e-12);
+    EXPECT_GE(r.internals[0].min_value(), -s.nor.dv_margin - 1e-12);
+    EXPECT_LE(r.internals[0].max_value(),
+              s.tech.vdd + s.nor.dv_margin + 1e-12);
+}
+
+}  // namespace
+}  // namespace mcsm::core

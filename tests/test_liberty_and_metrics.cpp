@@ -1,0 +1,103 @@
+// Tests for the Liberty-style NLDM export and the extended waveform metrics
+// (integral / peak excursion / width-above used by noise analysis).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sta/liberty_writer.h"
+#include "sta/nldm.h"
+#include "tech/tech130.h"
+#include "wave/edges.h"
+#include "wave/metrics.h"
+
+namespace mcsm {
+namespace {
+
+TEST(WaveMetrics, IntegralOfRampIsExact) {
+    // Unit ramp 0->1 over [0,1]: integral = 0.5 exactly (piecewise-linear).
+    wave::Waveform w({0.0, 1.0}, {0.0, 1.0});
+    EXPECT_DOUBLE_EQ(wave::integral(w, 0.0, 1.0), 0.5);
+    // Partial window [0.5, 1.0]: trapezoid of 0.5..1.0 = 0.375.
+    EXPECT_DOUBLE_EQ(wave::integral(w, 0.5, 1.0), 0.375);
+    // Constant extension beyond the samples.
+    EXPECT_DOUBLE_EQ(wave::integral(w, 1.0, 2.0), 1.0);
+}
+
+TEST(WaveMetrics, IntegralHandlesInteriorBreakpoints) {
+    // Triangle pulse: area = base * height / 2.
+    const wave::Waveform tri({0.0, 1.0, 2.0}, {0.0, 1.0, 0.0});
+    EXPECT_DOUBLE_EQ(wave::integral(tri, 0.0, 2.0), 1.0);
+    EXPECT_THROW(wave::integral(tri, 1.0, 1.0), ModelError);
+}
+
+TEST(WaveMetrics, PeakExcursionAboveAndBelow) {
+    const wave::Waveform tri({0.0, 1.0, 2.0}, {0.0, 0.8, -0.3});
+    EXPECT_NEAR(wave::peak_excursion(tri, 0.5, true, 0.0, 2.0), 0.3, 1e-12);
+    EXPECT_NEAR(wave::peak_excursion(tri, 0.0, false, 0.0, 2.0), 0.3, 1e-12);
+    // Window excludes the peak sample: endpoint interpolation still counts.
+    EXPECT_NEAR(wave::peak_excursion(tri, 0.5, true, 0.0, 0.5), 0.0, 1e-12);
+}
+
+TEST(WaveMetrics, WidthAboveGlitchLevel) {
+    const wave::Waveform tri({0.0, 1.0, 2.0}, {0.0, 1.0, 0.0});
+    // Crosses 0.5 upward at t=0.5, downward at t=1.5: width 1.0.
+    EXPECT_NEAR(wave::width_above(tri, 0.5, 0.0, 2.0), 1.0, 1e-12);
+    // Never exceeds 1.5.
+    EXPECT_DOUBLE_EQ(wave::width_above(tri, 1.5, 0.0, 2.0), 0.0);
+    // Still above the level at the window end: clipped to the window.
+    EXPECT_NEAR(wave::width_above(tri, 0.5, 0.0, 1.0), 0.5, 1e-12);
+}
+
+class LibertyFixture : public ::testing::Test {
+protected:
+    LibertyFixture() : tech_(tech::make_tech130()), lib_(tech_) {}
+    tech::Technology tech_;
+    cells::CellLibrary lib_;
+};
+
+TEST_F(LibertyFixture, WritesWellFormedDocument) {
+    sta::NldmOptions opt;
+    opt.slews = {50e-12, 200e-12};
+    opt.loads = {2e-15, 8e-15};
+    const sta::NldmLibrary nldm(lib_, {"INV_X1"}, opt);
+
+    std::stringstream ss;
+    sta::write_liberty(ss, nldm, {"INV_X1"});
+    const std::string text = ss.str();
+
+    // Structural checks.
+    EXPECT_NE(text.find("library (mcsm130)"), std::string::npos);
+    EXPECT_NE(text.find("lu_table_template (delay_template)"),
+              std::string::npos);
+    EXPECT_NE(text.find("cell (INV_X1)"), std::string::npos);
+    EXPECT_NE(text.find("related_pin : \"A\""), std::string::npos);
+    EXPECT_NE(text.find("cell_rise"), std::string::npos);
+    EXPECT_NE(text.find("cell_fall"), std::string::npos);
+    EXPECT_NE(text.find("negative_unate"), std::string::npos);
+
+    // Balanced braces.
+    int depth = 0;
+    for (char c : text) {
+        if (c == '{') ++depth;
+        if (c == '}') --depth;
+        EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+
+    // Axis values are in the requested units (ns / fF): the 200 ps slew
+    // appears as 0.2 and the 8 fF load as 8.
+    EXPECT_NE(text.find("0.2"), std::string::npos);
+    EXPECT_NE(text.find("8"), std::string::npos);
+}
+
+TEST_F(LibertyFixture, RejectsEmptyCellList) {
+    sta::NldmOptions opt;
+    opt.slews = {50e-12, 200e-12};
+    opt.loads = {2e-15, 8e-15};
+    const sta::NldmLibrary nldm(lib_, {"INV_X1"}, opt);
+    std::stringstream ss;
+    EXPECT_THROW(sta::write_liberty(ss, nldm, {}), ModelError);
+}
+
+}  // namespace
+}  // namespace mcsm

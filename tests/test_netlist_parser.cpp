@@ -1,0 +1,128 @@
+// SPICE-deck parser tests: numbers with engineering suffixes, every element
+// kind, model cards, and syntax-error reporting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/dc_solver.h"
+#include "spice/netlist_parser.h"
+#include "spice/tran_solver.h"
+
+namespace mcsm::spice {
+namespace {
+
+TEST(SpiceNumber, EngineeringSuffixes) {
+    EXPECT_DOUBLE_EQ(parse_spice_number("1"), 1.0);
+    EXPECT_DOUBLE_EQ(parse_spice_number("2.5k"), 2500.0);
+    EXPECT_DOUBLE_EQ(parse_spice_number("10f"), 10e-15);
+    EXPECT_DOUBLE_EQ(parse_spice_number("0.13u"), 0.13e-6);
+    EXPECT_DOUBLE_EQ(parse_spice_number("3meg"), 3e6);
+    EXPECT_DOUBLE_EQ(parse_spice_number("-4p"), -4e-12);
+    EXPECT_DOUBLE_EQ(parse_spice_number("1.2G"), 1.2e9);
+    EXPECT_DOUBLE_EQ(parse_spice_number("7n"), 7e-9);
+    EXPECT_DOUBLE_EQ(parse_spice_number("5m"), 5e-3);
+    EXPECT_DOUBLE_EQ(parse_spice_number("2t"), 2e12);
+}
+
+TEST(SpiceNumber, RejectsGarbage) {
+    EXPECT_THROW(parse_spice_number(""), ModelError);
+    EXPECT_THROW(parse_spice_number("abc"), ModelError);
+    EXPECT_THROW(parse_spice_number("1.5x"), ModelError);
+}
+
+TEST(NetlistParser, ResistorDividerDeck) {
+    auto deck = parse_netlist_string(R"(
+* simple divider
+V1 in 0 DC 3.0
+R1 in mid 1k
+R2 mid gnd 2k
+.end
+)");
+    const DcResult r = solve_dc(deck.circuit);
+    EXPECT_NEAR(r.node_voltage(deck.circuit.node_id("mid")), 2.0, 1e-8);
+}
+
+TEST(NetlistParser, PwlSourceAndCapTransient) {
+    auto deck = parse_netlist_string(R"(
+V1 in 0 PWL (0 0 1n 0 1.2n 1.0)
+R1 in out 1k
+C1 out 0 1p
+)");
+    TranOptions opt;
+    opt.tstop = 6e-9;
+    opt.dt = 5e-12;
+    const TranResult r = solve_tran(deck.circuit, opt);
+    const double v_end =
+        r.final_node_voltage(deck.circuit.node_id("out"));
+    EXPECT_NEAR(v_end, 1.0 - std::exp(-4.8), 0.01);
+}
+
+TEST(NetlistParser, MosfetInverterDeck) {
+    auto deck = parse_netlist_string(R"(
+.model nch nmos vt0=0.33 n=1.3 kp=4.2e-4 lambda=0.18
+.model pch pmos vt0=0.32 n=1.35 kp=1.8e-4 lambda=0.22
+VDD vdd 0 DC 1.2
+VIN in 0 DC 0.0
+MN out in 0 0 nch w=0.52u l=0.13u
+MP out in vdd vdd pch w=1.04u l=0.13u
+)");
+    DcResult r = solve_dc(deck.circuit);
+    EXPECT_NEAR(r.node_voltage(deck.circuit.node_id("out")), 1.2, 0.03);
+    deck.circuit.vsource("VIN").set_spec(SourceSpec::dc(1.2));
+    r = solve_dc(deck.circuit, {}, &r.x);
+    EXPECT_NEAR(r.node_voltage(deck.circuit.node_id("out")), 0.0, 0.03);
+}
+
+TEST(NetlistParser, CurrentSourceDeck) {
+    auto deck = parse_netlist_string(R"(
+I1 0 n DC 2m
+R1 n 0 500
+)");
+    const DcResult r = solve_dc(deck.circuit);
+    EXPECT_NEAR(r.node_voltage(deck.circuit.node_id("n")), 1.0, 1e-8);
+}
+
+TEST(NetlistParser, CommentsAndCaseInsensitivity) {
+    auto deck = parse_netlist_string(R"(
+* leading comment
+v1 a 0 dc 1.0   ; trailing comment
+r1 a 0 1K
+)");
+    EXPECT_NO_THROW(solve_dc(deck.circuit));
+}
+
+TEST(NetlistParser, ErrorsCarryLineNumbers) {
+    try {
+        parse_netlist_string("V1 in 0 DC 1.0\nR1 in 0\n");
+        FAIL() << "expected throw";
+    } catch (const ModelError& e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    }
+}
+
+TEST(NetlistParser, RejectsUnknownModelAndDirective) {
+    EXPECT_THROW(
+        parse_netlist_string("M1 d g s b missing w=1u l=0.1u\n"),
+        ModelError);
+    EXPECT_THROW(parse_netlist_string(".tran 1n 10n\n"), ModelError);
+    EXPECT_THROW(parse_netlist_string("X1 a b sub\n"), ModelError);
+    EXPECT_THROW(
+        parse_netlist_string(".model m nmos bogus=1\n"), ModelError);
+    EXPECT_THROW(
+        parse_netlist_string(
+            ".model nch nmos vt0=0.3\nM1 d g s b nch w=1u\n"),
+        ModelError);
+}
+
+TEST(NetlistParser, StopsAtEndDirective) {
+    auto deck = parse_netlist_string(R"(
+V1 a 0 DC 1.0
+R1 a 0 1k
+.end
+this line would be a syntax error if parsed
+)");
+    EXPECT_NO_THROW(solve_dc(deck.circuit));
+}
+
+}  // namespace
+}  // namespace mcsm::spice

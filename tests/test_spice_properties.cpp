@@ -1,0 +1,228 @@
+// Parameterized property tests for the SPICE substrate: MOSFET model
+// invariants swept across geometry/bias, and transient-integration accuracy
+// swept across RC time constants and step sizes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "spice/circuit.h"
+#include "spice/dc_solver.h"
+#include "spice/tran_solver.h"
+#include "tech/tech130.h"
+#include "wave/edges.h"
+
+namespace mcsm::spice {
+namespace {
+
+using tech::make_tech130;
+
+// ---------------------------------------------------------------------------
+// MOSFET invariants over (type, width multiplier, bulk bias).
+// ---------------------------------------------------------------------------
+
+class MosfetProperty
+    : public ::testing::TestWithParam<std::tuple<MosType, double, double>> {
+protected:
+    MosfetProperty() : tech_(make_tech130()) {}
+
+    Mosfet make_device() const {
+        const auto [type, wmult, vb] = GetParam();
+        (void)vb;
+        const MosParams& p =
+            type == MosType::kNmos ? tech_.nmos : tech_.pmos;
+        const double w =
+            (type == MosType::kNmos ? tech_.wn_unit : tech_.wp_unit) * wmult;
+        return Mosfet("M", 1, 2, 3, 0, p, w, tech_.lmin);
+    }
+
+    // Polarity-normalized evaluation: returns the magnitude-oriented current
+    // for "gate overdrive vg, drain vd, source vs" regardless of type.
+    double norm_current(const Mosfet& m, double vd, double vg,
+                        double vs) const {
+        const auto [type, wmult, vb] = GetParam();
+        (void)wmult;
+        if (type == MosType::kNmos)
+            return m.evaluate_current(vd, vg, vs, vb).ids;
+        // Mirror all voltages around the supply for PMOS.
+        const double s = tech_.vdd;
+        return -m.evaluate_current(s - vd, s - vg, s - vs, s - vb).ids;
+    }
+
+    tech::Technology tech_;
+};
+
+TEST_P(MosfetProperty, ZeroVdsZeroCurrent) {
+    const Mosfet m = make_device();
+    for (double v = 0.0; v <= 1.2; v += 0.3)
+        EXPECT_NEAR(norm_current(m, v, 1.2, v), 0.0, 1e-12);
+}
+
+TEST_P(MosfetProperty, AntisymmetricInDrainSourceSwap) {
+    const Mosfet m = make_device();
+    for (double vg = 0.2; vg <= 1.2; vg += 0.25) {
+        const double fwd = norm_current(m, 0.9, vg, 0.1);
+        const double rev = norm_current(m, 0.1, vg, 0.9);
+        EXPECT_NEAR(fwd, -rev, std::fabs(fwd) * 1e-9 + 1e-15);
+    }
+}
+
+TEST_P(MosfetProperty, CurrentScalesLinearlyWithWidth) {
+    const auto [type, wmult, vb] = GetParam();
+    (void)type;
+    (void)vb;
+    const Mosfet m = make_device();
+    const double i = norm_current(m, 1.2, 1.2, 0.0);
+    // Compare against the unit-width device: strictly proportional.
+    const MosParams& p = m.params();
+    const Mosfet unit("U", 1, 2, 3, 0, p, m.width() / wmult, m.length());
+    const auto [t2, w2, vb2] = GetParam();
+    (void)t2;
+    (void)w2;
+    (void)vb2;
+    const double i_unit = norm_current(unit, 1.2, 1.2, 0.0);
+    EXPECT_NEAR(i / i_unit, wmult, 1e-9 * wmult);
+}
+
+TEST_P(MosfetProperty, MonotoneInGateAndDrain) {
+    const Mosfet m = make_device();
+    double prev = -1e9;
+    for (double vg = 0.0; vg <= 1.2; vg += 0.1) {
+        const double i = norm_current(m, 1.0, vg, 0.0);
+        EXPECT_GT(i, prev);
+        prev = i;
+    }
+    prev = -1e9;
+    for (double vd = 0.0; vd <= 1.2; vd += 0.1) {
+        const double i = norm_current(m, vd, 1.0, 0.0);
+        EXPECT_GE(i, prev - 1e-15);
+        prev = i;
+    }
+}
+
+TEST_P(MosfetProperty, SubthresholdSlopeIsExponential) {
+    const Mosfet m = make_device();
+    // Decades per 60-120 mV in weak inversion: check the ratio between two
+    // points 100 mV apart is large but finite.
+    const double i1 = norm_current(m, 1.0, 0.10, 0.0);
+    const double i2 = norm_current(m, 1.0, 0.20, 0.0);
+    EXPECT_GT(i2 / i1, 5.0);
+    EXPECT_LT(i2 / i1, 200.0);
+}
+
+TEST_P(MosfetProperty, CapsPositiveEverywhere) {
+    const Mosfet m = make_device();
+    for (double vg = 0.0; vg <= 1.2; vg += 0.4) {
+        for (double vd = 0.0; vd <= 1.2; vd += 0.4) {
+            const MosCaps c = m.evaluate_caps(vd, vg, 0.0, 0.0);
+            EXPECT_GT(c.cgs, 0.0);
+            EXPECT_GT(c.cgd, 0.0);
+            EXPECT_GE(c.cgb, 0.0);
+            EXPECT_GT(c.cdb, 0.0);
+            EXPECT_GT(c.csb, 0.0);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MosfetProperty,
+    ::testing::Combine(::testing::Values(MosType::kNmos, MosType::kPmos),
+                       ::testing::Values(1.0, 2.0, 4.0),
+                       ::testing::Values(0.0)));
+
+// ---------------------------------------------------------------------------
+// Transient integration accuracy across RC constants and step sizes.
+// ---------------------------------------------------------------------------
+
+class RcAccuracy
+    : public ::testing::TestWithParam<std::tuple<double, double, Integrator>> {
+};
+
+TEST_P(RcAccuracy, StepResponseMatchesAnalytic) {
+    const auto [tau, dt, integrator] = GetParam();
+    const double r = 1e3;
+    const double c = tau / r;
+
+    Circuit ckt;
+    const int in = ckt.node("in");
+    const int out = ckt.node("out");
+    ckt.add_vsource("V1", in, Circuit::kGround,
+                    SourceSpec::pwl(wave::saturated_ramp(0.05e-9, 1e-12, 0.0,
+                                                         1.0)));
+    ckt.add_resistor("R1", in, out, r);
+    ckt.add_capacitor("C1", out, Circuit::kGround, c);
+
+    TranOptions opt;
+    opt.tstop = 5.0 * tau + 0.1e-9;
+    opt.dt = dt;
+    opt.integrator = integrator;
+    const TranResult res = solve_tran(ckt, opt);
+    const wave::Waveform v = res.node_waveform(out);
+
+    const double t0 = 0.05e-9 + 1e-12;
+    double worst = 0.0;
+    for (double t = t0 + 0.5 * tau; t < t0 + 4.5 * tau; t += 0.25 * tau) {
+        const double expected = 1.0 - std::exp(-(t - t0) / tau);
+        worst = std::max(worst, std::fabs(v.at(t) - expected));
+    }
+    // Trapezoidal is 2nd order, BE 1st order; both must be well inside 2%
+    // for dt <= tau/20.
+    EXPECT_LT(worst, 0.02) << "tau=" << tau << " dt=" << dt;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RcAccuracy,
+    ::testing::Combine(::testing::Values(0.2e-9, 1e-9, 5e-9),
+                       ::testing::Values(2e-12, 10e-12),
+                       ::testing::Values(Integrator::kTrapezoidal,
+                                         Integrator::kBackwardEuler)));
+
+// ---------------------------------------------------------------------------
+// Inverter DC gain / transfer properties across drive strengths.
+// ---------------------------------------------------------------------------
+
+class InverterVtc : public ::testing::TestWithParam<double> {
+protected:
+    InverterVtc() : tech_(make_tech130()) {}
+    tech::Technology tech_;
+};
+
+TEST_P(InverterVtc, FullSwingAndMonotone) {
+    const double mult = GetParam();
+    Circuit ckt;
+    const int vdd = ckt.node("vdd");
+    const int in = ckt.node("in");
+    const int out = ckt.node("out");
+    ckt.add_vsource("VDD", vdd, Circuit::kGround, SourceSpec::dc(tech_.vdd));
+    ckt.add_vsource("VIN", in, Circuit::kGround, SourceSpec::dc(0.0));
+    ckt.add_mosfet("MN", out, in, Circuit::kGround, Circuit::kGround,
+                   tech_.nmos, mult * tech_.wn_unit, tech_.lmin);
+    ckt.add_mosfet("MP", out, in, vdd, vdd, tech_.pmos, mult * tech_.wp_unit,
+                   tech_.lmin);
+
+    DcOptions opt;
+    DcResult r = solve_dc(ckt, opt);
+    EXPECT_GT(r.node_voltage(out), 0.98 * tech_.vdd);
+    double prev = r.node_voltage(out) + 1e-9;
+    double max_gain = 0.0;
+    double v_prev_in = 0.0;
+    for (double vin = 0.0; vin <= tech_.vdd + 1e-12; vin += 0.02) {
+        ckt.vsource("VIN").set_spec(SourceSpec::dc(vin));
+        r = solve_dc(ckt, opt, &r.x);
+        const double vout = r.node_voltage(out);
+        EXPECT_LE(vout, prev + 1e-7);
+        if (vin > 0.0)
+            max_gain = std::max(max_gain, (prev - vout) / (vin - v_prev_in));
+        prev = vout;
+        v_prev_in = vin;
+    }
+    EXPECT_LT(prev, 0.02 * tech_.vdd);
+    // A static CMOS inverter has gain well above 1 at the switching point.
+    EXPECT_GT(max_gain, 4.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, InverterVtc,
+                         ::testing::Values(1.0, 2.0, 4.0));
+
+}  // namespace
+}  // namespace mcsm::spice

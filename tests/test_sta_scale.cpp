@@ -1,0 +1,134 @@
+// Netlist-scale STA validation: a deterministic pseudo-random layered
+// network of ~30 INV/NAND2/NOR2 instances, evaluated by the MCSM waveform
+// STA and by one flat transistor-level transient. Exercises topological
+// ordering, multi-fanout receiver loading, and error accumulation across
+// five logic levels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "core/characterizer.h"
+#include "sta/golden_flat.h"
+#include "sta/nldm.h"
+#include "sta/wave_sta.h"
+#include "tech/tech130.h"
+#include "wave/edges.h"
+#include "wave/metrics.h"
+
+namespace mcsm::sta {
+namespace {
+
+class StaScale : public ::testing::Test {
+protected:
+    StaScale() : tech_(tech::make_tech130()), lib_(tech_) {}
+
+    // Builds a layered DAG: `width` nets per layer, `depth` layers; each
+    // gate picks its cell type and inputs from the previous layer using a
+    // seeded generator, so the netlist is random-looking but reproducible.
+    GateNetlist make_network(int width, int depth, unsigned seed) {
+        std::mt19937 gen(seed);
+        std::uniform_int_distribution<int> cell_pick(0, 2);
+
+        GateNetlist nl;
+        const double t_edge = 1.0e-9;
+        std::vector<std::string> prev;
+        for (int w = 0; w < width; ++w) {
+            const std::string net = "pi" + std::to_string(w);
+            // Alternate edge directions across primary inputs.
+            const bool rising = (w % 2) == 0;
+            nl.add_primary_input(
+                net, wave::piecewise_edges(
+                         rising ? 0.0 : tech_.vdd,
+                         {{t_edge + 20e-12 * w, 100e-12,
+                           rising ? tech_.vdd : 0.0}}));
+            prev.push_back(net);
+        }
+
+        int uid = 0;
+        for (int layer = 0; layer < depth; ++layer) {
+            std::vector<std::string> cur;
+            for (int w = 0; w < width; ++w) {
+                const std::string out =
+                    "n" + std::to_string(layer) + "_" + std::to_string(w);
+                const std::string name = "u" + std::to_string(uid++);
+                std::uniform_int_distribution<std::size_t> in_pick(
+                    0, prev.size() - 1);
+                const int kind = cell_pick(gen);
+                if (kind == 0) {
+                    nl.add_instance(
+                        {name, "INV_X1", {{"A", prev[in_pick(gen)]},
+                                          {"OUT", out}}});
+                } else {
+                    const std::string cell = kind == 1 ? "NAND2" : "NOR2";
+                    std::string a = prev[in_pick(gen)];
+                    std::string b = prev[in_pick(gen)];
+                    if (a == b) b = prev[(in_pick(gen) + 1) % prev.size()];
+                    nl.add_instance(
+                        {name, cell, {{"A", a}, {"B", b}, {"OUT", out}}});
+                }
+                nl.set_wire_cap(out, 1e-15);
+                cur.push_back(out);
+            }
+            prev = cur;
+        }
+        return nl;
+    }
+
+    tech::Technology tech_;
+    cells::CellLibrary lib_;
+};
+
+TEST_F(StaScale, ThirtyGateNetworkTracksGoldenFlat) {
+    const GateNetlist nl = make_network(/*width=*/6, /*depth=*/5,
+                                        /*seed=*/20260610u);
+    ASSERT_EQ(nl.instances().size(), 30u);
+
+    const core::Characterizer chr(lib_);
+    core::CharOptions fast;
+    fast.transient_caps = false;
+    fast.grid_points = 9;
+    const core::CsmModel inv =
+        chr.characterize("INV_X1", core::ModelKind::kSis, {"A"}, fast);
+    const core::CsmModel nand =
+        chr.characterize("NAND2", core::ModelKind::kMcsm, {"A", "B"}, fast);
+    const core::CsmModel nor =
+        chr.characterize("NOR2", core::ModelKind::kMcsm, {"A", "B"}, fast);
+
+    WaveformSta sta(nl, {{"INV_X1", &inv}, {"NAND2", &nand}, {"NOR2", &nor}});
+    WaveStaOptions wopt;
+    wopt.tstop = 4.5e-9;
+    const auto model_nets = sta.run(wopt);
+
+    const auto golden_nets = run_golden_flat(nl, lib_, 4.5e-9);
+
+    // Every internal net must match the flat golden run in shape. Waveform
+    // STA evaluates each stage in isolation with static receiver caps, so a
+    // few percent of Vdd accumulated over five levels is the expected
+    // envelope.
+    double worst_rmse = 0.0;
+    std::string worst_net;
+    for (const Instance& inst : nl.instances()) {
+        const std::string& net = inst.conn.at("OUT");
+        const double nrmse = wave::rmse_normalized(
+            golden_nets.at(net), model_nets.at(net), 0.9e-9, 4.4e-9,
+            tech_.vdd);
+        if (nrmse > worst_rmse) {
+            worst_rmse = nrmse;
+            worst_net = net;
+        }
+    }
+    EXPECT_LT(worst_rmse, 0.08) << "worst net: " << worst_net;
+
+    // Last-layer arrivals: compare the final settling values (logic
+    // correctness of the whole network) on every output net.
+    for (int w = 0; w < 6; ++w) {
+        const std::string net = "n4_" + std::to_string(w);
+        EXPECT_NEAR(golden_nets.at(net).last_value(),
+                    model_nets.at(net).last_value(), 0.1)
+            << net;
+    }
+}
+
+}  // namespace
+}  // namespace mcsm::sta

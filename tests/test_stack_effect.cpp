@@ -1,0 +1,132 @@
+// Integration tests reproducing the paper's Section 2.2 observations on the
+// transistor-level substrate (Figs. 3-5): the NOR2 internal node voltage
+// depends on input history, and that history changes the '11'->'00' rising
+// delay, most strongly for light loads.
+#include <gtest/gtest.h>
+
+#include "engine/scenarios.h"
+#include "tech/tech130.h"
+#include "wave/metrics.h"
+
+namespace mcsm::engine {
+namespace {
+
+class StackEffect : public ::testing::Test {
+protected:
+    StackEffect() : tech_(tech::make_tech130()), lib_(tech_) {}
+
+    // Runs one history case and returns {V(N) just before the final edge,
+    // 50% low-to-high delay of the final transition}.
+    struct HistoryRun {
+        double vn_before_edge;
+        double delay;
+        wave::Waveform out;
+        wave::Waveform vn;
+    };
+
+    HistoryRun run_history(HistoryCase c, const LoadSpec& load) {
+        const HistoryStimulus stim = nor2_history(c, tech_.vdd);
+        GoldenCell bench(lib_, "NOR2", {{"A", stim.a}, {"B", stim.b}}, load);
+        spice::TranOptions opt;
+        opt.tstop = 3.2e-9;
+        opt.dt = 1e-12;
+        const spice::TranResult r = bench.run(opt);
+
+        HistoryRun out;
+        out.out = r.node_waveform(bench.out_node());
+        out.vn = r.node_waveform(bench.node_of("N"));
+        out.vn_before_edge = out.vn.at(stim.t_final - 10e-12);
+        // Input falls, output rises; reference the A input.
+        const auto d = wave::delay_50(stim.a, false, out.out, true, tech_.vdd,
+                                      stim.t_final - 0.2e-9);
+        out.delay = d.value_or(-1.0);
+        return out;
+    }
+
+    tech::Technology tech_;
+    cells::CellLibrary lib_;
+};
+
+TEST_F(StackEffect, Fig3InternalNodeHistoryStates) {
+    const LoadSpec fo2{0.0, 2, "INV_X1"};
+    const HistoryRun fast = run_history(HistoryCase::kFast10, fo2);
+    const HistoryRun slow = run_history(HistoryCase::kSlow01, fo2);
+
+    // Case 1 ('10'->'11'): N parked at Vdd, then boosted by delta-V1 through
+    // the gate-drain cap of M4 when B rises.
+    EXPECT_GT(fast.vn_before_edge, tech_.vdd - 0.05);
+    // Case 2 ('01'->'11'): N near the body-affected |Vt,p| plus a small
+    // delta-V2 kick through M3's Miller cap when A rises.
+    EXPECT_GT(slow.vn_before_edge, 0.05);
+    EXPECT_LT(slow.vn_before_edge, 0.75);
+    // The two histories leave clearly different internal states.
+    EXPECT_GT(fast.vn_before_edge - slow.vn_before_edge, 0.4);
+}
+
+TEST_F(StackEffect, Fig3ChargeInjectionBumpsVisible) {
+    const LoadSpec fo2{0.0, 2, "INV_X1"};
+    const HistoryRun fast = run_history(HistoryCase::kFast10, fo2);
+    // After B rises at t_mid = 1ns, N floats and is kicked *above* Vdd
+    // (paper: Vdd + delta-V1).
+    const double vn_peak_after_mid = fast.vn.at(1.15e-9);
+    EXPECT_GT(vn_peak_after_mid, tech_.vdd + 0.01);
+
+    const HistoryRun slow = run_history(HistoryCase::kSlow01, fo2);
+    // Before the mid edge, N sits near |Vt,p|; the A edge kicks it up.
+    const double vn_before_mid = slow.vn.at(0.9e-9);
+    const double vn_after_mid = slow.vn.at(1.15e-9);
+    EXPECT_GT(vn_after_mid, vn_before_mid + 0.01);
+}
+
+TEST_F(StackEffect, Fig4FastCaseIsFaster) {
+    const LoadSpec fo2{0.0, 2, "INV_X1"};
+    const HistoryRun fast = run_history(HistoryCase::kFast10, fo2);
+    const HistoryRun slow = run_history(HistoryCase::kSlow01, fo2);
+    ASSERT_GT(fast.delay, 0.0);
+    ASSERT_GT(slow.delay, 0.0);
+    EXPECT_LT(fast.delay, slow.delay);
+}
+
+TEST_F(StackEffect, Fig5DelayDifferenceSignificantAndDecreasingWithLoad) {
+    double diff_fo1 = 0.0;
+    double diff_fo8 = 0.0;
+    double prev_diff = 1e9;
+    for (int fo = 1; fo <= 8; fo += 1) {
+        const LoadSpec load{0.0, fo, "INV_X1"};
+        const HistoryRun fast = run_history(HistoryCase::kFast10, load);
+        const HistoryRun slow = run_history(HistoryCase::kSlow01, load);
+        ASSERT_GT(fast.delay, 0.0) << "FO" << fo;
+        ASSERT_GT(slow.delay, 0.0) << "FO" << fo;
+        const double diff_pct =
+            100.0 * (slow.delay - fast.delay) / slow.delay;
+        if (fo == 1) diff_fo1 = diff_pct;
+        if (fo == 8) diff_fo8 = diff_pct;
+        // Broadly decreasing (allow small non-monotonic wiggle).
+        EXPECT_LT(diff_pct, prev_diff + 3.0) << "FO" << fo;
+        prev_diff = diff_pct;
+    }
+    // Paper Fig. 5: ~26% at FO1 falling to ~9% at FO8. Require the same
+    // shape: significant at FO1, smaller at FO8.
+    EXPECT_GT(diff_fo1, 8.0);
+    EXPECT_LT(diff_fo1, 45.0);
+    EXPECT_LT(diff_fo8, diff_fo1);
+    EXPECT_GT(diff_fo1 - diff_fo8, 3.0);
+}
+
+TEST_F(StackEffect, GlitchStimulusProducesPartialSwing) {
+    const GlitchStimulus stim = nor2_glitch(tech_.vdd);
+    GoldenCell bench(lib_, "NOR2", {{"A", stim.a}, {"B", stim.b}},
+                     LoadSpec{0.0, 2, "INV_X1"});
+    spice::TranOptions opt;
+    opt.tstop = 3.0e-9;
+    opt.dt = 1e-12;
+    const spice::TranResult r = bench.run(opt);
+    const wave::Waveform out = r.node_waveform(bench.out_node());
+    // Output starts low, rises partway (glitch), and returns low.
+    EXPECT_LT(out.at(1.0e-9), 0.1 * tech_.vdd);
+    EXPECT_GT(out.max_value(), 0.25 * tech_.vdd);
+    EXPECT_LT(out.at(3.0e-9), 0.35 * tech_.vdd);
+}
+
+}  // namespace
+}  // namespace mcsm::engine

@@ -4,6 +4,7 @@
 #ifndef MCSM_CELLS_CELL_TYPE_H
 #define MCSM_CELLS_CELL_TYPE_H
 
+#include <cstddef>
 #include <functional>
 #include <span>
 #include <string>

@@ -2,6 +2,7 @@
 #ifndef MCSM_COMMON_TABLE_PRINTER_H
 #define MCSM_COMMON_TABLE_PRINTER_H
 
+#include <cstddef>
 #include <ostream>
 #include <string>
 #include <vector>

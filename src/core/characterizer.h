@@ -19,6 +19,7 @@
 #ifndef MCSM_CORE_CHARACTERIZER_H
 #define MCSM_CORE_CHARACTERIZER_H
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

@@ -10,6 +10,7 @@
 #ifndef MCSM_CORE_CSM_DEVICE_H
 #define MCSM_CORE_CSM_DEVICE_H
 
+#include <span>
 #include <string>
 #include <vector>
 

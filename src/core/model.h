@@ -14,6 +14,7 @@
 #ifndef MCSM_CORE_MODEL_H
 #define MCSM_CORE_MODEL_H
 
+#include <cstddef>
 #include <span>
 #include <string>
 #include <vector>

@@ -3,8 +3,10 @@
 #ifndef MCSM_CORE_MODEL_SCENARIOS_H
 #define MCSM_CORE_MODEL_SCENARIOS_H
 
+#include <cstddef>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/csm_device.h"
 #include "core/model.h"

@@ -10,6 +10,8 @@
 #ifndef MCSM_ENGINE_CROSSTALK_H
 #define MCSM_ENGINE_CROSSTALK_H
 
+#include <string>
+
 #include "cells/library.h"
 #include "spice/tran_solver.h"
 #include "wave/waveform.h"

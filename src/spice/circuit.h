@@ -2,6 +2,7 @@
 #ifndef MCSM_SPICE_CIRCUIT_H
 #define MCSM_SPICE_CIRCUIT_H
 
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <unordered_map>

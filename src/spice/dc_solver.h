@@ -2,6 +2,7 @@
 #ifndef MCSM_SPICE_DC_SOLVER_H
 #define MCSM_SPICE_DC_SOLVER_H
 
+#include <cstddef>
 #include <vector>
 
 #include "spice/circuit.h"

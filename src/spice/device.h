@@ -6,6 +6,7 @@
 
 #include <span>
 #include <string>
+#include <vector>
 
 #include "spice/sim_context.h"
 #include "spice/stamper.h"

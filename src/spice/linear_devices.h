@@ -2,7 +2,9 @@
 #ifndef MCSM_SPICE_LINEAR_DEVICES_H
 #define MCSM_SPICE_LINEAR_DEVICES_H
 
+#include <span>
 #include <string>
+#include <vector>
 
 #include "spice/device.h"
 #include "spice/source_spec.h"

@@ -12,6 +12,7 @@
 #ifndef MCSM_SPICE_MOSFET_H
 #define MCSM_SPICE_MOSFET_H
 
+#include <span>
 #include <string>
 
 #include "spice/device.h"

@@ -2,6 +2,7 @@
 #ifndef MCSM_SPICE_SIM_CONTEXT_H
 #define MCSM_SPICE_SIM_CONTEXT_H
 
+#include <cstddef>
 #include <vector>
 
 namespace mcsm::spice {

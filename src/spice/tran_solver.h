@@ -4,6 +4,7 @@
 #ifndef MCSM_SPICE_TRAN_SOLVER_H
 #define MCSM_SPICE_TRAN_SOLVER_H
 
+#include <cstddef>
 #include <string>
 #include <unordered_map>
 #include <vector>

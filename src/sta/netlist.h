@@ -3,6 +3,7 @@
 #ifndef MCSM_STA_NETLIST_H
 #define MCSM_STA_NETLIST_H
 
+#include <cstddef>
 #include <string>
 #include <unordered_map>
 #include <vector>

@@ -49,9 +49,15 @@ protected:
         for (int layer = 0; layer < depth; ++layer) {
             std::vector<std::string> cur;
             for (int w = 0; w < width; ++w) {
-                const std::string out =
-                    "n" + std::to_string(layer) + "_" + std::to_string(w);
-                const std::string name = "u" + std::to_string(uid++);
+                // Built via append() rather than operator+: GCC 12's
+                // -Wrestrict false-positives on `const char* + string&&`
+                // at -O2 (PR105329), and the tree builds with -Werror.
+                std::string out = "n";
+                out += std::to_string(layer);
+                out += '_';
+                out += std::to_string(w);
+                std::string name = "u";
+                name += std::to_string(uid++);
                 std::uniform_int_distribution<std::size_t> in_pick(
                     0, prev.size() - 1);
                 const int kind = cell_pick(gen);

@@ -36,18 +36,32 @@ int main() {
     double golden_min = 1e9;
     double golden_max = -1e9;
 
-    for (double skew = -200e-12; skew <= 200e-12 + 1e-15; skew += 50e-12) {
+    // The golden transients of the whole sweep are independent scenarios;
+    // enumerate them once and fan them out over the thread pool.
+    std::vector<double> skews;
+    for (double skew = -200e-12; skew <= 200e-12 + 1e-15; skew += 50e-12)
+        skews.push_back(skew);
+    std::vector<engine::ScenarioSpec> specs;
+    for (double skew : skews) {
+        const engine::MisStimulus stim =
+            engine::nor2_simultaneous_fall(vdd, t_edge, 80e-12, skew);
+        specs.push_back({"skew", "NOR2",
+                         {{"A", stim.a}, {"B", stim.b}},
+                         engine::LoadSpec{5e-15, 0, ""}});
+    }
+    const std::vector<engine::ScenarioResult> goldens =
+        engine::run_golden_scenarios(ctx.lib(), specs, topt);
+
+    for (std::size_t i = 0; i < skews.size(); ++i) {
+        const double skew = skews[i];
         const engine::MisStimulus stim =
             engine::nor2_simultaneous_fall(vdd, t_edge, 80e-12, skew);
         // Delay referenced to the LATER input edge (standard for MIS plots).
         const wave::Waveform& ref = skew >= 0.0 ? stim.b : stim.a;
         const double t_from = t_edge - 0.4e-9;
 
-        engine::GoldenCell golden(ctx.lib(), "NOR2",
-                                  {{"A", stim.a}, {"B", stim.b}},
-                                  engine::LoadSpec{5e-15, 0, ""});
         const wave::Waveform g =
-            golden.run(topt).node_waveform(golden.out_node());
+            goldens[i].result.node_waveform(goldens[i].out_node);
         const double dg =
             wave::delay_50(ref, false, g, true, vdd, t_from).value_or(-1);
 

@@ -2,15 +2,28 @@
 // the transistor-level golden transient on the same scenario - the whole
 // point of CSMs in an STA/noise tool - plus characterization and query
 // micro-benchmarks.
+//
+// Before the google-benchmark suite runs, a fixed stage list is wall-clock
+// timed against the pre-refactor baseline configuration (dense solver,
+// single thread) and written as machine-readable BENCH_perf.json
+// ({"threads": N, "stages": {"<name>": {"baseline_ms", "current_ms",
+// "speedup"}, ...}}) for CI trend tracking; set MCSM_BENCH_JSON to change
+// the path, or =0 to skip.
 #include <benchmark/benchmark.h>
 
 #include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
+#include "common/parallel.h"
 #include "core/characterizer.h"
 #include "core/explicit_sim.h"
 #include "core/model_scenarios.h"
 #include "engine/scenarios.h"
+#include "spice/tran_solver.h"
 
 using namespace mcsm;
 using bench::Context;
@@ -120,6 +133,98 @@ void BM_ModelDcState(benchmark::State& state) {
 }
 BENCHMARK(BM_ModelDcState)->Unit(benchmark::kMicrosecond);
 
+// --- BENCH_perf.json: per-stage wall clock vs the pre-refactor baseline ---
+
+using spice::SolverBackend;
+
+// One stage timed in two configurations: "baseline" is the retained
+// pre-refactor solver path (dense LU, fresh assembly, single thread),
+// "current" is the persistent sparse workspace with parallel sweeps.
+// The measurements themselves live in bench_util so bench_solver_core's
+// report and this JSON stay in lockstep.
+struct Stage {
+    std::string name;
+    double baseline_ms;
+    double current_ms;
+};
+
+double newton_cycle_ms(Context& ctx, int stages, SolverBackend backend) {
+    return bench::time_newton_cycle_us(ctx.lib(), stages, backend) * 1e-3;
+}
+
+double golden_transient_ms(Context& ctx, int stages, SolverBackend backend) {
+    return bench::time_chain_transient_ms(ctx.lib(), stages, backend);
+}
+
+double characterize_ms(Context& ctx, SolverBackend backend,
+                       std::size_t threads) {
+    core::CharOptions opt = ctx.char_options(7);
+    opt.transient_caps = false;
+    opt.backend = backend;
+    opt.threads = threads;
+    return bench::time_characterize_nor2_ms(ctx.lib(), opt);
+}
+
+void write_bench_perf_json() {
+    const char* path_env = std::getenv("MCSM_BENCH_JSON");
+    const std::string path =
+        path_env == nullptr ? "BENCH_perf.json" : path_env;
+    if (path == "0") return;
+
+    Context& ctx = Context::get();
+    std::vector<Stage> stages;
+    stages.push_back({"newton_cycle_12cell",
+                      newton_cycle_ms(ctx, 12, SolverBackend::kDense),
+                      newton_cycle_ms(ctx, 12, SolverBackend::kSparse)});
+    stages.push_back({"newton_cycle_48cell",
+                      newton_cycle_ms(ctx, 48, SolverBackend::kDense),
+                      newton_cycle_ms(ctx, 48, SolverBackend::kSparse)});
+    stages.push_back({"transient_12cell",
+                      golden_transient_ms(ctx, 12, SolverBackend::kDense),
+                      golden_transient_ms(ctx, 12, SolverBackend::kSparse)});
+    stages.push_back({"transient_48cell",
+                      golden_transient_ms(ctx, 48, SolverBackend::kDense),
+                      golden_transient_ms(ctx, 48, SolverBackend::kSparse)});
+    stages.push_back({"characterize_nor2_mcsm_g7",
+                      characterize_ms(ctx, SolverBackend::kDense, 1),
+                      characterize_ms(ctx, SolverBackend::kSparse, 0)});
+
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "bench_perf_speedup: cannot write %s\n",
+                     path.c_str());
+        return;
+    }
+    std::fprintf(f, "{\n  \"threads\": %zu,\n  \"stages\": {\n",
+                 hardware_threads());
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+        const Stage& s = stages[i];
+        std::fprintf(f,
+                     "    \"%s\": {\"baseline_ms\": %.4f, "
+                     "\"current_ms\": %.4f, \"speedup\": %.3f}%s\n",
+                     s.name.c_str(), s.baseline_ms, s.current_ms,
+                     s.baseline_ms / s.current_ms,
+                     i + 1 < stages.size() ? "," : "");
+    }
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    std::printf("# wrote %s\n", path.c_str());
+    for (const Stage& s : stages)
+        std::printf("#   %-28s baseline %8.3f ms   current %8.3f ms   "
+                    "speedup %5.2fx\n",
+                    s.name.c_str(), s.baseline_ms, s.current_ms,
+                    s.baseline_ms / s.current_ms);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    // Flags first, so --help / unrecognized arguments exit without paying
+    // for the baseline timing pass (MCSM_BENCH_JSON=0 also skips it).
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    write_bench_perf_json();
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

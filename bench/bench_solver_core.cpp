@@ -1,0 +1,114 @@
+// Solver-core bench: quantifies the persistent-workspace refactor.
+//
+//  * Newton assembly+solve cycle (the transient hot loop) at cell and
+//    flat-netlist scale, sparse workspace vs the retained dense fallback,
+//  * full transient wall-clock on the same circuits,
+//  * characterization wall-clock, serial dense vs parallel sparse,
+//  * heap-allocation count of the steady-state Newton cycle (must be 0).
+//
+// Correctness gates (waveform agreement, zero allocations) drive the exit
+// code; the speedups are reported for the perf log. See bench_perf_speedup
+// for the machine-readable BENCH_perf.json (it times the same stages
+// through the shared bench_util helpers).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "common/parallel.h"
+#include "spice/dc_solver.h"
+#include "spice/tran_solver.h"
+
+// Allocation instrumentation (see common/alloc_counter.h): counts every
+// operator new in this binary.
+#include "common/alloc_instrument.h"
+
+using namespace mcsm;
+using bench::Context;
+using spice::Circuit;
+using spice::SolverBackend;
+
+int main() {
+    Context& ctx = Context::get();
+    bench::Checker check;
+
+    std::printf("# solver core: persistent workspace + sparse LU vs dense "
+                "fallback (%zu threads)\n\n", hardware_threads());
+
+    // --- Newton cycle ----------------------------------------------------
+    std::printf("%-28s %10s %10s %9s\n", "stage", "dense", "sparse",
+                "speedup");
+    for (int stages : {12, 48}) {
+        const double d = bench::time_newton_cycle_us(ctx.lib(), stages,
+                                                     SolverBackend::kDense);
+        const double s = bench::time_newton_cycle_us(ctx.lib(), stages,
+                                                     SolverBackend::kSparse);
+        std::printf("newton_cycle_%-2d cells %6s %8.2fus %8.2fus %8.2fx\n",
+                    stages, "", d, s, d / s);
+    }
+
+    // --- full transient --------------------------------------------------
+    wave::Waveform w_dense;
+    wave::Waveform w_sparse;
+    for (int stages : {12, 48}) {
+        const double d = bench::time_chain_transient_ms(
+            ctx.lib(), stages, SolverBackend::kDense, &w_dense);
+        const double s = bench::time_chain_transient_ms(
+            ctx.lib(), stages, SolverBackend::kSparse, &w_sparse);
+        std::printf("transient_%-2d cells    %8s %8.1fms %8.1fms %8.2fx\n",
+                    stages, "", d, s, d / s);
+    }
+    // Far-end waveform agreement between the backends (48 cells).
+    double max_dv = 0.0;
+    for (double t = 0.0; t <= 2.5e-9; t += 10e-12)
+        max_dv = std::max(max_dv,
+                          std::fabs(w_dense.at(t) - w_sparse.at(t)));
+    check.check(max_dv < 1e-6,
+                "dense/sparse transient waveforms agree (max dv " +
+                    std::to_string(max_dv) + " V)");
+
+    // --- characterization ------------------------------------------------
+    {
+        core::CharOptions serial = ctx.char_options(7);
+        serial.transient_caps = false;
+        serial.threads = 1;
+        serial.backend = SolverBackend::kDense;
+        core::CharOptions parallel = serial;
+        parallel.threads = 0;
+        parallel.backend = SolverBackend::kSparse;
+
+        const double d = bench::time_characterize_nor2_ms(ctx.lib(), serial);
+        const double s =
+            bench::time_characterize_nor2_ms(ctx.lib(), parallel);
+        std::printf("characterize NOR2 MCSM g7   %8.1fms %8.1fms %8.2fx\n",
+                    d, s, d / s);
+    }
+
+    // --- zero-allocation guarantee ---------------------------------------
+    {
+        Circuit c = bench::make_chain_circuit(ctx.lib(), 12);
+        c.set_solver_backend(SolverBackend::kSparse);
+        const spice::DcResult op = spice::solve_dc(c);
+        spice::SolverWorkspace& ws = c.workspace();
+        spice::SimContext sctx;
+        sctx.mode = spice::SimContext::Mode::kDc;
+        sctx.x = &op.x;
+        auto cycle = [&] {
+            spice::Stamper& st = ws.begin_assembly();
+            for (const auto& dev : c.devices()) dev->stamp(st, sctx);
+            st.add_gmin_everywhere(1e-12);
+            (void)ws.solve();
+        };
+        cycle();  // warm
+        const std::size_t before = AllocCounter::count();
+        for (int r = 0; r < 200; ++r) cycle();
+        const std::size_t allocs = AllocCounter::count() - before;
+        std::printf("\nnewton cycle heap allocations after prepare(): %zu\n",
+                    allocs);
+        check.check(allocs == 0,
+                    "Newton assembly+solve cycle is allocation-free");
+    }
+
+    return check.exit_code();
+}

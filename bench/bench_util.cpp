@@ -1,9 +1,16 @@
 #include "bench_util.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
-#include <iostream>
 #include <cstdlib>
+#include <iostream>
+#include <unordered_map>
+
+#include "spice/dc_solver.h"
+#include "spice/tran_solver.h"
+#include "wave/edges.h"
 
 namespace mcsm::bench {
 
@@ -83,6 +90,105 @@ void print_waveform_rows(const std::vector<const wave::Waveform*>& waves,
         for (const wave::Waveform* w : waves) std::printf(",%.4f", w->at(t));
         std::printf("\n");
     }
+}
+
+spice::Circuit make_chain_circuit(const cells::CellLibrary& lib, int stages) {
+    using spice::Circuit;
+    using spice::SourceSpec;
+    const double vdd_v = lib.tech().vdd;
+    Circuit c;
+    const int vdd = c.node("vdd");
+    c.add_vsource("VDD", vdd, Circuit::kGround, SourceSpec::dc(vdd_v));
+    c.add_vsource("VIN", c.node("n0"), Circuit::kGround,
+                  SourceSpec::pwl(wave::piecewise_edges(
+                      0.0, {{0.2e-9, 80e-12, vdd_v}})));
+    c.add_vsource("VB", c.node("b"), Circuit::kGround, SourceSpec::dc(0.0));
+    for (int s = 0; s < stages; ++s) {
+        const cells::CellType& cell = lib.get(s % 2 == 0 ? "NOR2" : "INV_X1");
+        // Built with += to dodge GCC 12 -Wrestrict false positives on
+        // `const char* + std::string&&` (see test_sta_scale.cpp).
+        std::string net_in = "n";
+        net_in += std::to_string(s);
+        std::string net_out = "n";
+        net_out += std::to_string(s + 1);
+        std::string name = "U";
+        name += std::to_string(s);
+        std::unordered_map<std::string, int> conn;
+        conn[cells::kVdd] = vdd;
+        conn[cells::kGnd] = Circuit::kGround;
+        conn["A"] = c.node_id(net_in);
+        if (s % 2 == 0) conn["B"] = c.node_id("b");
+        conn[cells::kOut] = c.node(net_out);
+        cell.instantiate(c, name, conn);
+    }
+    return c;
+}
+
+double time_newton_cycle_us(const cells::CellLibrary& lib, int stages,
+                            spice::SolverBackend backend) {
+    using Clock = std::chrono::steady_clock;
+    spice::Circuit c = make_chain_circuit(lib, stages);
+    c.set_solver_backend(backend);
+    const spice::DcResult op = spice::solve_dc(c);
+    spice::SolverWorkspace& ws = c.workspace();
+
+    spice::SimContext ctx;
+    ctx.mode = spice::SimContext::Mode::kDc;
+    ctx.x = &op.x;
+    const int reps = 2000;
+    const auto t0 = Clock::now();
+    for (int r = 0; r < reps; ++r) {
+        spice::Stamper& st = ws.begin_assembly();
+        for (const auto& dev : c.devices()) dev->stamp(st, ctx);
+        st.add_gmin_everywhere(1e-12);
+        (void)ws.solve();
+    }
+    return std::chrono::duration<double, std::micro>(Clock::now() - t0)
+               .count() /
+           reps;
+}
+
+double time_chain_transient_ms(const cells::CellLibrary& lib, int stages,
+                               spice::SolverBackend backend,
+                               wave::Waveform* far_out) {
+    using Clock = std::chrono::steady_clock;
+    spice::TranOptions topt;
+    topt.tstop = 2.5e-9;
+    topt.dt = 2e-12;
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+        spice::Circuit c = make_chain_circuit(lib, stages);
+        c.set_solver_backend(backend);
+        const auto t0 = Clock::now();
+        const spice::TranResult res = spice::solve_tran(c, topt);
+        best = std::min(best,
+                        std::chrono::duration<double, std::milli>(
+                            Clock::now() - t0)
+                            .count());
+        if (far_out != nullptr) {
+            std::string far_net = "n";
+            far_net += std::to_string(stages);
+            *far_out = res.node_waveform(c.node_id(far_net));
+        }
+    }
+    return best;
+}
+
+double time_characterize_nor2_ms(const cells::CellLibrary& lib,
+                                 const core::CharOptions& opt) {
+    using Clock = std::chrono::steady_clock;
+    const core::Characterizer chr(lib);
+    double best = 1e300;
+    for (int rep = 0; rep < 2; ++rep) {
+        const auto t0 = Clock::now();
+        const core::CsmModel model = chr.characterize(
+            "NOR2", core::ModelKind::kMcsm, {"A", "B"}, opt);
+        best = std::min(best,
+                        std::chrono::duration<double, std::milli>(
+                            Clock::now() - t0)
+                            .count());
+    }
+    return best;
 }
 
 }  // namespace mcsm::bench

@@ -16,6 +16,7 @@
 #include "cells/library.h"
 #include "core/characterizer.h"
 #include "core/model.h"
+#include "spice/circuit.h"
 #include "tech/tech130.h"
 #include "wave/waveform.h"
 
@@ -67,6 +68,32 @@ private:
 void print_waveform_header(const std::vector<std::string>& labels);
 void print_waveform_rows(const std::vector<const wave::Waveform*>& waves,
                          double t0, double t1, double step);
+
+// NOR2/INV chain of `stages` cells driven by one rising edge, flattened to
+// one transistor-level Circuit - the flat-netlist scale scenario for the
+// solver benches (node ids of net k are circuit.node_id("n<k>"), side
+// input "b" held low).
+spice::Circuit make_chain_circuit(const cells::CellLibrary& lib, int stages);
+
+// --- solver-stage wall-clock timers -----------------------------------
+// Shared by bench_solver_core and bench_perf_speedup's BENCH_perf.json so
+// the two reports measure the same thing.
+
+// Per-cycle cost of the Newton inner loop (assemble + factor + solve) on
+// the flattened chain, microseconds.
+double time_newton_cycle_us(const cells::CellLibrary& lib, int stages,
+                            spice::SolverBackend backend);
+
+// Best-of-3 wall clock of the full chain transient, milliseconds. When
+// far_out is non-null it receives the far-end output waveform.
+double time_chain_transient_ms(const cells::CellLibrary& lib, int stages,
+                               spice::SolverBackend backend,
+                               wave::Waveform* far_out = nullptr);
+
+// Best-of-2 wall clock of a NOR2 MCSM characterization with `opt`,
+// milliseconds (the caller sets grid/threads/backend on opt).
+double time_characterize_nor2_ms(const cells::CellLibrary& lib,
+                                 const core::CharOptions& opt);
 
 }  // namespace mcsm::bench
 

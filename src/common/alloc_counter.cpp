@@ -1,0 +1,7 @@
+#include "common/alloc_counter.h"
+
+namespace mcsm {
+
+std::atomic<std::size_t> AllocCounter::news{0};
+
+}  // namespace mcsm

@@ -1,0 +1,26 @@
+// Heap-allocation instrumentation hook for the solver hot-path guarantees.
+//
+// The library only declares the counter; it stays at zero unless a binary
+// (test_solver_core, bench_solver_core) replaces the global operator
+// new/delete and bumps it. That keeps the accounting out of production
+// builds while letting tests assert "zero allocations per Newton assembly
+// after prepare()" on the exact code that ships.
+#ifndef MCSM_COMMON_ALLOC_COUNTER_H
+#define MCSM_COMMON_ALLOC_COUNTER_H
+
+#include <atomic>
+#include <cstddef>
+
+namespace mcsm {
+
+struct AllocCounter {
+    // Total operator-new calls observed by an instrumented binary.
+    static std::atomic<std::size_t> news;
+
+    static std::size_t count() { return news.load(std::memory_order_relaxed); }
+    static void bump() { news.fetch_add(1, std::memory_order_relaxed); }
+};
+
+}  // namespace mcsm
+
+#endif  // MCSM_COMMON_ALLOC_COUNTER_H

@@ -1,0 +1,56 @@
+// Global operator new/delete replacement that bumps AllocCounter — the
+// instrumentation side of common/alloc_counter.h. Include this from exactly
+// ONE translation unit of a binary that wants heap accounting
+// (test_solver_core, bench_solver_core); never from library code.
+#ifndef MCSM_COMMON_ALLOC_INSTRUMENT_H
+#define MCSM_COMMON_ALLOC_INSTRUMENT_H
+
+#include <cstdlib>
+#include <new>
+
+#include "common/alloc_counter.h"
+
+// GCC pairs the replaced malloc-backed operators against its builtin
+// new/delete knowledge and emits spurious mismatch warnings at inlined
+// call sites; the replacement set below is complete and self-consistent.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+    mcsm::AllocCounter::bump();
+    if (void* p = std::malloc(size)) return p;
+    throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+    mcsm::AllocCounter::bump();
+    if (void* p = std::malloc(size)) return p;
+    throw std::bad_alloc();
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+    mcsm::AllocCounter::bump();
+    // aligned_alloc requires size to be a multiple of the alignment.
+    const auto a = static_cast<std::size_t>(align);
+    const std::size_t rounded = (size + a - 1) / a * a;
+    if (void* p = std::aligned_alloc(a, rounded)) return p;
+    throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+    return operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { operator delete(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+    std::free(p);
+}
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept {
+    operator delete[](p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+    std::free(p);
+}
+
+#endif  // MCSM_COMMON_ALLOC_INSTRUMENT_H

@@ -1,0 +1,148 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <utility>
+
+namespace mcsm {
+
+namespace {
+
+thread_local bool t_on_worker = false;
+
+// Shared lazily-created pool. Sized once from hardware_threads(); living for
+// the process keeps thread spawn cost out of every sweep.
+ThreadPool& shared_pool() {
+    static ThreadPool pool(hardware_threads());
+    return pool;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+    if (threads < 1) threads = 1;
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(job));
+        ++in_flight_;
+    }
+    work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+bool ThreadPool::on_worker_thread() { return t_on_worker; }
+
+void ThreadPool::worker_loop() {
+    t_on_worker = true;
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(lock,
+                          [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) return;  // stopping
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        job();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--in_flight_ == 0) idle_cv_.notify_all();
+        }
+    }
+}
+
+std::size_t hardware_threads() {
+    std::size_t n = std::thread::hardware_concurrency();
+    if (n < 1) n = 1;
+    if (const char* env = std::getenv("MCSM_THREADS")) {
+        // Overrides in either direction: throttling shared machines, or
+        // exercising the pool on single-core CI runners.
+        const long want = std::strtol(env, nullptr, 10);
+        if (want > 0) n = std::min<std::size_t>(static_cast<std::size_t>(want), 256);
+    }
+    return n;
+}
+
+std::size_t resolve_threads(std::size_t requested) {
+    return requested == 0 ? hardware_threads() : requested;
+}
+
+void parallel_workers(std::size_t k,
+                      const std::function<void(std::size_t)>& worker) {
+    if (k == 0) return;
+    if (k == 1 || ThreadPool::on_worker_thread()) {
+        for (std::size_t w = 0; w < k; ++w) worker(w);
+        return;
+    }
+    ThreadPool& pool = shared_pool();
+    // Per-call completion latch: the caller waits for ITS k jobs only, so
+    // concurrent top-level fan-outs on the shared pool don't serialize on
+    // each other's batches.
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::size_t remaining = k;
+    for (std::size_t w = 0; w < k; ++w) {
+        pool.submit([&, w] {
+            if (!failed.load(std::memory_order_relaxed)) {
+                try {
+                    worker(w);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(mutex);
+                    if (!failed.exchange(true)) {
+                        first_error = std::current_exception();
+                    }
+                }
+            }
+            std::lock_guard<std::mutex> lock(mutex);
+            if (--remaining == 0) done_cv.notify_all();
+        });
+    }
+    std::unique_lock<std::mutex> lock(mutex);
+    done_cv.wait(lock, [&] { return remaining == 0; });
+    if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t threads) {
+    if (n == 0) return;
+    const std::size_t k =
+        std::min(resolve_threads(threads), n);
+    if (k <= 1 || ThreadPool::on_worker_thread()) {
+        for (std::size_t i = 0; i < n; ++i) fn(i);
+        return;
+    }
+    std::atomic<std::size_t> next{0};
+    parallel_workers(k, [&](std::size_t) {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n) return;
+            fn(i);
+        }
+    });
+}
+
+}  // namespace mcsm

@@ -1,0 +1,81 @@
+// Minimal thread pool for fanning independent solves (characterization grid
+// sweeps, scenario enumeration, STA level evaluation) out over cores.
+//
+// Concurrency model: callers split work into tasks that touch disjoint data
+// (per-thread circuits/workspaces, disjoint table slots); the pool provides
+// scheduling and completion only. Nested parallel_for/parallel_workers calls
+// from inside a worker run inline, so composed layers (parallel library jobs
+// each running a parallel characterizer) degrade gracefully instead of
+// deadlocking or oversubscribing.
+//
+// Environment: MCSM_THREADS=<n> overrides hardware_threads() in either
+// direction (0/unset: all cores).
+#ifndef MCSM_COMMON_PARALLEL_H
+#define MCSM_COMMON_PARALLEL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mcsm {
+
+class ThreadPool {
+public:
+    explicit ThreadPool(std::size_t threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    std::size_t thread_count() const { return workers_.size(); }
+
+    // Enqueues a job; jobs must not throw past their own boundary (use
+    // parallel_for / parallel_workers for exception propagation).
+    void submit(std::function<void()> job);
+
+    // Blocks until every submitted job has finished.
+    void wait_idle();
+
+    // True when the calling thread is one of this (or any) pool's workers.
+    static bool on_worker_thread();
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable work_cv_;
+    std::condition_variable idle_cv_;
+    std::size_t in_flight_ = 0;
+    bool stopping_ = false;
+};
+
+// Worker-thread count: std::thread::hardware_concurrency(), overridden by
+// the MCSM_THREADS environment variable when set. Always >= 1.
+std::size_t hardware_threads();
+
+// Resolves a user-facing thread-count knob: 0 means hardware_threads().
+std::size_t resolve_threads(std::size_t requested);
+
+// Runs fn(i) for every i in [0, n), fanned over the shared pool. Work is
+// claimed dynamically (atomic counter) so uneven items balance. Runs inline
+// when n <= 1, threads resolves to 1, or the caller is already a pool
+// worker. The first exception thrown by fn is rethrown on the caller.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t threads = 0);
+
+// Runs worker(w) for w in [0, k) concurrently - one call per pool slot -
+// for callers that keep per-worker state (a fixture, a workspace) and pull
+// work items off their own atomic cursor. Same inline/exception rules as
+// parallel_for.
+void parallel_workers(std::size_t k,
+                      const std::function<void(std::size_t)>& worker);
+
+}  // namespace mcsm
+
+#endif  // MCSM_COMMON_PARALLEL_H

@@ -1,0 +1,67 @@
+#include "common/sparse_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mcsm {
+
+void SparseMatrix::build(std::size_t n,
+                         std::vector<std::pair<int, int>> entries) {
+    n_ = n;
+    for (std::size_t i = 0; i < n; ++i)
+        entries.emplace_back(static_cast<int>(i), static_cast<int>(i));
+    std::sort(entries.begin(), entries.end());
+    entries.erase(std::unique(entries.begin(), entries.end()), entries.end());
+
+    row_ptr_.assign(n + 1, 0);
+    cols_.clear();
+    cols_.reserve(entries.size());
+    for (const auto& [r, c] : entries) {
+        require(r >= 0 && c >= 0 && static_cast<std::size_t>(r) < n &&
+                    static_cast<std::size_t>(c) < n,
+                "SparseMatrix: entry out of range");
+        ++row_ptr_[static_cast<std::size_t>(r) + 1];
+        cols_.push_back(c);
+    }
+    for (std::size_t r = 0; r < n; ++r) row_ptr_[r + 1] += row_ptr_[r];
+    vals_.assign(cols_.size(), 0.0);
+
+    // 512^2 ints = 1 MiB; circuits past that size fall back to the
+    // binary-search lookup.
+    constexpr std::size_t kSlotMapLimit = 512;
+    slot_map_.clear();
+    if (n <= kSlotMapLimit) {
+        slot_map_.assign(n * n, -1);
+        for (std::size_t r = 0; r < n; ++r) {
+            for (int s = row_ptr_[r]; s < row_ptr_[r + 1]; ++s)
+                slot_map_[r * n + static_cast<std::size_t>(cols_[s])] = s;
+        }
+    }
+}
+
+void SparseMatrix::set_zero() {
+    std::fill(vals_.begin(), vals_.end(), 0.0);
+}
+
+int SparseMatrix::slot_of_search(std::size_t r, std::size_t c) const {
+    const int* first = cols_.data() + row_ptr_[r];
+    const int* last = cols_.data() + row_ptr_[r + 1];
+    const int* it = std::lower_bound(first, last, static_cast<int>(c));
+    if (it == last || *it != static_cast<int>(c)) return -1;
+    return static_cast<int>(it - cols_.data());
+}
+
+double SparseMatrix::at(std::size_t r, std::size_t c) const {
+    const int slot = slot_of(r, c);
+    return slot < 0 ? 0.0 : vals_[static_cast<std::size_t>(slot)];
+}
+
+double SparseMatrix::max_abs() const {
+    double m = 0.0;
+    for (double v : vals_) m = std::max(m, std::fabs(v));
+    return m;
+}
+
+}  // namespace mcsm

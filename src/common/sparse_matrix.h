@@ -1,0 +1,79 @@
+// Compressed-sparse-row matrix over a fixed sparsity pattern. The pattern is
+// built once (from the MNA device incidence) and the values are rewritten in
+// place on every Newton assembly, so the hot path never allocates.
+#ifndef MCSM_COMMON_SPARSE_MATRIX_H
+#define MCSM_COMMON_SPARSE_MATRIX_H
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace mcsm {
+
+class SparseMatrix {
+public:
+    SparseMatrix() = default;
+
+    // Builds an n x n pattern from (row, col) coordinates. Duplicates are
+    // merged; every diagonal slot is added so LU pivots always have storage.
+    void build(std::size_t n, std::vector<std::pair<int, int>> entries);
+
+    std::size_t size() const { return n_; }
+    std::size_t nnz() const { return cols_.size(); }
+    bool empty() const { return n_ == 0; }
+
+    // Zeroes every stored value without touching the pattern.
+    void set_zero();
+
+    // Accumulates v into slot (r, c). Returns false when (r, c) is not part
+    // of the pattern (the caller decides whether that is an error).
+    // Stamping hot path: inline, O(1) through the slot map.
+    bool add(std::size_t r, std::size_t c, double v) {
+        const int slot = slot_of(r, c);
+        if (slot < 0) return false;
+        vals_[static_cast<std::size_t>(slot)] += v;
+        return true;
+    }
+
+    // Value at (r, c); zero for entries outside the pattern.
+    double at(std::size_t r, std::size_t c) const;
+
+    // Row access for factorization / iteration.
+    std::span<const int> row_cols(std::size_t r) const {
+        return {cols_.data() + row_ptr_[r],
+                static_cast<std::size_t>(row_ptr_[r + 1] - row_ptr_[r])};
+    }
+    std::span<const double> row_values(std::size_t r) const {
+        return {vals_.data() + row_ptr_[r],
+                static_cast<std::size_t>(row_ptr_[r + 1] - row_ptr_[r])};
+    }
+    std::span<double> row_values(std::size_t r) {
+        return {vals_.data() + row_ptr_[r],
+                static_cast<std::size_t>(row_ptr_[r + 1] - row_ptr_[r])};
+    }
+
+    // max |a_ij| over the stored entries; zero for an empty matrix.
+    double max_abs() const;
+
+private:
+    // Slot index of (r, c) or -1. O(1) through the dense slot map for the
+    // system sizes this repo solves; binary search beyond the map limit.
+    int slot_of(std::size_t r, std::size_t c) const {
+        if (!slot_map_.empty()) return slot_map_[r * n_ + c];
+        return slot_of_search(r, c);
+    }
+    int slot_of_search(std::size_t r, std::size_t c) const;
+
+    std::size_t n_ = 0;
+    std::vector<int> row_ptr_;  // n_ + 1 offsets into cols_/vals_
+    std::vector<int> cols_;     // sorted within each row
+    std::vector<double> vals_;
+    // Dense (r, c) -> slot map (-1: absent); built when n_^2 stays small
+    // enough (stamping is on the Newton hot path, lookups must be O(1)).
+    std::vector<int> slot_map_;
+};
+
+}  // namespace mcsm
+
+#endif  // MCSM_COMMON_SPARSE_MATRIX_H

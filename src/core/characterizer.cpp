@@ -1,10 +1,13 @@
 #include "core/characterizer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <optional>
 
 #include "common/error.h"
 #include "common/numeric.h"
+#include "common/parallel.h"
 #include "spice/dc_solver.h"
 #include "spice/tran_solver.h"
 #include "wave/edges.h"
@@ -45,9 +48,10 @@ struct Fixture {
 
 Fixture build_fixture(const cells::CellLibrary& lib, const CellType& cell,
                       const std::vector<std::string>& switching_pins,
-                      bool force_internals, bool force_out,
-                      double out_level) {
+                      bool force_internals, bool force_out, double out_level,
+                      spice::SolverBackend backend) {
     Fixture f;
+    f.circuit.set_solver_backend(backend);
     const double vdd = lib.tech().vdd;
     const int vdd_node = f.circuit.node("vdd");
     f.circuit.add_vsource("VDD", vdd_node, Circuit::kGround,
@@ -215,7 +219,16 @@ std::vector<std::size_t> combine_index(const std::vector<std::size_t>& other,
 // saturated ramp, hold the rest at DC grid values, and attribute
 // (measured source current - DC current at the instantaneous bias) / slope
 // as capacitance. Averaged over the two ramp durations in `opt`.
-void extract_caps_transient(CsmModel& model, Fixture& fx,
+//
+// The grid combinations are independent (each writes its own table slots
+// and every transient starts from its own cold DC solve), so they fan out
+// over per-worker fixtures; results are reproducible to solver tolerance
+// for any thread count (each worker's LU freezes its pivot order at its
+// first combo, so bitwise equality across schedules is not guaranteed).
+void extract_caps_transient(CsmModel& model, const cells::CellLibrary& lib,
+                            const CellType& cell,
+                            const std::vector<std::string>& switching_pins,
+                            bool force_internals, Fixture& fx,
                             const std::vector<double>& knots,
                             const CharOptions& opt) {
     const std::size_t dim = model.dim();
@@ -238,82 +251,123 @@ void extract_caps_transient(CsmModel& model, Fixture& fx,
     }
 
     const std::vector<std::size_t> other_sizes(dim - 1, g);
-    for (std::size_t r = 0; r < dim; ++r) {
-        std::vector<std::size_t> other(dim - 1, 0);
-        do {
-            // Program the non-ramped sources.
-            for (std::size_t d = 0, o = 0; d < dim; ++d) {
-                if (d == r) continue;
-                fx.circuit.vsource(fx.source_of_axis(d, n_pins))
-                    .set_spec(SourceSpec::dc(knots[other[o]]));
-                ++o;
-            }
-            for (double ramp_time : ramps) {
-                const double rate = (hi - lo) / ramp_time;
-                fx.circuit.vsource(fx.source_of_axis(r, n_pins))
-                    .set_spec(SourceSpec::pwl(
-                        wave::saturated_ramp(t0, ramp_time, lo, hi)));
-                spice::TranOptions topt;
-                topt.tstop = t0 + ramp_time + 20e-12;
-                topt.dt = opt.dt;
-                const spice::TranResult res =
-                    spice::solve_tran(fx.circuit, topt);
-                const wave::Waveform i_out =
-                    res.vsource_current(fx.out_source);
 
-                for (std::size_t k = 1; k + 1 < g; ++k) {
-                    const double tk = t0 + (knots[k] - lo) / rate;
-                    const auto idx = combine_index(other, r, k);
-                    if (r < n_pins) {
-                        // Pin ramp: Miller cap from the output-source
-                        // current (model KCL: I_out = Io - Cm_r dVr/dt).
-                        const double i_meas = -i_out.at(tk);
-                        const double i_dc = model.i_out.grid_value(idx);
-                        const double cm = -(i_meas - i_dc) / rate;
-                        auto& slot = model.c_miller[r];
-                        slot.set_grid_value(
-                            idx, slot.grid_value(idx) + slope_weight * cm);
-                        if (opt.internal_miller) {
-                            // Same ramp, measured at the stack-node
-                            // sources: pin -> internal Miller caps.
-                            for (std::size_t j = 0; j < n_int; ++j) {
-                                const wave::Waveform i_n = res.vsource_current(
-                                    fx.internal_sources[j]);
-                                const double in_meas = -i_n.at(tk);
-                                const double in_dc =
-                                    model.i_internal[j].grid_value(idx);
-                                const double cmn = -(in_meas - in_dc) / rate;
-                                auto& t = model.c_miller_internal[r * n_int + j];
-                                t.set_grid_value(
-                                    idx,
-                                    t.grid_value(idx) + slope_weight * cmn);
-                            }
+    // One measurement: axis r ramped, the remaining axes parked at `other`;
+    // accumulates both ramp slopes into the (r, other) table slots.
+    auto measure_combo = [&](Fixture& cfx, std::size_t r,
+                             const std::vector<std::size_t>& other) {
+        // Program the non-ramped sources.
+        for (std::size_t d = 0, o = 0; d < dim; ++d) {
+            if (d == r) continue;
+            cfx.circuit.vsource(cfx.source_of_axis(d, n_pins))
+                .set_spec(SourceSpec::dc(knots[other[o]]));
+            ++o;
+        }
+        for (double ramp_time : ramps) {
+            const double rate = (hi - lo) / ramp_time;
+            cfx.circuit.vsource(cfx.source_of_axis(r, n_pins))
+                .set_spec(SourceSpec::pwl(
+                    wave::saturated_ramp(t0, ramp_time, lo, hi)));
+            spice::TranOptions topt;
+            topt.tstop = t0 + ramp_time + 20e-12;
+            topt.dt = opt.dt;
+            const spice::TranResult res =
+                spice::solve_tran(cfx.circuit, topt);
+            const wave::Waveform i_out =
+                res.vsource_current(cfx.out_source);
+
+            for (std::size_t k = 1; k + 1 < g; ++k) {
+                const double tk = t0 + (knots[k] - lo) / rate;
+                const auto idx = combine_index(other, r, k);
+                if (r < n_pins) {
+                    // Pin ramp: Miller cap from the output-source
+                    // current (model KCL: I_out = Io - Cm_r dVr/dt).
+                    const double i_meas = -i_out.at(tk);
+                    const double i_dc = model.i_out.grid_value(idx);
+                    const double cm = -(i_meas - i_dc) / rate;
+                    auto& slot = model.c_miller[r];
+                    slot.set_grid_value(
+                        idx, slot.grid_value(idx) + slope_weight * cm);
+                    if (opt.internal_miller) {
+                        // Same ramp, measured at the stack-node
+                        // sources: pin -> internal Miller caps.
+                        for (std::size_t j = 0; j < n_int; ++j) {
+                            const wave::Waveform i_n = res.vsource_current(
+                                cfx.internal_sources[j]);
+                            const double in_meas = -i_n.at(tk);
+                            const double in_dc =
+                                model.i_internal[j].grid_value(idx);
+                            const double cmn = -(in_meas - in_dc) / rate;
+                            auto& t = model.c_miller_internal[r * n_int + j];
+                            t.set_grid_value(
+                                idx,
+                                t.grid_value(idx) + slope_weight * cmn);
                         }
-                    } else if (r < n_pins + n_int) {
-                        const std::size_t j = r - n_pins;
-                        const wave::Waveform i_n =
-                            res.vsource_current(fx.internal_sources[j]);
-                        const double i_meas = -i_n.at(tk);
-                        const double i_dc =
-                            model.i_internal[j].grid_value(idx);
-                        const double cn = (i_meas - i_dc) / rate;
-                        auto& slot = model.c_internal[j];
-                        slot.set_grid_value(
-                            idx, slot.grid_value(idx) + slope_weight * cn);
-                    } else {
-                        // Output ramp: total output capacitance
-                        // (Co + sum Cm); the Miller parts are subtracted
-                        // after the sweep.
-                        const double i_meas = -i_out.at(tk);
-                        const double i_dc = model.i_out.grid_value(idx);
-                        const double ct = (i_meas - i_dc) / rate;
-                        model.c_out.set_grid_value(
-                            idx,
-                            model.c_out.grid_value(idx) + slope_weight * ct);
                     }
+                } else if (r < n_pins + n_int) {
+                    const std::size_t j = r - n_pins;
+                    const wave::Waveform i_n =
+                        res.vsource_current(cfx.internal_sources[j]);
+                    const double i_meas = -i_n.at(tk);
+                    const double i_dc =
+                        model.i_internal[j].grid_value(idx);
+                    const double cn = (i_meas - i_dc) / rate;
+                    auto& slot = model.c_internal[j];
+                    slot.set_grid_value(
+                        idx, slot.grid_value(idx) + slope_weight * cn);
+                } else {
+                    // Output ramp: total output capacitance
+                    // (Co + sum Cm); the Miller parts are subtracted
+                    // after the sweep.
+                    const double i_meas = -i_out.at(tk);
+                    const double i_dc = model.i_out.grid_value(idx);
+                    const double ct = (i_meas - i_dc) / rate;
+                    model.c_out.set_grid_value(
+                        idx,
+                        model.c_out.grid_value(idx) + slope_weight * ct);
                 }
             }
+        }
+    };
+
+    // Inside a pool worker the fan-out would run inline anyway; take the
+    // sequential path directly so no per-worker fixtures are built just to
+    // find the work cursor drained. Worker fixtures are lazily built once
+    // and reused across all ramped axes (fixture construction repeats the
+    // pattern analysis and pivot search).
+    const std::size_t max_workers =
+        ThreadPool::on_worker_thread() ? 1 : resolve_threads(opt.threads);
+    std::vector<std::optional<Fixture>> worker_fx(max_workers);
+
+    for (std::size_t r = 0; r < dim; ++r) {
+        std::vector<std::vector<std::size_t>> combos;
+        std::vector<std::size_t> other(dim - 1, 0);
+        do {
+            combos.push_back(other);
         } while (next_index(other, other_sizes));
+
+        const std::size_t n_workers = std::min(max_workers, combos.size());
+        if (n_workers <= 1) {
+            for (const auto& c : combos) measure_combo(fx, r, c);
+        } else {
+            std::atomic<std::size_t> next{0};
+            parallel_workers(n_workers, [&](std::size_t w) {
+                // Claim work before paying for a fixture: a worker queued
+                // behind a drained cursor exits for free.
+                std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= combos.size()) return;
+                if (!worker_fx[w]) {
+                    worker_fx[w].emplace(
+                        build_fixture(lib, cell, switching_pins,
+                                      force_internals,
+                                      /*force_out=*/true, 0.0, opt.backend));
+                }
+                Fixture& wfx = *worker_fx[w];
+                for (; i < combos.size();
+                     i = next.fetch_add(1, std::memory_order_relaxed))
+                    measure_combo(wfx, r, combos[i]);
+            });
+        }
 
         // Edge knots of the ramped axis: copy the nearest interior value.
         auto fill_edges = [&](lut::NdTable& t) {
@@ -378,13 +432,16 @@ void extract_input_caps(CsmModel& model, const cells::CellLibrary& lib,
     const double weight =
         1.0 / static_cast<double>(ramps.size() * out_levels.size());
 
-    for (std::size_t p = 0; p < switching_pins.size(); ++p) {
+    // Pins are independent (each runs its own fixture and writes only its
+    // own table); fan them out and append in pin order afterwards.
+    std::vector<lut::NdTable> tables(switching_pins.size());
+    parallel_for(switching_pins.size(), [&](std::size_t p) {
         lut::NdTable table({lut::Axis(switching_pins[p], knots)},
                            "Cin_" + switching_pins[p]);
 
         Fixture fx = build_fixture(lib, cell, switching_pins,
                                    /*force_internals=*/false,
-                                   /*force_out=*/true, 0.0);
+                                   /*force_out=*/true, 0.0, opt.backend);
         // Park the other switching pins at their non-controlling levels.
         for (std::size_t q = 0; q < switching_pins.size(); ++q) {
             if (q == p) continue;
@@ -436,8 +493,9 @@ void extract_input_caps(CsmModel& model, const cells::CellLibrary& lib,
                                      std::span<const double>, double& v) {
             if (v < 0.0) v = 0.0;
         });
-        model.c_in.push_back(std::move(table));
-    }
+        tables[p] = std::move(table);
+    }, opt.threads);
+    for (lut::NdTable& t : tables) model.c_in.push_back(std::move(t));
 }
 
 }  // namespace
@@ -486,7 +544,7 @@ CsmModel Characterizer::characterize(
     const std::size_t n_int = model.internals.size();
 
     Fixture fx = build_fixture(*lib_, cell, switching_pins, model_internals,
-                               /*force_out=*/true, 0.0);
+                               /*force_out=*/true, 0.0, options.backend);
 
     // --- current sources: DC sweep ------------------------------------------
     model.i_out = lut::NdTable(axes, "Io");
@@ -501,72 +559,131 @@ CsmModel Characterizer::characterize(
         for (const std::string& n : model.internals)
             model.c_miller_internal.emplace_back(axes, "Cm_" + p + "_" + n);
 
-    const int out_branch = fx.circuit.branch_of(fx.out_source);
-    std::vector<int> int_branches;
-    for (const std::string& s : fx.internal_sources)
-        int_branches.push_back(fx.circuit.branch_of(s));
-    std::vector<int> pin_branches;
-    for (const std::string& s : fx.pin_sources)
-        pin_branches.push_back(fx.circuit.branch_of(s));
-
     const std::vector<std::size_t> sizes(dim, knots.size());
-    std::vector<std::size_t> idx(dim, 0);
+    const std::size_t g_knots = knots.size();
     DcOptions dc_opt;
-    DcResult dc;
-    bool have_prev = false;
-    do {
+
+    // Per-worker sweep bench: a private testbench fixture (with its own
+    // solver workspace) plus the warm-start chain of its slices.
+    struct SweepBench {
+        Fixture* fx;
+        int out_branch = -1;
+        std::vector<int> int_branches;
+        std::vector<int> pin_branches;
+        DcResult dc;
+        bool have_prev = false;
+    };
+    auto make_bench = [&](Fixture* f) {
+        SweepBench b;
+        b.fx = f;
+        b.out_branch = f->circuit.branch_of(f->out_source);
+        for (const std::string& s : f->internal_sources)
+            b.int_branches.push_back(f->circuit.branch_of(s));
+        for (const std::string& s : f->pin_sources)
+            b.pin_branches.push_back(f->circuit.branch_of(s));
+        return b;
+    };
+
+    auto sweep_point = [&](SweepBench& b, const std::vector<std::size_t>& idx) {
+        Fixture& bfx = *b.fx;
         // Program the forcing sources for this grid point.
         for (std::size_t p = 0; p < n_pins; ++p)
-            fx.circuit.vsource(fx.pin_sources[p])
+            bfx.circuit.vsource(bfx.pin_sources[p])
                 .set_spec(SourceSpec::dc(knots[idx[p]]));
         for (std::size_t j = 0; j < n_int; ++j)
-            fx.circuit.vsource(fx.internal_sources[j])
+            bfx.circuit.vsource(bfx.internal_sources[j])
                 .set_spec(SourceSpec::dc(knots[idx[n_pins + j]]));
-        fx.circuit.vsource(fx.out_source)
+        bfx.circuit.vsource(bfx.out_source)
             .set_spec(SourceSpec::dc(knots[idx[dim - 1]]));
 
-        dc = spice::solve_dc(fx.circuit, dc_opt, have_prev ? &dc.x : nullptr);
-        have_prev = true;
+        b.dc = spice::solve_dc(bfx.circuit, dc_opt,
+                               b.have_prev ? &b.dc.x : nullptr);
+        b.have_prev = true;
+        const DcResult& dc = b.dc;
 
         // Current INTO the cell = -(branch current of the forcing source).
-        model.i_out.set_grid_value(idx,
-                                   -branch_current(fx.circuit, dc, out_branch));
+        model.i_out.set_grid_value(
+            idx, -branch_current(bfx.circuit, dc, b.out_branch));
         for (std::size_t j = 0; j < n_int; ++j)
             model.i_internal[j].set_grid_value(
-                idx, -branch_current(fx.circuit, dc, int_branches[j]));
+                idx, -branch_current(bfx.circuit, dc, b.int_branches[j]));
 
         if (!options.transient_caps) {
             // Model-linearization shortcut: sum device caps at this bias.
             for (std::size_t p = 0; p < n_pins; ++p)
                 model.c_miller[p].set_grid_value(
-                    idx, pair_cap(fx.dut_mosfets, dc.x, fx.pin_nodes[p],
-                                  fx.out_node));
+                    idx, pair_cap(bfx.dut_mosfets, dc.x, bfx.pin_nodes[p],
+                                  bfx.out_node));
             model.c_out.set_grid_value(
-                idx, incident_cap(fx.dut_mosfets, dc.x, fx.out_node,
-                                  fx.pin_nodes));
+                idx, incident_cap(bfx.dut_mosfets, dc.x, bfx.out_node,
+                                  bfx.pin_nodes));
             // When pin->internal Millers are modeled, CN excludes the pin
             // couplings (they get their own tables); otherwise CN absorbs
             // everything incident to the stack node (the paper's choice).
             const std::vector<int> excluded =
-                options.internal_miller ? fx.pin_nodes : std::vector<int>{};
+                options.internal_miller ? bfx.pin_nodes : std::vector<int>{};
             for (std::size_t j = 0; j < n_int; ++j)
                 model.c_internal[j].set_grid_value(
-                    idx, incident_cap(fx.dut_mosfets, dc.x,
-                                      fx.internal_nodes[j], excluded));
+                    idx, incident_cap(bfx.dut_mosfets, dc.x,
+                                      bfx.internal_nodes[j], excluded));
             if (options.internal_miller) {
                 for (std::size_t p = 0; p < n_pins; ++p)
                     for (std::size_t j = 0; j < n_int; ++j)
                         model.c_miller_internal[p * n_int + j].set_grid_value(
-                            idx, pair_cap(fx.dut_mosfets, dc.x,
-                                          fx.pin_nodes[p],
-                                          fx.internal_nodes[j]));
+                            idx, pair_cap(bfx.dut_mosfets, dc.x,
+                                          bfx.pin_nodes[p],
+                                          bfx.internal_nodes[j]));
             }
         }
-    } while (next_index(idx, sizes));
+    };
+
+    // One slice: every grid point with first-axis knot i0, next_index
+    // odometer over the remaining axes (grid writes are disjoint across
+    // slices).
+    auto sweep_slice = [&](SweepBench& b, std::size_t i0) {
+        std::vector<std::size_t> rest(dim - 1, 0);
+        const std::vector<std::size_t> rest_sizes(dim - 1, g_knots);
+        std::vector<std::size_t> idx(dim, 0);
+        idx[0] = i0;
+        do {
+            std::copy(rest.begin(), rest.end(), idx.begin() + 1);
+            sweep_point(b, idx);
+        } while (next_index(rest, rest_sizes));
+    };
+
+    // As in extract_caps_transient: run inline without spare fixtures when
+    // this characterize() is itself a pool-worker job.
+    const std::size_t sweep_workers =
+        ThreadPool::on_worker_thread()
+            ? 1
+            : std::min(resolve_threads(options.threads), g_knots);
+    if (sweep_workers <= 1) {
+        // Sequential: one bench, warm-start chain across the whole grid
+        // (matches the pre-parallel sweep order exactly).
+        SweepBench bench = make_bench(&fx);
+        for (std::size_t i0 = 0; i0 < g_knots; ++i0) sweep_slice(bench, i0);
+    } else {
+        std::atomic<std::size_t> next{0};
+        parallel_workers(sweep_workers, [&](std::size_t) {
+            // Claim a slice before paying for a fixture (see the cap
+            // extraction fan-out).
+            std::size_t i0 = next.fetch_add(1, std::memory_order_relaxed);
+            if (i0 >= g_knots) return;
+            Fixture wfx = build_fixture(*lib_, cell, switching_pins,
+                                        model_internals,
+                                        /*force_out=*/true, 0.0,
+                                        options.backend);
+            SweepBench bench = make_bench(&wfx);
+            for (; i0 < g_knots;
+                 i0 = next.fetch_add(1, std::memory_order_relaxed))
+                sweep_slice(bench, i0);
+        });
+    }
 
     // --- capacitances: transient ramp extraction -----------------------------
     if (options.transient_caps) {
-        extract_caps_transient(model, fx, knots, options);
+        extract_caps_transient(model, *lib_, cell, switching_pins,
+                               model_internals, fx, knots, options);
     }
 
     // Numerical floors: keep capacitances physical.

@@ -25,6 +25,7 @@
 
 #include "cells/library.h"
 #include "core/model.h"
+#include "spice/solver_workspace.h"
 
 namespace mcsm::core {
 
@@ -40,6 +41,16 @@ struct CharOptions {
     // neglects them). When false the tables are zero and CN absorbs all
     // capacitance incident to the stack node, exactly as in the paper.
     bool internal_miller = true;
+    // Worker threads for the grid sweeps (0: all cores, see MCSM_THREADS).
+    // Every worker runs its own testbench fixture and solver workspace and
+    // writes disjoint table slots; results are reproducible to solver
+    // tolerance for any thread count (warm-start chains and frozen LU
+    // pivot orders differ per worker, so bitwise equality is not
+    // guaranteed).
+    std::size_t threads = 0;
+    // Solver backend for the testbench fixtures (the dense fallback is kept
+    // for cross-checking and perf baselines).
+    spice::SolverBackend backend = spice::default_solver_backend();
 };
 
 class Characterizer {

@@ -23,6 +23,13 @@ CsmCellDevice::CsmCellDevice(std::string name, const CsmModel& model,
             "CsmCellDevice: pin node count mismatch");
     require(internals_.size() == model.internal_count(),
             "CsmCellDevice: internal node count mismatch");
+    v_scratch_.resize(model.dim());
+    vp_scratch_.resize(model.dim());
+    grad_scratch_.resize(model.dim());
+    caps_cache_.cm.resize(model.pin_count());
+    caps_cache_.cn.resize(model.internal_count());
+    caps_cache_.cmn.resize(model.pin_count() * model.internal_count());
+    caps_cache_.ca.resize(input_caps_ ? model.pin_count() : 0);
 }
 
 int CsmCellDevice::state_count() const {
@@ -49,9 +56,10 @@ void CsmCellDevice::stamp(spice::Stamper& st,
     const std::size_t n_int = model_->internal_count();
     const std::size_t dim = model_->dim();
 
-    std::vector<double> v;
+    std::vector<double>& v = v_scratch_;
     gather(*ctx.x, v);
-    std::vector<double> grad(dim, 0.0);
+    std::vector<double>& grad = grad_scratch_;
+    std::fill(grad.begin(), grad.end(), 0.0);
 
     // Circuit node corresponding to each model axis.
     auto axis_node = [&](std::size_t d) -> int {
@@ -78,37 +86,59 @@ void CsmCellDevice::stamp(spice::Stamper& st,
 
     if (!ctx.is_tran()) return;
 
-    // Capacitances evaluated at the previous accepted step (consistent with
-    // the MOSFET device treatment).
-    std::vector<double> vp;
-    gather(*ctx.x_prev, vp);
+    const StepCaps& caps = step_caps(ctx);
     const auto base = static_cast<std::size_t>(state_base());
     const std::vector<double>& state = *ctx.state;
     std::size_t slot = 0;
     for (std::size_t p = 0; p < n_pins; ++p, ++slot)
-        spice::stamp_capacitor(st, ctx, pins_[p], out_, model_->cm(p, vp),
+        spice::stamp_capacitor(st, ctx, pins_[p], out_, caps.cm[p],
                                state[base + slot]);
-    spice::stamp_capacitor(st, ctx, out_, spice::Circuit::kGround,
-                           model_->co(vp), state[base + slot]);
+    spice::stamp_capacitor(st, ctx, out_, spice::Circuit::kGround, caps.co,
+                           state[base + slot]);
     ++slot;
     for (std::size_t j = 0; j < n_int; ++j, ++slot)
         spice::stamp_capacitor(st, ctx, internals_[j], spice::Circuit::kGround,
-                               model_->cn(j, vp), state[base + slot]);
+                               caps.cn[j], state[base + slot]);
     for (std::size_t p = 0; p < n_pins; ++p)
         for (std::size_t j = 0; j < n_int; ++j, ++slot)
             spice::stamp_capacitor(st, ctx, pins_[p], internals_[j],
-                                   model_->cmn(p, j, vp), state[base + slot]);
+                                   caps.cmn[p * n_int + j],
+                                   state[base + slot]);
+    if (input_caps_) {
+        for (std::size_t p = 0; p < n_pins; ++p, ++slot)
+            spice::stamp_capacitor(st, ctx, pins_[p], spice::Circuit::kGround,
+                                   caps.ca[p], state[base + slot]);
+    }
+}
+
+const CsmCellDevice::StepCaps& CsmCellDevice::step_caps(
+    const spice::SimContext& ctx) const {
+    StepCaps& caps = caps_cache_;
+    if (ctx.step_id >= 0 && ctx.step_id == caps.step_id) return caps;
+    caps.step_id = ctx.step_id;
+
+    const std::size_t n_pins = model_->pin_count();
+    const std::size_t n_int = model_->internal_count();
+
+    // Evaluated at the previous accepted step (consistent with the MOSFET
+    // device treatment).
+    std::vector<double>& vp = vp_scratch_;
+    gather(*ctx.x_prev, vp);
+    for (std::size_t p = 0; p < n_pins; ++p) caps.cm[p] = model_->cm(p, vp);
+    caps.co = model_->co(vp);
+    for (std::size_t j = 0; j < n_int; ++j) caps.cn[j] = model_->cn(j, vp);
+    for (std::size_t p = 0; p < n_pins; ++p)
+        for (std::size_t j = 0; j < n_int; ++j)
+            caps.cmn[p * n_int + j] = model_->cmn(p, j, vp);
     if (input_caps_) {
         // The 1-D c_in tables are extracted with the output tied, so they
         // already contain the pin->out Miller part; the grounded component
         // of eq. (3) is CA = c_in - Cm (the Miller cap is stamped above).
-        for (std::size_t p = 0; p < n_pins; ++p, ++slot) {
-            const double ca =
-                std::max(0.0, model_->cin(p, vp[p]) - model_->cm(p, vp));
-            spice::stamp_capacitor(st, ctx, pins_[p], spice::Circuit::kGround,
-                                   ca, state[base + slot]);
-        }
+        for (std::size_t p = 0; p < n_pins; ++p)
+            caps.ca[p] =
+                std::max(0.0, model_->cin(p, vp[p]) - caps.cm[p]);
     }
+    return caps;
 }
 
 void CsmCellDevice::commit(const spice::SimContext& ctx,
@@ -117,8 +147,11 @@ void CsmCellDevice::commit(const spice::SimContext& ctx,
     const std::size_t n_pins = model_->pin_count();
     const std::size_t n_int = model_->internal_count();
 
-    std::vector<double> v;
-    std::vector<double> vp;
+    // step_caps gathers x_prev into vp_scratch_ (or reuses the cached step
+    // linearization from the Newton iterations of this step).
+    const StepCaps& caps = step_caps(ctx);
+    std::vector<double>& v = v_scratch_;
+    std::vector<double>& vp = vp_scratch_;
     gather(*ctx.x, v);
     gather(*ctx.x_prev, vp);
     const auto base = static_cast<std::size_t>(state_base());
@@ -133,21 +166,18 @@ void CsmCellDevice::commit(const spice::SimContext& ctx,
     const std::size_t out_d = model_->out_axis();
     std::size_t slot = 0;
     for (std::size_t p = 0; p < n_pins; ++p, ++slot)
-        update(slot, model_->cm(p, vp), v[p] - v[out_d], vp[p] - vp[out_d]);
-    update(slot, model_->co(vp), v[out_d], vp[out_d]);
+        update(slot, caps.cm[p], v[p] - v[out_d], vp[p] - vp[out_d]);
+    update(slot, caps.co, v[out_d], vp[out_d]);
     ++slot;
     for (std::size_t j = 0; j < n_int; ++j, ++slot)
-        update(slot, model_->cn(j, vp), v[n_pins + j], vp[n_pins + j]);
+        update(slot, caps.cn[j], v[n_pins + j], vp[n_pins + j]);
     for (std::size_t p = 0; p < n_pins; ++p)
         for (std::size_t j = 0; j < n_int; ++j, ++slot)
-            update(slot, model_->cmn(p, j, vp), v[p] - v[n_pins + j],
+            update(slot, caps.cmn[p * n_int + j], v[p] - v[n_pins + j],
                    vp[p] - vp[n_pins + j]);
     if (input_caps_) {
-        for (std::size_t p = 0; p < n_pins; ++p, ++slot) {
-            const double ca =
-                std::max(0.0, model_->cin(p, vp[p]) - model_->cm(p, vp));
-            update(slot, ca, v[p], vp[p]);
-        }
+        for (std::size_t p = 0; p < n_pins; ++p, ++slot)
+            update(slot, caps.ca[p], v[p], vp[p]);
     }
 }
 
@@ -166,16 +196,22 @@ double LutCapDevice::cap_at(double v) const {
 void LutCapDevice::stamp(spice::Stamper& st,
                          const spice::SimContext& ctx) const {
     if (!ctx.is_tran()) return;
-    const double c = cap_at(ctx.prev_voltage(node_));
+    if (ctx.step_id < 0 || ctx.step_id != cap_step_id_) {
+        cap_cache_ = cap_at(ctx.prev_voltage(node_));
+        cap_step_id_ = ctx.step_id;
+    }
     const double i_prev =
         (*ctx.state)[static_cast<std::size_t>(state_base())];
-    spice::stamp_capacitor(st, ctx, node_, spice::Circuit::kGround, c, i_prev);
+    spice::stamp_capacitor(st, ctx, node_, spice::Circuit::kGround,
+                           cap_cache_, i_prev);
 }
 
 void LutCapDevice::commit(const spice::SimContext& ctx,
                           std::span<double> state_next) const {
     if (!ctx.is_tran()) return;
-    const double c = cap_at(ctx.prev_voltage(node_));
+    const double c = (ctx.step_id >= 0 && ctx.step_id == cap_step_id_)
+                         ? cap_cache_
+                         : cap_at(ctx.prev_voltage(node_));
     const double i_prev =
         (*ctx.state)[static_cast<std::size_t>(state_base())];
     state_next[static_cast<std::size_t>(state_base())] =

@@ -43,11 +43,32 @@ private:
     // Gathers [pins..., internals..., out] voltages from a solution vector.
     void gather(const std::vector<double>& x, std::vector<double>& v) const;
 
+    // Capacitance tables evaluated at the previous accepted solution,
+    // cached per transient step (shared by every Newton iteration and the
+    // commit; each value is a multilinear interpolation over 2^dim table
+    // corners). Keyed on SimContext::step_id.
+    struct StepCaps {
+        long long step_id = -1;
+        std::vector<double> cm;   // pin -> out Miller, per pin
+        double co = 0.0;
+        std::vector<double> cn;   // per internal node
+        std::vector<double> cmn;  // pin -> internal Miller, [p * n_int + j]
+        std::vector<double> ca;   // grounded input component, per pin
+    };
+    const StepCaps& step_caps(const spice::SimContext& ctx) const;
+
     const CsmModel* model_;  // non-owning; outlives the circuit
     std::vector<int> pins_;
     std::vector<int> internals_;
     int out_;
     bool input_caps_;
+    // Scratch for stamp()/commit(), preallocated so the Newton inner loop
+    // stays allocation-free. A device belongs to one circuit and circuits
+    // solve single-threaded, so plain mutable members are safe.
+    mutable std::vector<double> v_scratch_;
+    mutable std::vector<double> vp_scratch_;
+    mutable std::vector<double> grad_scratch_;
+    mutable StepCaps caps_cache_;
 };
 
 // A 1-D voltage-dependent grounded capacitor C(v), used for receiver input
@@ -68,6 +89,10 @@ private:
     const lut::NdTable* table_;  // non-owning
     int node_;
     double scale_;
+    // Per-step cache of the table lookup at the previous accepted solution
+    // (keyed on SimContext::step_id, see CsmCellDevice::StepCaps).
+    mutable long long cap_step_id_ = -1;
+    mutable double cap_cache_ = 0.0;
 };
 
 }  // namespace mcsm::core

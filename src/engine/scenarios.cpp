@@ -1,7 +1,10 @@
 #include "engine/scenarios.h"
 
+#include <utility>
+
 #include "cells/fanout.h"
 #include "common/error.h"
+#include "common/parallel.h"
 #include "wave/edges.h"
 
 namespace mcsm::engine {
@@ -98,6 +101,26 @@ MisStimulus nor2_simultaneous_fall(double vdd, double t_edge, double ramp,
     s.a = wave::piecewise_edges(vdd, {{t_edge, ramp, 0.0}});
     s.b = wave::piecewise_edges(vdd, {{t_edge + skew, ramp, 0.0}});
     return s;
+}
+
+std::vector<ScenarioResult> run_golden_scenarios(
+    const cells::CellLibrary& lib, const std::vector<ScenarioSpec>& specs,
+    const spice::TranOptions& options, std::size_t threads) {
+    std::vector<ScenarioResult> results(specs.size());
+    // Each scenario builds a private circuit (own solver workspace), so the
+    // fan-out shares only read-only library/technology state.
+    parallel_for(
+        specs.size(),
+        [&](std::size_t i) {
+            const ScenarioSpec& spec = specs[i];
+            GoldenCell cell(lib, spec.cell, spec.inputs, spec.load);
+            results[i].name = spec.name;
+            results[i].result = cell.run(options);
+            results[i].out_node = cell.out_node();
+            results[i].far_node = cell.far_node();
+        },
+        threads);
+    return results;
 }
 
 GlitchStimulus nor2_glitch(double vdd, double t_edge, double width,

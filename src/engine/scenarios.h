@@ -7,8 +7,10 @@
 #ifndef MCSM_ENGINE_SCENARIOS_H
 #define MCSM_ENGINE_SCENARIOS_H
 
+#include <cstddef>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "cells/library.h"
 #include "spice/tran_solver.h"
@@ -92,6 +94,31 @@ struct GlitchStimulus {
 
 GlitchStimulus nor2_glitch(double vdd, double t_edge = 1.5e-9,
                            double width = 150e-12, double ramp = 80e-12);
+
+// --- scenario enumeration ------------------------------------------------
+// A batch entry for golden-transient sweeps (skew sweeps, load sweeps,
+// noise grids, ...): one cell, its input waveforms, and the output load.
+struct ScenarioSpec {
+    std::string name;  // caller-chosen label, carried into the result
+    std::string cell;
+    std::unordered_map<std::string, wave::Waveform> inputs;
+    LoadSpec load;
+};
+
+struct ScenarioResult {
+    std::string name;
+    spice::TranResult result;
+    int out_node = -1;
+    int far_node = -1;
+};
+
+// Runs every scenario's transistor-level transient, fanning the independent
+// solves out over per-thread circuits/workspaces (threads = 0: all cores).
+// Results are returned in spec order and are identical for any thread
+// count. Throws the first scenario failure after the batch drains.
+std::vector<ScenarioResult> run_golden_scenarios(
+    const cells::CellLibrary& lib, const std::vector<ScenarioSpec>& specs,
+    const spice::TranOptions& options, std::size_t threads = 0);
 
 }  // namespace mcsm::engine
 

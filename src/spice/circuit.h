@@ -13,6 +13,7 @@
 #include "spice/device.h"
 #include "spice/linear_devices.h"
 #include "spice/mosfet.h"
+#include "spice/solver_workspace.h"
 
 namespace mcsm::spice {
 
@@ -77,13 +78,21 @@ public:
     }
 
     // --- solver support ----------------------------------------------------
-    // Assigns branch/state indices. Safe to call repeatedly; re-runs after
-    // any device was added.
+    // Assigns branch/state indices, computes the MNA sparsity pattern from
+    // the device incidence, and (re)builds the persistent SolverWorkspace.
+    // Safe to call repeatedly; re-runs after any device was added.
     void prepare();
     int branch_total() const { return branch_total_; }
     int state_total() const { return state_total_; }
     // Branch index of a voltage source (for current measurement).
     int branch_of(const std::string& vsource_name) const;
+
+    // The persistent per-topology workspace (valid after prepare()).
+    SolverWorkspace& workspace();
+    // Selects the backend used when the workspace is (re)built; switching
+    // invalidates the current workspace. Default: default_solver_backend().
+    void set_solver_backend(SolverBackend backend);
+    SolverBackend solver_backend() const { return backend_; }
 
 private:
     std::vector<std::string> node_names_;
@@ -93,6 +102,8 @@ private:
     bool prepared_ = false;
     int branch_total_ = 0;
     int state_total_ = 0;
+    SolverBackend backend_ = default_solver_backend();
+    std::unique_ptr<SolverWorkspace> workspace_;
 };
 
 }  // namespace mcsm::spice

@@ -9,10 +9,12 @@ namespace mcsm::spice {
 namespace {
 
 // One NR solve at fixed gmin. Returns iterations used, or -1 if it failed.
+// The circuit's persistent workspace supplies the assembly storage and the
+// factorization; the iteration body performs no heap allocation.
 int newton_dc(Circuit& circuit, const DcOptions& options, double gmin,
               std::vector<double>& x) {
     const int n_nodes = circuit.node_count();
-    Stamper st(n_nodes, circuit.branch_total());
+    SolverWorkspace& ws = circuit.workspace();
 
     SimContext ctx;
     ctx.mode = SimContext::Mode::kDc;
@@ -21,16 +23,17 @@ int newton_dc(Circuit& circuit, const DcOptions& options, double gmin,
     ctx.x = &x;
 
     for (int it = 0; it < options.max_iterations; ++it) {
-        st.clear();
+        Stamper& st = ws.begin_assembly();
         for (const auto& dev : circuit.devices()) dev->stamp(st, ctx);
         st.add_gmin_everywhere(gmin);
 
-        std::vector<double> sol;
+        const std::vector<double>* sol_ptr;
         try {
-            sol = st.solve();
+            sol_ptr = &ws.solve();
         } catch (const NumericalError&) {
             return -1;
         }
+        const std::vector<double>& sol = *sol_ptr;
 
         // Measure the node-voltage update before damping.
         double dx_max = 0.0;

@@ -167,9 +167,7 @@ void Mosfet::stamp(Stamper& st, const SimContext& ctx) const {
 
     if (ctx.is_tran()) {
         // Capacitances linearized at the previous accepted solution.
-        const MosCaps caps =
-            evaluate_caps(ctx.prev_voltage(d_), ctx.prev_voltage(g_),
-                          ctx.prev_voltage(s_), ctx.prev_voltage(b_));
+        const MosCaps& caps = step_caps(ctx);
         const auto base = static_cast<std::size_t>(state_base());
         const std::vector<double>& state = *ctx.state;
         stamp_capacitor(st, ctx, g_, s_, caps.cgs, state[base + 0]);
@@ -180,12 +178,20 @@ void Mosfet::stamp(Stamper& st, const SimContext& ctx) const {
     }
 }
 
+const MosCaps& Mosfet::step_caps(const SimContext& ctx) const {
+    if (ctx.step_id < 0 || ctx.step_id != caps_step_id_) {
+        caps_cache_ =
+            evaluate_caps(ctx.prev_voltage(d_), ctx.prev_voltage(g_),
+                          ctx.prev_voltage(s_), ctx.prev_voltage(b_));
+        caps_step_id_ = ctx.step_id;
+    }
+    return caps_cache_;
+}
+
 void Mosfet::commit(const SimContext& ctx,
                     std::span<double> state_next) const {
     if (!ctx.is_tran()) return;
-    const MosCaps caps =
-        evaluate_caps(ctx.prev_voltage(d_), ctx.prev_voltage(g_),
-                      ctx.prev_voltage(s_), ctx.prev_voltage(b_));
+    const MosCaps& caps = step_caps(ctx);
     const auto base = static_cast<std::size_t>(state_base());
     const std::vector<double>& state = *ctx.state;
 

@@ -75,6 +75,13 @@ private:
     // bias; vj is the forward-bias voltage of the junction diode.
     double junction_cap(double vj, double area, double perim) const;
 
+    // Capacitances at the previous accepted solution, cached per transient
+    // step: they are re-used by every Newton iteration and the commit of a
+    // step (junction caps cost several pow() calls). Keyed on
+    // SimContext::step_id; a device belongs to one circuit and circuits
+    // solve single-threaded, so a mutable member is safe.
+    const MosCaps& step_caps(const SimContext& ctx) const;
+
     int d_;
     int g_;
     int s_;
@@ -86,6 +93,8 @@ private:
     double as_;
     double pd_;
     double ps_;
+    mutable long long caps_step_id_ = -1;
+    mutable MosCaps caps_cache_;
 };
 
 }  // namespace mcsm::spice

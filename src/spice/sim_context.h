@@ -28,6 +28,12 @@ struct SimContext {
     Integrator integrator = Integrator::kTrapezoidal;
     // Scale factor applied to independent sources (DC source stepping).
     double source_scale = 1.0;
+    // Transient step identity: unique per (x_prev, step attempt) and shared
+    // by every Newton iteration and the commit of that attempt. Devices use
+    // it to cache their companion-model linearization (capacitances are
+    // evaluated at x_prev, which is constant within a step). Negative:
+    // caching disabled.
+    long long step_id = -1;
 
     const std::vector<double>* x = nullptr;
     const std::vector<double>* x_prev = nullptr;

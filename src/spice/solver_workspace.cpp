@@ -1,0 +1,107 @@
+#include "spice/solver_workspace.h"
+
+#include <cstdlib>
+
+#include "common/error.h"
+#include "common/linear_solver.h"
+#include "spice/circuit.h"
+
+namespace mcsm::spice {
+
+namespace {
+
+// Discovers the MNA sparsity pattern from the device incidence: one
+// pattern-mode stamp pass in DC and one in transient (companion models for
+// capacitors only stamp in transient), plus the gmin diagonal. Values are
+// ignored; the entries a device touches are fixed by its node/branch
+// bindings, so a zero-bias pass covers every operating point.
+SparseMatrix build_pattern_matrix(const Circuit& circuit) {
+    const int n_nodes = circuit.node_count();
+    const int n_branches = circuit.branch_total();
+    std::vector<std::pair<int, int>> entries;
+    Stamper pat(n_nodes, n_branches, &entries);
+
+    const std::vector<double> x(
+        static_cast<std::size_t>(n_nodes + n_branches), 0.0);
+    const std::vector<double> state(
+        static_cast<std::size_t>(circuit.state_total()), 0.0);
+
+    SimContext dc;
+    dc.mode = SimContext::Mode::kDc;
+    dc.x = &x;
+    for (const auto& dev : circuit.devices()) dev->stamp(pat, dc);
+
+    SimContext tran;
+    tran.mode = SimContext::Mode::kTran;
+    tran.dt = 1e-12;
+    tran.integrator = Integrator::kTrapezoidal;
+    tran.x = &x;
+    tran.x_prev = &x;
+    tran.state = &state;
+    for (const auto& dev : circuit.devices()) dev->stamp(pat, tran);
+
+    pat.add_gmin_everywhere(1.0);
+
+    SparseMatrix m;
+    m.build(pat.system_size(), std::move(entries));
+    return m;
+}
+
+Stamper make_stamper(const Circuit& circuit, SolverBackend backend,
+                     SparseMatrix* sparse) {
+    const int n_nodes = circuit.node_count();
+    const int n_branches = circuit.branch_total();
+    if (backend == SolverBackend::kSparse)
+        return Stamper(n_nodes, n_branches, sparse);
+    return Stamper(n_nodes, n_branches);
+}
+
+}  // namespace
+
+SolverBackend default_solver_backend() {
+    static const SolverBackend backend = [] {
+        if (const char* env = std::getenv("MCSM_DENSE_SOLVER")) {
+            if (env[0] != '\0' && env[0] != '0') return SolverBackend::kDense;
+        }
+        return SolverBackend::kSparse;
+    }();
+    return backend;
+}
+
+SolverWorkspace::SolverWorkspace(const Circuit& circuit, SolverBackend backend)
+    : backend_(backend),
+      matrix_(backend == SolverBackend::kSparse ? build_pattern_matrix(circuit)
+                                                : SparseMatrix{}),
+      stamper_(make_stamper(circuit, backend, &matrix_)) {
+    const std::size_t n = stamper_.system_size();
+    sol_.assign(n, 0.0);
+    if (backend_ == SolverBackend::kDense) {
+        dense_scratch_.resize(n, n);
+        rhs_scratch_.assign(n, 0.0);
+    }
+}
+
+std::size_t SolverWorkspace::pattern_nnz() const {
+    if (backend_ == SolverBackend::kSparse) return matrix_.nnz();
+    return system_size() * system_size();
+}
+
+Stamper& SolverWorkspace::begin_assembly() {
+    stamper_.clear();
+    return stamper_;
+}
+
+const std::vector<double>& SolverWorkspace::solve() {
+    ++solves_;
+    if (backend_ == SolverBackend::kSparse) {
+        lu_.factor(matrix_);
+        lu_.solve(stamper_.rhs(), sol_);
+        return sol_;
+    }
+    dense_scratch_ = stamper_.matrix();
+    rhs_scratch_ = stamper_.rhs();
+    solve_lu_into(dense_scratch_, rhs_scratch_, sol_);
+    return sol_;
+}
+
+}  // namespace mcsm::spice

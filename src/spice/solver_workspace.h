@@ -1,0 +1,83 @@
+// Persistent solver workspace: built once per circuit topology by
+// Circuit::prepare() and reused across every Newton iteration and time step.
+//
+// Construction discovers the MNA sparsity pattern by running one
+// pattern-collection stamp pass over the devices (DC and transient modes,
+// so companion-model entries are included), then preallocates CSR storage
+// and the sparse LU. After that, an assemble + solve cycle performs zero
+// heap allocations: devices write into fixed CSR slots through the same
+// Stamper primitives, the LU reuses its symbolic factorization, and the
+// solution lands in a preallocated buffer.
+//
+// A dense backend is retained behind a runtime switch (SolverBackend /
+// MCSM_DENSE_SOLVER=1) for cross-checking; it reproduces the pre-workspace
+// dense path bit for bit.
+#ifndef MCSM_SPICE_SOLVER_WORKSPACE_H
+#define MCSM_SPICE_SOLVER_WORKSPACE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/dense_matrix.h"
+#include "common/sparse_lu.h"
+#include "common/sparse_matrix.h"
+#include "spice/stamper.h"
+
+namespace mcsm::spice {
+
+class Circuit;
+
+enum class SolverBackend {
+    kSparse,  // CSR storage + pattern-reusing sparse LU (default)
+    kDense,   // dense matrix + partial-pivot LU (cross-check fallback)
+};
+
+// Process-wide default: kSparse, or kDense when the MCSM_DENSE_SOLVER
+// environment variable is set to a non-zero value.
+SolverBackend default_solver_backend();
+
+class SolverWorkspace {
+public:
+    // The circuit must be index-bound (Circuit::prepare() constructs the
+    // workspace after binding). The workspace takes no reference to the
+    // circuit beyond the constructor.
+    SolverWorkspace(const Circuit& circuit, SolverBackend backend);
+
+    SolverWorkspace(const SolverWorkspace&) = delete;
+    SolverWorkspace& operator=(const SolverWorkspace&) = delete;
+
+    SolverBackend backend() const { return backend_; }
+    std::size_t system_size() const { return stamper_.system_size(); }
+    // Stored MNA nonzeros (sparse backend; dense reports the full square).
+    std::size_t pattern_nnz() const;
+
+    // Clears the assembly storage and hands out the device-facing writer.
+    Stamper& begin_assembly();
+
+    // Factors and solves the assembled system; the result stays valid until
+    // the next solve(). Throws NumericalError on singular systems.
+    const std::vector<double>& solve();
+
+    // --- instrumentation ------------------------------------------------
+    std::size_t solve_count() const { return solves_; }
+    // Sparse backend: how often the pivot-order analysis had to rerun
+    // (1 per topology in the steady state; more means unstable refactors).
+    std::size_t full_factor_count() const { return lu_.full_factor_count(); }
+    // Sparse backend: stored L+U nonzeros including fill (0 before the
+    // first factorization / on the dense backend).
+    std::size_t lu_nnz() const { return lu_.lu_nnz(); }
+
+private:
+    SolverBackend backend_;
+    SparseMatrix matrix_;   // sparse backend storage
+    Stamper stamper_;       // writes into matrix_ or its own dense storage
+    SparseLu lu_;
+    DenseMatrix dense_scratch_;
+    std::vector<double> rhs_scratch_;
+    std::vector<double> sol_;
+    std::size_t solves_ = 0;
+};
+
+}  // namespace mcsm::spice
+
+#endif  // MCSM_SPICE_SOLVER_WORKSPACE_H

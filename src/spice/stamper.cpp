@@ -6,11 +6,33 @@
 namespace mcsm::spice {
 
 Stamper::Stamper(int n_nodes, int n_branches)
-    : n_nodes_(n_nodes), n_branches_(n_branches) {
+    : backend_(Backend::kDense), n_nodes_(n_nodes), n_branches_(n_branches) {
     require(n_nodes >= 1, "Stamper: need at least the ground node");
     const std::size_t n = system_size();
     a_.resize(n, n);
     b_.assign(n, 0.0);
+}
+
+Stamper::Stamper(int n_nodes, int n_branches, SparseMatrix* sparse)
+    : backend_(Backend::kSparse),
+      n_nodes_(n_nodes),
+      n_branches_(n_branches),
+      sparse_(sparse) {
+    require(n_nodes >= 1, "Stamper: need at least the ground node");
+    require(sparse != nullptr && sparse->size() == system_size(),
+            "Stamper: sparse storage size mismatch");
+    b_.assign(system_size(), 0.0);
+}
+
+Stamper::Stamper(int n_nodes, int n_branches,
+                 std::vector<std::pair<int, int>>* pattern_out)
+    : backend_(Backend::kPattern),
+      n_nodes_(n_nodes),
+      n_branches_(n_branches),
+      pattern_out_(pattern_out) {
+    require(n_nodes >= 1, "Stamper: need at least the ground node");
+    require(pattern_out != nullptr, "Stamper: null pattern sink");
+    b_.assign(system_size(), 0.0);
 }
 
 std::size_t Stamper::system_size() const {
@@ -18,43 +40,23 @@ std::size_t Stamper::system_size() const {
 }
 
 void Stamper::clear() {
-    a_.set_zero();
+    switch (backend_) {
+        case Backend::kDense:
+            a_.set_zero();
+            break;
+        case Backend::kSparse:
+            sparse_->set_zero();
+            break;
+        case Backend::kPattern:
+            break;
+    }
     std::fill(b_.begin(), b_.end(), 0.0);
 }
 
-void Stamper::add_matrix(int row_node, int col_node, double value) {
-    const int r = unknown_of_node(row_node);
-    const int c = unknown_of_node(col_node);
-    if (r < 0 || c < 0) return;
-    a_.at(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) += value;
-}
-
-void Stamper::add_rhs(int row_node, double value) {
-    const int r = unknown_of_node(row_node);
-    if (r < 0) return;
-    b_[static_cast<std::size_t>(r)] += value;
-}
-
-void Stamper::add_conductance(int a, int b, double g) {
-    add_matrix(a, a, g);
-    add_matrix(b, b, g);
-    add_matrix(a, b, -g);
-    add_matrix(b, a, -g);
-}
-
-void Stamper::add_transconductance(int from, int to, int ctrl_p, int ctrl_m,
-                                   double g) {
-    add_matrix(from, ctrl_p, g);
-    add_matrix(from, ctrl_m, -g);
-    add_matrix(to, ctrl_p, -g);
-    add_matrix(to, ctrl_m, g);
-}
-
-void Stamper::add_source_current(int from, int to, double i) {
-    // Current i leaves `from` and enters `to`; KCL rows are written as
-    // (sum of currents leaving node) = 0, with sources moved to the RHS.
-    add_rhs(from, -i);
-    add_rhs(to, i);
+void Stamper::sink_pattern_miss() const {
+    throw ModelError(
+        "Stamper: stamp outside the prepared sparsity pattern "
+        "(device set changed without prepare()?)");
 }
 
 void Stamper::add_voltage_branch(int branch, int p, int m, double v) {
@@ -62,24 +64,27 @@ void Stamper::add_voltage_branch(int branch, int p, int m, double v) {
     const int bi = unknown_of_branch(branch);
     const int pu = unknown_of_node(p);
     const int mu = unknown_of_node(m);
-    const auto bi_u = static_cast<std::size_t>(bi);
     if (pu >= 0) {
         // Branch current flows out of p through the source.
-        a_.at(static_cast<std::size_t>(pu), bi_u) += 1.0;
-        a_.at(bi_u, static_cast<std::size_t>(pu)) += 1.0;
+        sink(pu, bi, 1.0);
+        sink(bi, pu, 1.0);
     }
     if (mu >= 0) {
-        a_.at(static_cast<std::size_t>(mu), bi_u) -= 1.0;
-        a_.at(bi_u, static_cast<std::size_t>(mu)) -= 1.0;
+        sink(mu, bi, -1.0);
+        sink(bi, mu, -1.0);
     }
-    b_[bi_u] += v;
+    b_[static_cast<std::size_t>(bi)] += v;
 }
 
-void Stamper::add_gmin_everywhere(double gmin) {
-    for (int node = 1; node < n_nodes_; ++node) add_matrix(node, node, gmin);
+DenseMatrix& Stamper::matrix() {
+    require(backend_ == Backend::kDense,
+            "Stamper: matrix() is dense-backend only");
+    return a_;
 }
 
 std::vector<double> Stamper::solve() {
+    require(backend_ == Backend::kDense,
+            "Stamper: solve() is dense-backend only");
     return solve_lu(a_, b_);
 }
 

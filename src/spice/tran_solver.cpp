@@ -1,6 +1,7 @@
 #include "spice/tran_solver.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "common/error.h"
@@ -14,6 +15,14 @@ TranResult::TranResult(std::vector<std::string> node_names,
     for (std::size_t i = 0; i < node_names_.size(); ++i)
         node_index_[node_names_[i]] = static_cast<int>(i);
     node_v_.resize(node_names_.size());
+}
+
+void TranResult::reserve(std::size_t n_samples, int n_branches) {
+    times_.reserve(n_samples);
+    for (auto& v : node_v_) v.reserve(n_samples);
+    if (branch_i_.size() < static_cast<std::size_t>(n_branches))
+        branch_i_.resize(static_cast<std::size_t>(n_branches));
+    for (auto& i : branch_i_) i.reserve(n_samples);
 }
 
 void TranResult::record(double t, const std::vector<double>& x, int n_nodes,
@@ -51,20 +60,30 @@ wave::Waveform TranResult::vsource_current(
 
 double TranResult::final_node_voltage(int node_id) const {
     require(!times_.empty(), "TranResult: empty result");
+    require(node_id >= 0 && node_id < static_cast<int>(node_v_.size()),
+            "TranResult: bad node id");
     return node_v_[static_cast<std::size_t>(node_id)].back();
 }
 
 namespace {
 
-// One NR solve for the step ending at `time` with step `dt`. `x` enters as
-// the warm start and leaves as the solution. Returns false on divergence.
-bool newton_tran(Circuit& circuit, const TranOptions& options,
-                 Integrator integrator, double time, double dt,
-                 const std::vector<double>& x_prev,
-                 const std::vector<double>& state, std::vector<double>& x) {
-    const int n_nodes = circuit.node_count();
-    Stamper st(n_nodes, circuit.branch_total());
+// Reusable step buffers: advance() runs thousands of times per transient,
+// and the recursion on subdivision is sequential, so one set suffices.
+struct TranScratch {
+    std::vector<double> x_new;
+    std::vector<double> state_next;
+};
 
+// Process-wide so step ids never repeat across solve_tran calls on a reused
+// circuit (devices key their linearization caches on it).
+std::atomic<long long> g_step_counter{0};
+
+// The transient SimContext shared by newton_tran and commit_step.
+SimContext make_tran_context(Integrator integrator, double time, double dt,
+                             const std::vector<double>& x_prev,
+                             const std::vector<double>& state,
+                             const std::vector<double>& x,
+                             long long step_id) {
     SimContext ctx;
     ctx.mode = SimContext::Mode::kTran;
     ctx.time = time;
@@ -73,18 +92,36 @@ bool newton_tran(Circuit& circuit, const TranOptions& options,
     ctx.x = &x;
     ctx.x_prev = &x_prev;
     ctx.state = &state;
+    ctx.step_id = step_id;
+    return ctx;
+}
+
+// One NR solve for the step ending at `time` with step `dt`. `x` enters as
+// the warm start and leaves as the solution. Returns false on divergence.
+// Assembly and factorization run in the circuit's persistent workspace;
+// the iteration body performs no heap allocation.
+bool newton_tran(Circuit& circuit, const TranOptions& options,
+                 Integrator integrator, double time, double dt,
+                 const std::vector<double>& x_prev,
+                 const std::vector<double>& state, std::vector<double>& x,
+                 long long step_id) {
+    const int n_nodes = circuit.node_count();
+    SolverWorkspace& ws = circuit.workspace();
+    const SimContext ctx =
+        make_tran_context(integrator, time, dt, x_prev, state, x, step_id);
 
     for (int it = 0; it < options.max_newton; ++it) {
-        st.clear();
+        Stamper& st = ws.begin_assembly();
         for (const auto& dev : circuit.devices()) dev->stamp(st, ctx);
         st.add_gmin_everywhere(options.gmin);
 
-        std::vector<double> sol;
+        const std::vector<double>* sol_ptr;
         try {
-            sol = st.solve();
+            sol_ptr = &ws.solve();
         } catch (const NumericalError&) {
             return false;
         }
+        const std::vector<double>& sol = *sol_ptr;
 
         double dx_max = 0.0;
         for (int node = 1; node < n_nodes; ++node) {
@@ -112,21 +149,14 @@ bool newton_tran(Circuit& circuit, const TranOptions& options,
     return false;
 }
 
-// Commits device states after an accepted step.
-void commit_step(Circuit& circuit, const TranOptions& options,
-                 Integrator integrator, double time, double dt,
-                 const std::vector<double>& x_prev,
+// Commits device states after an accepted step into `state_next`.
+void commit_step(Circuit& circuit, Integrator integrator, double time,
+                 double dt, const std::vector<double>& x_prev,
                  const std::vector<double>& state,
-                 const std::vector<double>& x, std::vector<double>& state_next) {
-    (void)options;
-    SimContext ctx;
-    ctx.mode = SimContext::Mode::kTran;
-    ctx.time = time;
-    ctx.dt = dt;
-    ctx.integrator = integrator;
-    ctx.x = &x;
-    ctx.x_prev = &x_prev;
-    ctx.state = &state;
+                 const std::vector<double>& x,
+                 std::vector<double>& state_next, long long step_id) {
+    const SimContext ctx =
+        make_tran_context(integrator, time, dt, x_prev, state, x, step_id);
     state_next = state;
     for (const auto& dev : circuit.devices())
         dev->commit(ctx, std::span<double>(state_next));
@@ -145,27 +175,30 @@ bool step_has_breakpoint(const std::vector<double>& breakpoints, double t0,
 // Advances from (x, state) at t0 to t0+dt, subdividing on failure.
 void advance(Circuit& circuit, const TranOptions& options,
              const std::vector<double>& breakpoints, double t0, double dt,
-             std::vector<double>& x, std::vector<double>& state, int depth) {
+             std::vector<double>& x, std::vector<double>& state,
+             TranScratch& scratch, int depth) {
     const Integrator integrator =
         step_has_breakpoint(breakpoints, t0, dt) ? Integrator::kBackwardEuler
                                                  : options.integrator;
-    std::vector<double> x_new = x;  // warm start
+    scratch.x_new = x;  // warm start
+    const long long step_id =
+        g_step_counter.fetch_add(1, std::memory_order_relaxed);
     if (newton_tran(circuit, options, integrator, t0 + dt, dt, x, state,
-                    x_new)) {
-        std::vector<double> state_next;
-        commit_step(circuit, options, integrator, t0 + dt, dt, x, state, x_new,
-                    state_next);
-        x = std::move(x_new);
-        state = std::move(state_next);
+                    scratch.x_new, step_id)) {
+        commit_step(circuit, integrator, t0 + dt, dt, x, state, scratch.x_new,
+                    scratch.state_next, step_id);
+        x.swap(scratch.x_new);
+        state.swap(scratch.state_next);
         return;
     }
     if (depth >= options.max_subdivisions) {
         throw NumericalError("solve_tran: step at t=" + std::to_string(t0) +
                              " failed after max subdivisions");
     }
-    advance(circuit, options, breakpoints, t0, dt * 0.5, x, state, depth + 1);
-    advance(circuit, options, breakpoints, t0 + dt * 0.5, dt * 0.5, x, state,
+    advance(circuit, options, breakpoints, t0, dt * 0.5, x, state, scratch,
             depth + 1);
+    advance(circuit, options, breakpoints, t0 + dt * 0.5, dt * 0.5, x, state,
+            scratch, depth + 1);
 }
 
 }  // namespace
@@ -194,20 +227,33 @@ TranResult solve_tran(Circuit& circuit, const TranOptions& options) {
         if (dev->branch_count() == 1) vsrc[dev->name()] = dev->branch_base();
     }
 
+    // Breakpoints from every source, deduplicated and clamped to the run
+    // window; corners outside [0, tstop] can never land inside a step.
     std::vector<double> breakpoints;
     for (const auto& dev : circuit.devices())
         dev->collect_breakpoints(breakpoints);
     std::sort(breakpoints.begin(), breakpoints.end());
+    breakpoints.erase(std::unique(breakpoints.begin(), breakpoints.end()),
+                      breakpoints.end());
+    breakpoints.erase(
+        std::remove_if(breakpoints.begin(), breakpoints.end(),
+                       [&](double t) { return t < 0.0 || t > options.tstop; }),
+        breakpoints.end());
 
     TranResult result(std::move(names), std::move(vsrc));
-    result.record(0.0, x, circuit.node_count(), circuit.branch_total());
-
     const auto n_steps =
         static_cast<std::size_t>(std::ceil(options.tstop / options.dt - 1e-9));
+    result.reserve(n_steps + 1, circuit.branch_total());
+    result.record(0.0, x, circuit.node_count(), circuit.branch_total());
+
+    TranScratch scratch;
+    scratch.x_new.reserve(x.size());
+    scratch.state_next.reserve(state.size());
     for (std::size_t k = 0; k < n_steps; ++k) {
         const double t0 = options.dt * static_cast<double>(k);
         const double t1 = std::min(options.tstop, t0 + options.dt);
-        advance(circuit, options, breakpoints, t0, t1 - t0, x, state, 0);
+        advance(circuit, options, breakpoints, t0, t1 - t0, x, state, scratch,
+                0);
         result.record(t1, x, circuit.node_count(), circuit.branch_total());
     }
     return result;

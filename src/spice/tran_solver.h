@@ -30,8 +30,15 @@ struct TranOptions {
 
 class TranResult {
 public:
+    // Empty result, fillable by assignment (used by batch containers).
+    TranResult() = default;
+
     TranResult(std::vector<std::string> node_names,
                std::unordered_map<std::string, int> vsource_branch);
+
+    // Preallocates storage for n_samples records of n_branches branch
+    // currents, so record() never reallocates during the stepping loop.
+    void reserve(std::size_t n_samples, int n_branches);
 
     void record(double t, const std::vector<double>& x, int n_nodes,
                 int n_branches);

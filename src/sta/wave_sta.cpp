@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/parallel.h"
 #include "core/csm_device.h"
 #include "spice/circuit.h"
 
@@ -26,8 +27,10 @@ std::unordered_map<std::string, wave::Waveform> WaveformSta::run(
     std::unordered_map<std::string, wave::Waveform> nets;
     for (const auto& [net, w] : netlist_->primary_inputs()) nets[net] = w;
 
-    for (const std::size_t idx : netlist_->topological_order()) {
-        const Instance& inst = netlist_->instances()[idx];
+    // Simulates one stage against the already-evaluated input nets; returns
+    // the output-net waveform. Builds a private stage circuit (with its own
+    // solver workspace), so stages with ready inputs can run concurrently.
+    auto run_stage = [&](const Instance& inst) -> wave::Waveform {
         const CsmModel& model = *models_.at(inst.cell);
         const std::string& out_net = inst.conn.at("OUT");
 
@@ -85,7 +88,45 @@ std::unordered_map<std::string, wave::Waveform> WaveformSta::run(
         topt.tstop = options.tstop;
         topt.dt = options.dt;
         const spice::TranResult result = spice::solve_tran(circuit, topt);
-        nets[out_net] = result.node_waveform(out_node);
+        return result.node_waveform(out_node);
+    };
+
+    // Group the topological order into dependency levels: a stage's level
+    // is one past the deepest driver feeding it (primary inputs sit at 0).
+    // Stages within a level are independent and fan out over the thread
+    // pool; `nets` is merged between levels only, so workers read it
+    // concurrently but never write it.
+    const std::vector<std::size_t> topo = netlist_->topological_order();
+    std::unordered_map<std::string, std::size_t> net_level;
+    for (const auto& [net, w] : netlist_->primary_inputs())
+        net_level[net] = 0;
+
+    std::vector<std::vector<std::size_t>> levels;
+    for (const std::size_t idx : topo) {
+        const Instance& inst = netlist_->instances()[idx];
+        std::size_t level = 0;
+        for (const auto& [pin, net] : inst.conn) {
+            if (pin == "OUT") continue;
+            const auto it = net_level.find(net);
+            if (it != net_level.end()) level = std::max(level, it->second);
+        }
+        net_level[inst.conn.at("OUT")] = level + 1;
+        if (levels.size() <= level) levels.resize(level + 1);
+        levels[level].push_back(idx);
+    }
+
+    for (const std::vector<std::size_t>& level : levels) {
+        std::vector<wave::Waveform> outs(level.size());
+        parallel_for(
+            level.size(),
+            [&](std::size_t i) {
+                outs[i] = run_stage(netlist_->instances()[level[i]]);
+            },
+            options.threads);
+        for (std::size_t i = 0; i < level.size(); ++i) {
+            const Instance& inst = netlist_->instances()[level[i]];
+            nets[inst.conn.at("OUT")] = std::move(outs[i]);
+        }
     }
     return nets;
 }

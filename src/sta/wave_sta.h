@@ -18,6 +18,11 @@ namespace mcsm::sta {
 struct WaveStaOptions {
     double tstop = 5e-9;
     double dt = 1e-12;
+    // Worker threads for evaluating independent stages of one dependency
+    // level concurrently (0: all cores, see MCSM_THREADS). Each stage runs
+    // a private circuit + solver workspace; results are thread-count
+    // independent.
+    std::size_t threads = 0;
 };
 
 class WaveformSta {

@@ -1,0 +1,224 @@
+// Serving-layer benchmark and correctness gates: binary vs text model
+// store (size, cold-load latency, bit-exact round trip) and TimingService
+// batch throughput (LUT fast path, exact transient path, serial-vs-parallel
+// determinism). Results are written as machine-readable BENCH_serve.json
+// ({"threads", "model_store": {...}, "timing_service": {...}}) for CI trend
+// tracking, next to BENCH_perf.json; set MCSM_BENCH_JSON to change the
+// path, or =0 to skip the file.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/parallel.h"
+#include "core/characterizer.h"
+#include "core/model_io.h"
+#include "serve/model_store.h"
+#include "serve/repository.h"
+#include "serve/timing_service.h"
+
+using namespace mcsm;
+namespace fs = std::filesystem;
+
+namespace {
+
+double wall_ms(const std::function<void()>& fn) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+double best_of(int reps, const std::function<void()>& fn) {
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) best = std::min(best, wall_ms(fn));
+    return best;
+}
+
+std::string binary_bytes(const core::CsmModel& model) {
+    std::stringstream ss;
+    serve::write_model_binary(ss, model);
+    return ss.str();
+}
+
+// Off-grid query mix over both arcs of the NOR2 surface family plus the
+// INV_X1 SIS arc; i indexes a deterministic pattern.
+serve::TimingQuery mixed_query(std::size_t i) {
+    serve::TimingQuery q;
+    if (i % 4 == 0) {
+        q.cell = "INV_X1";
+        q.pins = {"A"};
+        q.slews = {(25 + 11.0 * (i % 31)) * 1e-12};
+    } else {
+        q.cell = "NOR2";
+        q.pins = {"A", "B"};
+        q.slews = {(30 + 7.0 * (i % 37)) * 1e-12,
+                   (40 + 9.0 * (i % 29)) * 1e-12};
+        q.skews = {0.0, (static_cast<double>(i % 41) - 20.0) * 9e-12};
+    }
+    q.inputs_rise = (i % 2) == 1;
+    q.load_cap = (1.5 + 0.8 * static_cast<double>(i % 23)) * 1e-15;
+    return q;
+}
+
+}  // namespace
+
+int main() {
+    bench::Checker check;
+    const tech::Technology tech = tech::make_tech130();
+    const cells::CellLibrary lib(tech);
+    const core::Characterizer chr(lib);
+
+    core::CharOptions copt;
+    copt.transient_caps = false;
+    copt.grid_points = 7;
+    const core::CsmModel inv =
+        chr.characterize("INV_X1", core::ModelKind::kSis, {"A"}, copt);
+    const core::CsmModel nor =
+        chr.characterize("NOR2", core::ModelKind::kMcsm, {"A", "B"}, copt);
+
+    const fs::path dir = "serve_store_bench";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    const std::string text_path = (dir / "nor.csm").string();
+    const std::string bin_path = (dir / "nor.csm.bin").string();
+
+    // --- model store: size, cold load, fidelity --------------------------
+    core::save_model(text_path, nor);
+    serve::save_model_binary(bin_path, nor);
+    const auto text_bytes = fs::file_size(text_path);
+    const auto bin_bytes = fs::file_size(bin_path);
+
+    const double load_text_ms =
+        best_of(3, [&] { (void)core::load_model(text_path); });
+    const double load_bin_ms =
+        best_of(3, [&] { (void)serve::load_model_binary(bin_path); });
+
+    check.check(binary_bytes(serve::load_model_binary(bin_path)) ==
+                    binary_bytes(nor),
+                "binary store round trip is bit-exact");
+    check.check(binary_bytes(core::load_model(text_path)) ==
+                    binary_bytes(nor),
+                "text store round trip is bit-exact (hexfloat)");
+    check.check(bin_bytes < text_bytes,
+                "binary store is smaller than the text store");
+    // The cold-load latency comparison is reported (below and in the JSON)
+    // but not gated: sub-ms wall clocks are noise-dominated on shared CI
+    // runners.
+
+    // --- timing service: surface build + warm batch throughput -----------
+    serve::RepositoryOptions ropt;
+    serve::ModelRepository repo(nullptr, ropt);
+    repo.put(serve::ModelKey::arc("INV_X1", {"A"}), inv);
+    repo.put(serve::ModelKey::arc("NOR2", {"A", "B"}), nor);
+
+    serve::ServeOptions sopt;  // stock surface grid
+    serve::TimingService service(repo, sopt);
+
+    // First batch touches all four arcs: its wall clock is the cold
+    // surface-build cost (320 CSM transients per two-pin arc by default).
+    std::vector<serve::TimingQuery> warmup;
+    for (std::size_t i = 0; i < 8; ++i) warmup.push_back(mixed_query(i));
+    const double surface_build_ms =
+        wall_ms([&] { (void)service.run_batch(warmup); });
+
+    const std::size_t batch_n = 20000;
+    std::vector<serve::TimingQuery> batch;
+    batch.reserve(batch_n);
+    for (std::size_t i = 0; i < batch_n; ++i)
+        batch.push_back(mixed_query(i));
+
+    std::vector<serve::TimingResult> results;
+    const double warm_ms = wall_ms([&] { results = service.run_batch(batch); });
+    std::size_t valid = 0;
+    for (const auto& r : results) valid += r.valid ? 1 : 0;
+    check.check(valid == batch_n, "every warm LUT query succeeded");
+    const double warm_qps = 1e3 * static_cast<double>(batch_n) / warm_ms;
+
+    serve::ServeOptions serial_opt = sopt;
+    serial_opt.threads = 1;
+    serve::TimingService serial(repo, serial_opt);
+    (void)serial.run_batch(warmup);
+    const double serial_ms =
+        wall_ms([&] { (void)serial.run_batch(batch); });
+    const double serial_qps = 1e3 * static_cast<double>(batch_n) / serial_ms;
+
+    // Determinism gate: parallel and serial services agree bitwise.
+    {
+        std::vector<serve::TimingQuery> probe;
+        for (std::size_t i = 0; i < 256; ++i) probe.push_back(mixed_query(i));
+        const auto a = service.run_batch(probe);
+        const auto b = serial.run_batch(probe);
+        bool same = true;
+        for (std::size_t i = 0; i < probe.size(); ++i)
+            same = same && a[i].delay == b[i].delay && a[i].slew == b[i].slew;
+        check.check(same, "batch results identical across thread counts");
+    }
+
+    const std::size_t exact_n = 64;
+    std::vector<serve::TimingQuery> exact_batch;
+    for (std::size_t i = 0; i < exact_n; ++i) {
+        serve::TimingQuery q = mixed_query(i);
+        q.exact = true;
+        exact_batch.push_back(q);
+    }
+    const double exact_ms =
+        wall_ms([&] { (void)service.run_batch(exact_batch); });
+    const double exact_qps = 1e3 * static_cast<double>(exact_n) / exact_ms;
+
+    // Measurements done; drop the scratch store before any early return in
+    // the reporting below can leak it.
+    fs::remove_all(dir);
+
+    // --- report ----------------------------------------------------------
+    std::printf("# store: text %zu B, binary %zu B (%.2fx smaller); cold "
+                "load text %.3f ms, binary %.3f ms (%.1fx faster)\n",
+                static_cast<std::size_t>(text_bytes),
+                static_cast<std::size_t>(bin_bytes),
+                static_cast<double>(text_bytes) /
+                    static_cast<double>(bin_bytes),
+                load_text_ms, load_bin_ms, load_text_ms / load_bin_ms);
+    std::printf("# serve: surfaces built in %.1f ms; warm LUT batch %zu "
+                "queries -> %.0f q/s (%zu threads), %.0f q/s serial; exact "
+                "transient path %.0f q/s\n",
+                surface_build_ms, batch_n, warm_qps, hardware_threads(),
+                serial_qps, exact_qps);
+
+    const char* path_env = std::getenv("MCSM_BENCH_JSON");
+    const std::string json_path =
+        path_env == nullptr ? "BENCH_serve.json" : path_env;
+    if (json_path != "0") {
+        std::FILE* f = std::fopen(json_path.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "bench_serve: cannot write %s\n",
+                         json_path.c_str());
+            return 1;
+        }
+        std::fprintf(f, "{\n  \"threads\": %zu,\n", hardware_threads());
+        std::fprintf(
+            f,
+            "  \"model_store\": {\"text_bytes\": %zu, \"binary_bytes\": "
+            "%zu, \"size_ratio\": %.3f, \"cold_load_text_ms\": %.4f, "
+            "\"cold_load_binary_ms\": %.4f, \"load_speedup\": %.2f},\n",
+            static_cast<std::size_t>(text_bytes),
+            static_cast<std::size_t>(bin_bytes),
+            static_cast<double>(text_bytes) / static_cast<double>(bin_bytes),
+            load_text_ms, load_bin_ms, load_text_ms / load_bin_ms);
+        std::fprintf(
+            f,
+            "  \"timing_service\": {\"surface_build_ms\": %.2f, "
+            "\"warm_batch_size\": %zu, \"warm_lut_qps\": %.0f, "
+            "\"warm_lut_qps_serial\": %.0f, \"exact_qps\": %.0f}\n}\n",
+            surface_build_ms, batch_n, warm_qps, serial_qps, exact_qps);
+        std::fclose(f);
+        std::printf("# wrote %s\n", json_path.c_str());
+    }
+
+    return check.exit_code();
+}

@@ -1,0 +1,197 @@
+// Thin CLI server loop over the serving stack: reads timing-query batches
+// from a file or stdin and streams results as CSV, demonstrating
+// end-to-end throughput of ModelRepository + TimingService.
+//
+// Usage:
+//   timing_server --demo          built-in sweep (also the CTest smoke run)
+//   timing_server <batch-file>    one query per line, batch flushed at EOF
+//   timing_server -               same, reading stdin; a line "flush"
+//                                 executes the pending batch immediately
+//
+// Query line:  <cell> <pins> <rise|fall> <slews_ps> <skews_ps> <load_fF>
+//   e.g.       NOR2 A,B fall 80,120 0,50 4
+// comma-separated per-pin slews/skews; '#' starts a comment line.
+//
+// Result CSV:  index,cell,delay_ps,slew_ps,path,error
+//
+// Environment:
+//   MCSM_MODEL_DIR   model store directory (default: in-memory only).
+//                    Models missing from the store are characterized on
+//                    demand and written back, so the second run serves
+//                    from disk.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cells/library.h"
+#include "serve/repository.h"
+#include "serve/timing_service.h"
+#include "tech/tech130.h"
+
+using namespace mcsm;
+
+namespace {
+
+std::vector<double> parse_ps_list(const std::string& csv) {
+    std::vector<double> out;
+    std::stringstream ss(csv);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        out.push_back(std::stod(item) * 1e-12);
+    return out;
+}
+
+std::vector<std::string> parse_name_list(const std::string& csv) {
+    std::vector<std::string> out;
+    std::stringstream ss(csv);
+    std::string item;
+    while (std::getline(ss, item, ',')) out.push_back(item);
+    return out;
+}
+
+// Parses one query line; returns false on blank/comment lines and throws
+// ModelError on malformed ones (reported per line, batch continues).
+bool parse_query(const std::string& line, serve::TimingQuery& q) {
+    std::stringstream ss(line);
+    std::string cell;
+    std::string pins;
+    std::string dir;
+    std::string slews;
+    std::string skews;
+    double load_ff = 0.0;
+    if (!(ss >> cell) || cell.empty() || cell[0] == '#') return false;
+    require(static_cast<bool>(ss >> pins >> dir >> slews >> skews >> load_ff),
+            "malformed query line: " + line);
+    require(dir == "rise" || dir == "fall",
+            "edge direction must be rise|fall: " + line);
+    q = serve::TimingQuery{};
+    q.cell = cell;
+    q.pins = parse_name_list(pins);
+    q.inputs_rise = dir == "rise";
+    q.slews = parse_ps_list(slews);
+    q.skews = parse_ps_list(skews);
+    q.load_cap = load_ff * 1e-15;
+    return true;
+}
+
+void stream_results(const std::vector<serve::TimingQuery>& batch,
+                    const std::vector<serve::TimingResult>& results,
+                    std::size_t base_index) {
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const serve::TimingResult& r = results[i];
+        if (r.valid)
+            std::printf("%zu,%s,%.4f,%.4f,%s,\n", base_index + i,
+                        batch[i].cell.c_str(), r.delay * 1e12,
+                        r.slew * 1e12,
+                        r.path == serve::ResultPath::kLut ? "lut" : "tran");
+        else
+            std::printf("%zu,%s,,,error,%s\n", base_index + i,
+                        batch[i].cell.c_str(), r.error.c_str());
+    }
+}
+
+std::vector<serve::TimingQuery> demo_batch() {
+    std::vector<serve::TimingQuery> batch;
+    for (int i = 0; i < 600; ++i) {
+        serve::TimingQuery q;
+        if (i % 3 == 0) {
+            q.cell = "INV_X1";
+            q.pins = {"A"};
+            q.slews = {(30 + 12.0 * (i % 17)) * 1e-12};
+        } else {
+            q.cell = i % 3 == 1 ? "NOR2" : "NAND2";
+            q.pins = {"A", "B"};
+            q.slews = {(40 + 8.0 * (i % 13)) * 1e-12,
+                       (50 + 9.0 * (i % 11)) * 1e-12};
+            q.skews = {0.0, (static_cast<double>(i % 21) - 10.0) * 15e-12};
+        }
+        q.inputs_rise = (i % 2) == 1;
+        q.load_cap = (2 + (i % 8)) * 1e-15;
+        batch.push_back(q);
+    }
+    return batch;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const tech::Technology tech = tech::make_tech130();
+    const cells::CellLibrary lib(tech);
+
+    serve::RepositoryOptions ropt;
+    if (const char* dir = std::getenv("MCSM_MODEL_DIR")) ropt.dir = dir;
+    // Demo-grade characterize-on-miss settings; a production store is
+    // characterized offline with the full paper-faithful options and this
+    // server only ever loads it.
+    ropt.char_options.transient_caps = false;
+    ropt.char_options.grid_points = 7;
+    serve::ModelRepository repo(&lib, ropt);
+    serve::TimingService service(repo, serve::ServeOptions{});
+
+    std::size_t served = 0;
+    double busy_ms = 0.0;
+    const auto run = [&](std::vector<serve::TimingQuery>& batch) {
+        if (batch.empty()) return;
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::vector<serve::TimingResult> results =
+            service.run_batch(batch);
+        const auto t1 = std::chrono::steady_clock::now();
+        stream_results(batch, results, served);
+        busy_ms +=
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        served += batch.size();
+        batch.clear();
+    };
+
+    std::printf("index,cell,delay_ps,slew_ps,path,error\n");
+    std::vector<serve::TimingQuery> batch;
+    if (argc > 1 && std::string(argv[1]) == "--demo") {
+        batch = demo_batch();
+        run(batch);
+        // Second pass is the warm steady state: every arc surface cached.
+        batch = demo_batch();
+        run(batch);
+    } else {
+        std::ifstream file;
+        if (argc > 1 && std::string(argv[1]) != "-") {
+            file.open(argv[1]);
+            if (!file) {
+                std::fprintf(stderr, "timing_server: cannot open %s\n",
+                             argv[1]);
+                return 1;
+            }
+        }
+        std::istream& in = file.is_open() ? file : std::cin;
+        std::string line;
+        while (std::getline(in, line)) {
+            if (line == "flush") {
+                run(batch);
+                continue;
+            }
+            serve::TimingQuery q;
+            try {
+                if (parse_query(line, q)) batch.push_back(q);
+            } catch (const std::exception& e) {
+                // ModelError from parse_query, std::invalid_argument from
+                // std::stod on a bad number -- skip the line either way.
+                std::fprintf(stderr, "# skipped (%s): %s\n", e.what(),
+                             line.c_str());
+            }
+        }
+        run(batch);
+    }
+
+    std::fprintf(stderr,
+                 "# served %zu queries in %.1f ms (%.0f queries/sec, "
+                 "surfaces cached: %zu)\n",
+                 served, busy_ms,
+                 busy_ms > 0.0 ? 1e3 * static_cast<double>(served) / busy_ms
+                               : 0.0,
+                 service.surface_count());
+    return 0;
+}

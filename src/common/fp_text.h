@@ -1,0 +1,66 @@
+// Round-trip-exact text formatting for doubles. The model/table text caches
+// must reload bit-identically (the binary store asserts bit-exactness
+// against them), so values are written as C99 hexadecimal float literals
+// ("%a", e.g. 0x1.8p+3) and parsed with strtod, which accepts both hex and
+// the legacy decimal files. iostream operator>> is avoided on the read side
+// because libstdc++ does not parse hexfloat through num_get.
+//
+// Locale handling: printf/strtod use the process LC_NUMERIC radix
+// character. Files must stay portable across locales, so the writer
+// normalizes the radix to '.' and the reader maps '.' back to the current
+// locale's radix before strtod -- an embedding application that calls
+// setlocale(LC_NUMERIC, "de_DE...") can still read caches written under
+// the C locale and vice versa.
+#ifndef MCSM_COMMON_FP_TEXT_H
+#define MCSM_COMMON_FP_TEXT_H
+
+#include <cctype>
+#include <clocale>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ostream>
+#include <string>
+
+namespace mcsm {
+
+// Writes v as a hexadecimal float literal; parse_exact_double returns v
+// bit-exactly for every finite double, including subnormals and -0.0.
+inline void write_exact_double(std::ostream& os, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%a", v);
+    if (std::isfinite(v)) {
+        // The only non-[0-9a-fA-FxXpP+-] character %a can emit for a
+        // finite value is the locale radix; normalize it to '.'.
+        for (char* p = buf; *p != '\0'; ++p) {
+            const unsigned char c = static_cast<unsigned char>(*p);
+            if (!std::isxdigit(c) && *p != 'x' && *p != 'X' && *p != 'p' &&
+                *p != 'P' && *p != '+' && *p != '-')
+                *p = '.';
+        }
+    }
+    os << buf;
+}
+
+// Parses a whole token as a double (hexfloat or decimal, '.' radix).
+// Returns false when the token is empty or has trailing garbage.
+inline bool parse_exact_double(const std::string& token, double& out) {
+    if (token.empty()) return false;
+    const char* radix = std::localeconv()->decimal_point;
+    char* end = nullptr;
+    if (radix == nullptr || std::strcmp(radix, ".") == 0) {
+        out = std::strtod(token.c_str(), &end);
+        return end == token.c_str() + token.size();
+    }
+    // Non-'.' locale: strtod expects the locale radix, files use '.'.
+    std::string local = token;
+    const std::size_t dot = local.find('.');
+    if (dot != std::string::npos) local.replace(dot, 1, radix);
+    out = std::strtod(local.c_str(), &end);
+    return end == local.c_str() + local.size();
+}
+
+}  // namespace mcsm
+
+#endif  // MCSM_COMMON_FP_TEXT_H

@@ -1,0 +1,112 @@
+// Single-flight cache: a string-keyed map of immutable values where
+// concurrent misses on one key block on a single production instead of
+// duplicating it. Used by the serve layer for model loads (expensive
+// characterization) and arc-surface builds (hundreds of transients).
+//
+// Failure contract: a failed production is never cached. The producer
+// evicts its own in-flight entry before publishing the exception, so
+// threads already waiting see the failure while the next get starts a
+// fresh attempt (e.g. after a corrupt store file was replaced). A put()
+// that raced the failing producer is preserved: eviction only removes the
+// producer's own entry, never a value installed concurrently.
+#ifndef MCSM_COMMON_SINGLE_FLIGHT_H
+#define MCSM_COMMON_SINGLE_FLIGHT_H
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace mcsm {
+
+template <typename Value>
+class SingleFlightCache {
+public:
+    using Ptr = std::shared_ptr<const Value>;
+
+    // Returns the value for `id`, invoking produce() on this thread when
+    // the key is absent. Throws whatever produce() throws (also rethrown
+    // to concurrent waiters of this attempt).
+    Ptr get_or_produce(const std::string& id,
+                       const std::function<Ptr()>& produce) {
+        std::promise<Ptr> promise;
+        std::shared_ptr<Entry> entry;
+        std::shared_future<Ptr> existing;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            const auto it = entries_.find(id);
+            if (it != entries_.end()) {
+                existing = it->second->future;
+            } else {
+                entry = std::make_shared<Entry>(
+                    Entry{promise.get_future().share()});
+                entries_.emplace(id, entry);
+            }
+        }
+        // get() outside the lock: the future may still be in flight and
+        // its producer needs the mutex to publish/evict.
+        if (existing.valid()) return existing.get();
+        try {
+            Ptr value = produce();
+            promise.set_value(value);
+            return value;
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                const auto it = entries_.find(id);
+                // Only evict our own attempt; a concurrent put() may have
+                // installed a valid value under this key meanwhile.
+                if (it != entries_.end() && it->second == entry)
+                    entries_.erase(it);
+            }
+            promise.set_exception(std::current_exception());
+            throw;
+        }
+    }
+
+    // Inserts (or replaces) a ready value.
+    void put(const std::string& id, Ptr value) {
+        std::promise<Ptr> ready;
+        ready.set_value(std::move(value));
+        std::lock_guard<std::mutex> lock(mutex_);
+        entries_[id] =
+            std::make_shared<Entry>(Entry{ready.get_future().share()});
+    }
+
+    // True when `id` holds a completed (successful or not-yet-evicted)
+    // production; false for absent or still-in-flight keys.
+    bool ready(const std::string& id) const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = entries_.find(id);
+        return it != entries_.end() && is_ready(it->second->future);
+    }
+
+    std::size_t ready_count() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::size_t n = 0;
+        for (const auto& [id, entry] : entries_)
+            if (is_ready(entry->future)) ++n;
+        return n;
+    }
+
+private:
+    struct Entry {
+        std::shared_future<Ptr> future;
+    };
+
+    static bool is_ready(const std::shared_future<Ptr>& future) {
+        return future.wait_for(std::chrono::seconds(0)) ==
+               std::future_status::ready;
+    }
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;
+};
+
+}  // namespace mcsm
+
+#endif  // MCSM_COMMON_SINGLE_FLIGHT_H

@@ -28,29 +28,49 @@ void SparseMatrix::build(std::size_t n,
     for (std::size_t r = 0; r < n; ++r) row_ptr_[r + 1] += row_ptr_[r];
     vals_.assign(cols_.size(), 0.0);
 
-    // 512^2 ints = 1 MiB; circuits past that size fall back to the
-    // binary-search lookup.
+    // 512^2 ints = 1 MiB; circuits past that size switch to the row-hashed
+    // map, whose footprint scales with nnz instead of n^2.
     constexpr std::size_t kSlotMapLimit = 512;
     slot_map_.clear();
+    hash_ptr_.clear();
+    hash_key_.clear();
+    hash_slot_.clear();
     if (n <= kSlotMapLimit) {
         slot_map_.assign(n * n, -1);
         for (std::size_t r = 0; r < n; ++r) {
             for (int s = row_ptr_[r]; s < row_ptr_[r + 1]; ++s)
                 slot_map_[r * n + static_cast<std::size_t>(cols_[s])] = s;
         }
+        return;
+    }
+
+    // Per-row open-addressed tables: power-of-two capacity at least twice
+    // the row's nnz keeps the probe chains O(1).
+    hash_ptr_.assign(n + 1, 0);
+    for (std::size_t r = 0; r < n; ++r) {
+        const std::size_t nnz_r =
+            static_cast<std::size_t>(row_ptr_[r + 1] - row_ptr_[r]);
+        std::size_t cap = 2;
+        while (cap < 2 * nnz_r) cap *= 2;
+        hash_ptr_[r + 1] = hash_ptr_[r] + cap;
+    }
+    hash_key_.assign(hash_ptr_[n], -1);
+    hash_slot_.assign(hash_ptr_[n], -1);
+    for (std::size_t r = 0; r < n; ++r) {
+        const std::size_t base = hash_ptr_[r];
+        const std::size_t mask = hash_ptr_[r + 1] - base - 1;
+        for (int s = row_ptr_[r]; s < row_ptr_[r + 1]; ++s) {
+            std::size_t h =
+                hash_col(static_cast<std::size_t>(cols_[s])) & mask;
+            while (hash_key_[base + h] >= 0) h = (h + 1) & mask;
+            hash_key_[base + h] = cols_[s];
+            hash_slot_[base + h] = s;
+        }
     }
 }
 
 void SparseMatrix::set_zero() {
     std::fill(vals_.begin(), vals_.end(), 0.0);
-}
-
-int SparseMatrix::slot_of_search(std::size_t r, std::size_t c) const {
-    const int* first = cols_.data() + row_ptr_[r];
-    const int* last = cols_.data() + row_ptr_[r + 1];
-    const int* it = std::lower_bound(first, last, static_cast<int>(c));
-    if (it == last || *it != static_cast<int>(c)) return -1;
-    return static_cast<int>(it - cols_.data());
 }
 
 double SparseMatrix::at(std::size_t r, std::size_t c) const {

@@ -5,6 +5,7 @@
 #define MCSM_COMMON_SPARSE_MATRIX_H
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <utility>
 #include <vector>
@@ -57,21 +58,47 @@ public:
     double max_abs() const;
 
 private:
-    // Slot index of (r, c) or -1. O(1) through the dense slot map for the
-    // system sizes this repo solves; binary search beyond the map limit.
+    // Slot index of (r, c) or -1. O(1) either way: a dense (r, c) -> slot
+    // map while n_^2 stays small, a per-row open-addressed hash beyond it,
+    // so stamping stays constant-time for flat netlists in the thousands of
+    // nodes (stamping is on the Newton hot path).
     int slot_of(std::size_t r, std::size_t c) const {
         if (!slot_map_.empty()) return slot_map_[r * n_ + c];
-        return slot_of_search(r, c);
+        return slot_of_hashed(r, c);
     }
-    int slot_of_search(std::size_t r, std::size_t c) const;
+
+    // Per-row hash probe: each row owns a power-of-two region of
+    // hash_key_/hash_slot_ at load factor <= 0.5, so linear probing
+    // terminates in O(1) expected steps on the fixed pattern.
+    int slot_of_hashed(std::size_t r, std::size_t c) const {
+        const std::size_t base = hash_ptr_[r];
+        const std::size_t mask = hash_ptr_[r + 1] - base - 1;
+        std::size_t h = hash_col(c) & mask;
+        for (;;) {
+            const int key = hash_key_[base + h];
+            if (key == static_cast<int>(c)) return hash_slot_[base + h];
+            if (key < 0) return -1;
+            h = (h + 1) & mask;
+        }
+    }
+
+    static std::size_t hash_col(std::size_t c) {
+        // Fibonacci multiplicative hash; spreads consecutive column ids.
+        return static_cast<std::size_t>(
+            (static_cast<std::uint64_t>(c) * 0x9E3779B97F4A7C15ull) >> 32);
+    }
 
     std::size_t n_ = 0;
     std::vector<int> row_ptr_;  // n_ + 1 offsets into cols_/vals_
     std::vector<int> cols_;     // sorted within each row
     std::vector<double> vals_;
     // Dense (r, c) -> slot map (-1: absent); built when n_^2 stays small
-    // enough (stamping is on the Newton hot path, lookups must be O(1)).
+    // enough. Larger patterns use the row-hashed map below instead.
     std::vector<int> slot_map_;
+    // Row-hashed col -> slot map (hash_key_[i] = col or -1 when empty).
+    std::vector<std::size_t> hash_ptr_;  // n_ + 1 offsets, pow2-sized rows
+    std::vector<int> hash_key_;
+    std::vector<int> hash_slot_;
 };
 
 }  // namespace mcsm

@@ -1,12 +1,12 @@
 #include "core/model_io.h"
 
 #include <fstream>
-#include <iomanip>
 #include <istream>
 #include <ostream>
 #include <sstream>
 
 #include "common/error.h"
+#include "common/fp_text.h"
 #include "lut/table_io.h"
 
 namespace mcsm::core {
@@ -20,6 +20,13 @@ ModelKind kind_from_string(const std::string& s) {
     throw ModelError("read_model: unknown model kind " + s);
 }
 
+// Token-wise double read: accepts the hexfloat tokens written here plus the
+// decimal values of legacy cache files.
+bool read_double(std::istream& is, double& out) {
+    std::string token;
+    return static_cast<bool>(is >> token) && parse_exact_double(token, out);
+}
+
 }  // namespace
 
 void write_model(std::ostream& os, const CsmModel& model) {
@@ -27,15 +34,20 @@ void write_model(std::ostream& os, const CsmModel& model) {
     os << "csmmodel v1\n";
     os << "kind " << to_string(model.kind) << '\n';
     os << "cell " << model.cell_name << '\n';
-    os << std::setprecision(17);
-    os << "vdd " << model.vdd << '\n';
-    os << "dv " << model.dv_margin << '\n';
+    os << "vdd ";
+    write_exact_double(os, model.vdd);
+    os << '\n';
+    os << "dv ";
+    write_exact_double(os, model.dv_margin);
+    os << '\n';
     os << "pins " << model.pins.size();
     for (const auto& p : model.pins) os << ' ' << p;
     os << '\n';
     os << "fixed " << model.fixed_pins.size();
-    for (std::size_t i = 0; i < model.fixed_pins.size(); ++i)
-        os << ' ' << model.fixed_pins[i] << ' ' << model.fixed_values[i];
+    for (std::size_t i = 0; i < model.fixed_pins.size(); ++i) {
+        os << ' ' << model.fixed_pins[i] << ' ';
+        write_exact_double(os, model.fixed_values[i]);
+    }
     os << '\n';
     os << "internals " << model.internals.size();
     for (const auto& n : model.internals) os << ' ' << n;
@@ -65,9 +77,11 @@ CsmModel read_model(std::istream& is) {
     m.kind = kind_from_string(kind_str);
     require(static_cast<bool>(is >> word >> m.cell_name) && word == "cell",
             "read_model: missing cell");
-    require(static_cast<bool>(is >> word >> m.vdd) && word == "vdd",
+    require(static_cast<bool>(is >> word) && word == "vdd" &&
+                read_double(is, m.vdd),
             "read_model: missing vdd");
-    require(static_cast<bool>(is >> word >> m.dv_margin) && word == "dv",
+    require(static_cast<bool>(is >> word) && word == "dv" &&
+                read_double(is, m.dv_margin),
             "read_model: missing dv");
 
     std::size_t n = 0;
@@ -82,7 +96,8 @@ CsmModel read_model(std::istream& is) {
     m.fixed_pins.resize(n);
     m.fixed_values.resize(n);
     for (std::size_t i = 0; i < n; ++i)
-        require(static_cast<bool>(is >> m.fixed_pins[i] >> m.fixed_values[i]),
+        require(static_cast<bool>(is >> m.fixed_pins[i]) &&
+                    read_double(is, m.fixed_values[i]),
                 "read_model: truncated fixed pins");
 
     require(static_cast<bool>(is >> word >> n) && word == "internals",

@@ -1,27 +1,41 @@
 #include "lut/table_io.h"
 
-#include <iomanip>
 #include <istream>
 #include <ostream>
 
 #include "common/error.h"
+#include "common/fp_text.h"
 
 namespace mcsm::lut {
+
+namespace {
+
+// Reads one whitespace-delimited token and parses it as a double (hexfloat
+// written by write_table, or decimal from legacy files).
+bool read_double(std::istream& is, double& out) {
+    std::string token;
+    return static_cast<bool>(is >> token) && parse_exact_double(token, out);
+}
+
+}  // namespace
 
 void write_table(std::ostream& os, const NdTable& table) {
     os << "table " << (table.name().empty() ? "_" : table.name()) << ' '
        << table.rank() << '\n';
-    os << std::setprecision(17);
     for (const Axis& ax : table.axes()) {
         os << "axis " << (ax.name().empty() ? "_" : ax.name()) << ' '
            << ax.size();
-        for (double k : ax.knots()) os << ' ' << k;
+        for (double k : ax.knots()) {
+            os << ' ';
+            write_exact_double(os, k);
+        }
         os << '\n';
     }
     os << "values " << table.value_count() << '\n';
     std::size_t col = 0;
     for (double v : table.values()) {
-        os << v << ((++col % 8 == 0) ? '\n' : ' ');
+        write_exact_double(os, v);
+        os << ((++col % 8 == 0) ? '\n' : ' ');
     }
     if (col % 8 != 0) os << '\n';
     os << "end\n";
@@ -46,7 +60,7 @@ NdTable read_table(std::istream& is) {
         if (axis_name == "_") axis_name.clear();
         std::vector<double> knots(n);
         for (double& k : knots)
-            require(static_cast<bool>(is >> k), "read_table: truncated axis");
+            require(read_double(is, k), "read_table: truncated axis");
         axes.emplace_back(std::move(axis_name), std::move(knots));
     }
 
@@ -59,7 +73,7 @@ NdTable read_table(std::istream& is) {
             "read_table: value count does not match axes");
     std::vector<double> vals(count);
     for (double& v : vals)
-        require(static_cast<bool>(is >> v), "read_table: truncated values");
+        require(read_double(is, v), "read_table: truncated values");
 
     // Write values back through the grid visitor to keep the layout private.
     std::size_t i = 0;

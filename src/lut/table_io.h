@@ -14,6 +14,8 @@ namespace mcsm::lut {
 //   values <count>
 //   <v_0> ... <v_{count-1}>                        (whitespace separated)
 //   end
+// Doubles are written as C99 hexfloat literals so the round trip is
+// bit-exact; the reader also accepts decimal (legacy cache files).
 void write_table(std::ostream& os, const NdTable& table);
 
 // Parses a table written by write_table. Throws ModelError on malformed

@@ -1,0 +1,328 @@
+#include "serve/model_store.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <bit>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace mcsm::serve {
+
+namespace {
+
+// Corrupt headers must fail before the payload allocation, so cap the
+// declared payload size at something far beyond any real model (a 4-D
+// 25-knot model is ~40 MB).
+constexpr std::uint64_t kMaxPayloadBytes = 1ull << 31;
+
+std::uint64_t fnv1a(const std::string& bytes) {
+    std::uint64_t h = 14695981039346656037ull;
+    for (const char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+// --- little-endian payload writer --------------------------------------
+
+class ByteWriter {
+public:
+    void u32(std::uint32_t v) {
+        for (int i = 0; i < 4; ++i)
+            buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+    void u64(std::uint64_t v) {
+        for (int i = 0; i < 8; ++i)
+            buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+    void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+    void str(const std::string& s) {
+        u32(static_cast<std::uint32_t>(s.size()));
+        buf_.append(s);
+    }
+    void f64_vec(const std::vector<double>& v) {
+        u64(v.size());
+        for (double x : v) f64(x);
+    }
+    const std::string& bytes() const { return buf_; }
+
+private:
+    std::string buf_;
+};
+
+// --- bounds-checked little-endian payload reader ------------------------
+
+class ByteReader {
+public:
+    explicit ByteReader(const std::string& bytes) : bytes_(&bytes) {}
+
+    std::uint32_t u32() {
+        need(4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(byte(pos_ + i)) << (8 * i);
+        pos_ += 4;
+        return v;
+    }
+    std::uint64_t u64() {
+        need(8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(byte(pos_ + i)) << (8 * i);
+        pos_ += 8;
+        return v;
+    }
+    double f64() { return std::bit_cast<double>(u64()); }
+    std::string str() {
+        const std::uint32_t n = u32();
+        need(n);
+        std::string s = bytes_->substr(pos_, n);
+        pos_ += n;
+        return s;
+    }
+    std::vector<double> f64_vec() {
+        const std::uint64_t n = u64();
+        // Overflow-safe bound; fails before allocating from a corrupt count.
+        require(n <= remaining() / 8, "model_store: truncated payload");
+        std::vector<double> v(n);
+        for (double& x : v) x = f64();
+        return v;
+    }
+    bool exhausted() const { return pos_ == bytes_->size(); }
+
+    // Checks a declared element count against the bytes actually left
+    // (each element needs at least min_bytes), so corrupt counts in an
+    // otherwise checksum-consistent payload fail with ModelError before
+    // any allocation instead of escaping as bad_alloc/length_error.
+    void check_count(std::uint64_t n, std::uint64_t min_bytes) const {
+        require(n <= remaining() / min_bytes,
+                "model_store: implausible element count (corrupt payload)");
+    }
+
+private:
+    unsigned char byte(std::size_t i) const {
+        return static_cast<unsigned char>((*bytes_)[i]);
+    }
+    std::uint64_t remaining() const { return bytes_->size() - pos_; }
+    void need(std::uint64_t n) const {
+        require(n <= remaining(), "model_store: truncated payload");
+    }
+
+    const std::string* bytes_;
+    std::size_t pos_ = 0;
+};
+
+// --- envelope -----------------------------------------------------------
+
+void write_envelope(std::ostream& os, std::uint32_t kind,
+                    const std::string& payload) {
+    ByteWriter header;
+    header.u32(kFormatVersion);
+    header.u32(kind);
+    header.u64(payload.size());
+    header.u64(fnv1a(payload));
+    os.write(kStoreMagic, sizeof kStoreMagic);
+    os.write(header.bytes().data(),
+             static_cast<std::streamsize>(header.bytes().size()));
+    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    require(os.good(), "model_store: write failed");
+}
+
+std::string read_envelope(std::istream& is, std::uint32_t kind) {
+    char magic[sizeof kStoreMagic];
+    is.read(magic, sizeof magic);
+    require(is.gcount() == sizeof magic &&
+                std::memcmp(magic, kStoreMagic, sizeof magic) == 0,
+            "model_store: bad magic (not an MCSM binary store file)");
+
+    std::string header_bytes(24, '\0');
+    is.read(header_bytes.data(), 24);
+    require(is.gcount() == 24, "model_store: truncated header");
+    ByteReader header(header_bytes);
+    const std::uint32_t version = header.u32();
+    require(version == kFormatVersion,
+            "model_store: unsupported format version " +
+                std::to_string(version));
+    const std::uint32_t file_kind = header.u32();
+    require(file_kind == kind,
+            "model_store: payload kind mismatch (table vs model)");
+    const std::uint64_t size = header.u64();
+    require(size <= kMaxPayloadBytes,
+            "model_store: implausible payload size (corrupt header)");
+    const std::uint64_t checksum = header.u64();
+
+    std::string payload(size, '\0');
+    is.read(payload.data(), static_cast<std::streamsize>(size));
+    require(static_cast<std::uint64_t>(is.gcount()) == size,
+            "model_store: truncated payload");
+    require(fnv1a(payload) == checksum, "model_store: checksum mismatch");
+    return payload;
+}
+
+// --- table / model payloads ---------------------------------------------
+
+void put_table(ByteWriter& w, const lut::NdTable& table) {
+    w.str(table.name());
+    w.u32(static_cast<std::uint32_t>(table.rank()));
+    for (const lut::Axis& ax : table.axes()) {
+        w.str(ax.name());
+        w.f64_vec(ax.knots());
+    }
+    w.f64_vec(table.values());
+}
+
+lut::NdTable get_table(ByteReader& r) {
+    std::string name = r.str();
+    const std::uint32_t rank = r.u32();
+    r.check_count(rank, 16);  // axis = name len + knot count at minimum
+    std::vector<lut::Axis> axes;
+    axes.reserve(rank);
+    for (std::uint32_t d = 0; d < rank; ++d) {
+        std::string axis_name = r.str();
+        axes.emplace_back(std::move(axis_name), r.f64_vec());
+    }
+    lut::NdTable table(std::move(axes), std::move(name));
+    const std::vector<double> vals = r.f64_vec();
+    require(vals.size() == table.value_count(),
+            "model_store: value count does not match axes");
+    std::size_t i = 0;
+    table.for_each_grid_point([&](std::span<const std::size_t>,
+                                  std::span<const double>, double& slot) {
+        slot = vals[i++];
+    });
+    return table;
+}
+
+void put_str_vec(ByteWriter& w, const std::vector<std::string>& v) {
+    w.u32(static_cast<std::uint32_t>(v.size()));
+    for (const std::string& s : v) w.str(s);
+}
+
+std::vector<std::string> get_str_vec(ByteReader& r) {
+    const std::uint32_t n = r.u32();
+    r.check_count(n, 4);  // every string carries a u32 length prefix
+    std::vector<std::string> v;
+    v.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) v.push_back(r.str());
+    return v;
+}
+
+// No reserve: n is a product of parsed counts (pins x internals) and could
+// be implausibly large in a corrupt payload; get_table hits a truncation
+// ModelError within a few reads instead.
+void get_tables(ByteReader& r, std::size_t n,
+                std::vector<lut::NdTable>& out) {
+    for (std::size_t i = 0; i < n; ++i) out.push_back(get_table(r));
+}
+
+}  // namespace
+
+void write_table_binary(std::ostream& os, const lut::NdTable& table) {
+    ByteWriter w;
+    put_table(w, table);
+    write_envelope(os, kTableKind, w.bytes());
+}
+
+lut::NdTable read_table_binary(std::istream& is) {
+    const std::string payload = read_envelope(is, kTableKind);
+    ByteReader r(payload);
+    lut::NdTable table = get_table(r);
+    require(r.exhausted(), "model_store: trailing bytes after table");
+    return table;
+}
+
+void write_model_binary(std::ostream& os, const core::CsmModel& model) {
+    model.check_consistent();
+    ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(model.kind));
+    w.str(model.cell_name);
+    w.f64(model.vdd);
+    w.f64(model.dv_margin);
+    put_str_vec(w, model.pins);
+    put_str_vec(w, model.fixed_pins);
+    w.f64_vec(model.fixed_values);
+    put_str_vec(w, model.internals);
+    put_table(w, model.i_out);
+    for (const auto& t : model.i_internal) put_table(w, t);
+    for (const auto& t : model.c_miller) put_table(w, t);
+    put_table(w, model.c_out);
+    for (const auto& t : model.c_internal) put_table(w, t);
+    for (const auto& t : model.c_miller_internal) put_table(w, t);
+    for (const auto& t : model.c_in) put_table(w, t);
+    write_envelope(os, kModelKind, w.bytes());
+}
+
+core::CsmModel read_model_binary(std::istream& is) {
+    const std::string payload = read_envelope(is, kModelKind);
+    ByteReader r(payload);
+
+    core::CsmModel m;
+    const std::uint32_t kind = r.u32();
+    require(kind <= static_cast<std::uint32_t>(core::ModelKind::kMcsm),
+            "model_store: unknown model kind");
+    m.kind = static_cast<core::ModelKind>(kind);
+    m.cell_name = r.str();
+    m.vdd = r.f64();
+    m.dv_margin = r.f64();
+    m.pins = get_str_vec(r);
+    m.fixed_pins = get_str_vec(r);
+    m.fixed_values = r.f64_vec();
+    m.internals = get_str_vec(r);
+    require(m.fixed_pins.size() == m.fixed_values.size(),
+            "model_store: fixed pin/value count mismatch");
+
+    m.i_out = get_table(r);
+    get_tables(r, m.internals.size(), m.i_internal);
+    get_tables(r, m.pins.size(), m.c_miller);
+    m.c_out = get_table(r);
+    get_tables(r, m.internals.size(), m.c_internal);
+    get_tables(r, m.pins.size() * m.internals.size(), m.c_miller_internal);
+    get_tables(r, m.pins.size(), m.c_in);
+    require(r.exhausted(), "model_store: trailing bytes after model");
+    m.check_consistent();
+    return m;
+}
+
+void save_model_binary(const std::string& path,
+                       const core::CsmModel& model) {
+    // Write-to-temp + rename, so a crashed or concurrent writer can never
+    // leave a half-written store file where a reader expects a model. The
+    // temp name is per-process/per-call unique: concurrent writers of the
+    // same key each publish a complete file and the last rename wins.
+    static std::atomic<unsigned> counter{0};
+    const std::string tmp = path + ".tmp." + std::to_string(::getpid()) +
+                            "." + std::to_string(counter++);
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    require(os.good(), "save_model_binary: cannot open " + tmp);
+    write_model_binary(os, model);
+    // close() flushes; a full disk at flush time must not get renamed
+    // into place.
+    os.close();
+    if (!os) {
+        std::error_code ec;
+        std::filesystem::remove(tmp, ec);
+        throw ModelError("save_model_binary: write failed for " + tmp);
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::error_code ec2;
+        std::filesystem::remove(tmp, ec2);
+        throw ModelError("save_model_binary: rename failed for " + path);
+    }
+}
+
+core::CsmModel load_model_binary(const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    require(is.good(), "load_model_binary: cannot open " + path);
+    return read_model_binary(is);
+}
+
+}  // namespace mcsm::serve

@@ -1,0 +1,53 @@
+// Versioned, checksummed binary serialization of characterized models and
+// lookup tables -- the at-rest format of the serving layer. Compared to the
+// text model_io/table_io path it is ~10x smaller and faster to load, and the
+// round trip is bit-exact by construction (doubles travel as their IEEE-754
+// bit patterns).
+//
+// Envelope (shared by tables and models):
+//   magic   8 bytes  "MCSMBIN1"
+//   version u32      kFormatVersion (little-endian, like every scalar)
+//   kind    u32      payload kind (kTableKind / kModelKind)
+//   size    u64      payload byte count
+//   check   u64      FNV-1a 64 over the payload bytes
+//   payload size bytes
+// Readers verify magic, version, kind, size and checksum before any payload
+// parsing, and throw ModelError on the slightest mismatch -- a corrupt store
+// can never yield a partial model.
+#ifndef MCSM_SERVE_MODEL_STORE_H
+#define MCSM_SERVE_MODEL_STORE_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "core/model.h"
+#include "lut/ndtable.h"
+
+namespace mcsm::serve {
+
+inline constexpr char kStoreMagic[8] = {'M', 'C', 'S', 'M',
+                                        'B', 'I', 'N', '1'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::uint32_t kTableKind = 1;
+inline constexpr std::uint32_t kModelKind = 2;
+
+// Canonical file extensions of the two store formats.
+inline constexpr const char* kBinaryModelExt = ".csm.bin";
+inline constexpr const char* kTextModelExt = ".csm";
+
+void write_table_binary(std::ostream& os, const lut::NdTable& table);
+lut::NdTable read_table_binary(std::istream& is);
+
+void write_model_binary(std::ostream& os, const core::CsmModel& model);
+core::CsmModel read_model_binary(std::istream& is);
+
+// File convenience wrappers; save overwrites atomically (temp file +
+// rename), load throws ModelError when the file is missing, truncated,
+// corrupt, or structurally inconsistent.
+void save_model_binary(const std::string& path, const core::CsmModel& model);
+core::CsmModel load_model_binary(const std::string& path);
+
+}  // namespace mcsm::serve
+
+#endif  // MCSM_SERVE_MODEL_STORE_H

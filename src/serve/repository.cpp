@@ -1,0 +1,100 @@
+#include "serve/repository.h"
+
+#include <filesystem>
+#include <utility>
+
+#include "common/error.h"
+#include "core/model_io.h"
+#include "serve/model_store.h"
+
+namespace mcsm::serve {
+
+namespace fs = std::filesystem;
+
+std::string ModelKey::to_string() const {
+    std::string s = cell;
+    s += '.';
+    s += core::to_string(kind);
+    s += '.';
+    for (std::size_t i = 0; i < pins.size(); ++i) {
+        if (i) s += '-';
+        s += pins[i];
+    }
+    return s;
+}
+
+ModelKey ModelKey::arc(std::string cell, std::vector<std::string> pins) {
+    ModelKey key;
+    key.cell = std::move(cell);
+    key.kind = pins.size() == 1 ? core::ModelKind::kSis
+                                : core::ModelKind::kMcsm;
+    key.pins = std::move(pins);
+    return key;
+}
+
+ModelRepository::ModelRepository(const cells::CellLibrary* lib,
+                                 RepositoryOptions options)
+    : lib_(lib), options_(std::move(options)) {}
+
+std::string ModelRepository::binary_path(const ModelKey& key) const {
+    if (options_.dir.empty()) return {};
+    return options_.dir + "/" + key.to_string() + kBinaryModelExt;
+}
+
+std::shared_ptr<const core::CsmModel> ModelRepository::get(
+    const ModelKey& key) {
+    return cache_.get_or_produce(
+        key.to_string(), [&] { return load_or_characterize(key); });
+}
+
+ModelRepository::ModelPtr ModelRepository::load_or_characterize(
+    const ModelKey& key) {
+    if (!options_.dir.empty()) {
+        std::error_code ec;
+        const std::string bin = binary_path(key);
+        if (fs::exists(bin, ec))
+            return std::make_shared<const core::CsmModel>(
+                load_model_binary(bin));
+        const std::string txt =
+            options_.dir + "/" + key.to_string() + kTextModelExt;
+        if (fs::exists(txt, ec)) {
+            core::CsmModel m = core::load_model(txt);
+            // Migrate legacy text stores to the binary format on first load.
+            if (options_.write_back) save_model_binary(bin, m);
+            return std::make_shared<const core::CsmModel>(std::move(m));
+        }
+    }
+
+    require(lib_ != nullptr, "ModelRepository: model " + key.to_string() +
+                                 " not in store and no cell library "
+                                 "attached for characterization");
+    ++characterize_count_;
+    const core::Characterizer chr(*lib_);
+    core::CsmModel m =
+        chr.characterize(key.cell, key.kind, key.pins, options_.char_options);
+    if (!options_.dir.empty() && options_.write_back) {
+        fs::create_directories(options_.dir);
+        save_model_binary(binary_path(key), m);
+    }
+    return std::make_shared<const core::CsmModel>(std::move(m));
+}
+
+void ModelRepository::put(const ModelKey& key, core::CsmModel model) {
+    model.check_consistent();
+    auto ptr = std::make_shared<const core::CsmModel>(std::move(model));
+    cache_.put(key.to_string(), ptr);
+    if (!options_.dir.empty() && options_.write_back) {
+        fs::create_directories(options_.dir);
+        save_model_binary(binary_path(key), *ptr);
+    }
+}
+
+bool ModelRepository::cached(const ModelKey& key) const {
+    return cache_.ready(key.to_string());
+}
+
+std::size_t ModelRepository::cached_count() const {
+    return cache_.ready_count();
+}
+
+}  // namespace mcsm::serve

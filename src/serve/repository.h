@@ -1,0 +1,97 @@
+// Directory-backed model repository: the serving layer's cache of
+// characterized CSM models.
+//
+// Lookup order for a key: in-memory cache -> binary store file
+// (<dir>/<key>.csm.bin) -> legacy text store file (<dir>/<key>.csm) ->
+// on-demand characterization (when a cell library is attached), whose
+// result is written back to the binary store. Loads are lazy and
+// single-flight: concurrent misses on the same key block on one
+// load/characterization instead of duplicating it, and a failed load is
+// never cached (the next get retries, e.g. after the corrupt file was
+// replaced).
+#ifndef MCSM_SERVE_REPOSITORY_H
+#define MCSM_SERVE_REPOSITORY_H
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cells/library.h"
+#include "common/single_flight.h"
+#include "core/characterizer.h"
+#include "core/model.h"
+
+namespace mcsm::serve {
+
+// Identifies one characterized model: cell, model family, and the ordered
+// switching pins.
+struct ModelKey {
+    std::string cell;
+    core::ModelKind kind = core::ModelKind::kMcsm;
+    std::vector<std::string> pins;
+
+    // "NOR2.MCSM.A-B": also the store file stem.
+    std::string to_string() const;
+
+    // Conventional key for a cell's timing arc: one pin -> SIS, several ->
+    // MCSM (internal stack nodes modeled).
+    static ModelKey arc(std::string cell, std::vector<std::string> pins);
+};
+
+struct RepositoryOptions {
+    // Store directory; empty runs the repository purely in memory.
+    std::string dir;
+    // Persist freshly characterized models into `dir`.
+    bool write_back = true;
+    // Options for the characterize-on-miss fallback.
+    core::CharOptions char_options;
+};
+
+class ModelRepository {
+public:
+    // `lib` may be null: the repository then only serves models already in
+    // memory or on disk and throws ModelError on a full miss.
+    ModelRepository(const cells::CellLibrary* lib, RepositoryOptions options);
+
+    ModelRepository(const ModelRepository&) = delete;
+    ModelRepository& operator=(const ModelRepository&) = delete;
+
+    // Returns the cached model, loading or characterizing it first if
+    // needed. Thread-safe; throws ModelError when the model cannot be
+    // produced. The returned pointer is immutable and stays valid for the
+    // caller's lifetime regardless of later cache activity.
+    std::shared_ptr<const core::CsmModel> get(const ModelKey& key);
+
+    // Inserts (or replaces) a model under `key`, writing it back to the
+    // store directory when configured.
+    void put(const ModelKey& key, core::CsmModel model);
+
+    // True when `key` is resident in memory (not merely on disk).
+    bool cached(const ModelKey& key) const;
+    std::size_t cached_count() const;
+
+    // Number of characterize-on-miss fallbacks taken (single-flight: one
+    // per key however many threads raced on it).
+    std::size_t characterize_count() const { return characterize_count_; }
+
+    const RepositoryOptions& options() const { return options_; }
+    // Store path of a key's binary model file ("" without a store dir).
+    std::string binary_path(const ModelKey& key) const;
+
+private:
+    using ModelPtr = std::shared_ptr<const core::CsmModel>;
+
+    ModelPtr load_or_characterize(const ModelKey& key);
+
+    const cells::CellLibrary* lib_;
+    RepositoryOptions options_;
+
+    SingleFlightCache<core::CsmModel> cache_;
+    std::atomic<std::size_t> characterize_count_{0};
+};
+
+}  // namespace mcsm::serve
+
+#endif  // MCSM_SERVE_REPOSITORY_H

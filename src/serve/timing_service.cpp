@@ -1,0 +1,281 @@
+#include "serve/timing_service.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/error.h"
+#include "common/parallel.h"
+#include "core/model_scenarios.h"
+#include "spice/tran_solver.h"
+#include "wave/edges.h"
+#include "wave/metrics.h"
+
+namespace mcsm::serve {
+
+namespace {
+
+// Quiet interval before the earliest input edge, so the t=0 operating
+// point settles on the pre-transition state.
+constexpr double kEdgePad = 100e-12;
+
+double skew_of(const TimingQuery& q, std::size_t p) {
+    return q.skews.empty() ? 0.0 : q.skews[p];
+}
+
+}  // namespace
+
+TimingService::TimingService(ModelRepository& repo, ServeOptions options)
+    : repo_(&repo), options_(std::move(options)) {
+    require(!options_.slew_knots.empty() && !options_.skew_knots.empty() &&
+                !options_.load_knots.empty(),
+            "TimingService: empty surface knot vector");
+}
+
+void TimingService::validate(const TimingQuery& q) {
+    require(!q.cell.empty(), "TimingQuery: empty cell name");
+    require(q.pins.size() == 1 || q.pins.size() == 2,
+            "TimingQuery: need 1 or 2 switching pins");
+    require(q.slews.size() == q.pins.size(),
+            "TimingQuery: need one input slew per switching pin");
+    require(q.skews.empty() || q.skews.size() == q.pins.size(),
+            "TimingQuery: skews must be empty or one per switching pin");
+    for (double s : q.slews)
+        require(s > 0.0, "TimingQuery: input slews must be positive");
+    require(q.load_cap >= 0.0, "TimingQuery: negative load capacitance");
+}
+
+std::string TimingService::arc_id(const TimingQuery& q) {
+    std::string id = q.cell;
+    id += '|';
+    for (std::size_t p = 0; p < q.pins.size(); ++p) {
+        if (p) id += '-';
+        id += q.pins[p];
+    }
+    id += '|';
+    id += q.inputs_rise ? 'R' : 'F';
+    return id;
+}
+
+TimingResult TimingService::eval_transient(const core::CsmModel& model,
+                                           const TimingQuery& q) const {
+    const double vdd = model.vdd;
+    const double v0 = q.inputs_rise ? 0.0 : vdd;
+    const double v1 = vdd - v0;
+    const bool output_rising = !q.inputs_rise;
+
+    double min_skew = 0.0;
+    double max_skew = 0.0;
+    double max_slew = 0.0;
+    for (std::size_t p = 0; p < q.pins.size(); ++p) {
+        min_skew = std::min(min_skew, skew_of(q, p));
+        max_skew = std::max(max_skew, skew_of(q, p));
+        max_slew = std::max(max_slew, q.slews[p]);
+    }
+    const double t_edge = kEdgePad - std::min(0.0, min_skew);
+
+    std::unordered_map<std::string, wave::Waveform> inputs;
+    double ref_t50 = -1e300;  // 50% crossing of the latest input edge
+    for (std::size_t p = 0; p < q.pins.size(); ++p) {
+        const double t_start = t_edge + skew_of(q, p);
+        inputs[q.pins[p]] =
+            wave::saturated_ramp(t_start, q.slews[p], v0, v1);
+        ref_t50 = std::max(ref_t50, t_start + 0.5 * q.slews[p]);
+    }
+
+    core::ModelLoadSpec load;
+    load.cap = q.load_cap;
+    core::ModelCell cell(model, inputs, load);
+
+    spice::TranOptions topt;
+    topt.dt = options_.dt;
+    topt.tstop = t_edge + max_skew + max_slew + options_.settle;
+    const spice::TranResult tran = cell.run(topt);
+    const wave::Waveform out = tran.node_waveform(cell.out_node());
+
+    TimingResult result;
+    result.path = ResultPath::kTransient;
+    const auto out_t50 = wave::crossing(out, vdd, 0.5, output_rising);
+    const auto out_slew = wave::slew_10_90(out, vdd, output_rising);
+    if (!out_t50 || !out_slew) {
+        result.error = "output never completed the " +
+                       std::string(output_rising ? "rising" : "falling") +
+                       " transition within the simulation window";
+        return result;
+    }
+    result.valid = true;
+    result.delay = *out_t50 - ref_t50;
+    result.slew = *out_slew;
+    if (q.want_waveform) result.waveform = out;
+    return result;
+}
+
+TimingService::SurfacePtr TimingService::build_surface(
+    const TimingQuery& q) {
+    const std::shared_ptr<const core::CsmModel> model =
+        repo_->get(ModelKey::arc(q.cell, q.pins));
+
+    std::vector<lut::Axis> axes;
+    if (q.pins.size() == 1) {
+        axes.emplace_back("slew", options_.slew_knots);
+    } else {
+        axes.emplace_back("slew_a", options_.slew_knots);
+        axes.emplace_back("slew_b", options_.slew_knots);
+        axes.emplace_back("skew_b", options_.skew_knots);
+    }
+    axes.emplace_back("load", options_.load_knots);
+
+    auto surface = std::make_shared<ArcSurface>();
+    surface->delay = lut::NdTable(axes, arc_id(q) + ".delay");
+    surface->slew = lut::NdTable(axes, arc_id(q) + ".slew");
+
+    // Enumerate the grid sequentially, then fan the independent transient
+    // evaluations out over the pool; every point writes disjoint slots, so
+    // the tables are identical for any thread count.
+    std::vector<std::vector<std::size_t>> points;
+    std::vector<std::size_t> idx(axes.size(), 0);
+    for (;;) {
+        points.push_back(idx);
+        std::size_t d = axes.size();
+        while (d > 0) {
+            --d;
+            if (++idx[d] < axes[d].size()) break;
+            idx[d] = 0;
+            if (d == 0) break;
+        }
+        if (idx == std::vector<std::size_t>(axes.size(), 0)) break;
+    }
+
+    parallel_for(
+        points.size(),
+        [&](std::size_t i) {
+            const std::vector<std::size_t>& at = points[i];
+            TimingQuery knot;
+            knot.cell = q.cell;
+            knot.pins = q.pins;
+            knot.inputs_rise = q.inputs_rise;
+            if (q.pins.size() == 1) {
+                knot.slews = {axes[0].knots()[at[0]]};
+                knot.load_cap = axes[1].knots()[at[1]];
+            } else {
+                knot.slews = {axes[0].knots()[at[0]],
+                              axes[1].knots()[at[1]]};
+                knot.skews = {0.0, axes[2].knots()[at[2]]};
+                knot.load_cap = axes[3].knots()[at[3]];
+            }
+            const TimingResult r = eval_transient(*model, knot);
+            require(r.valid, "TimingService: surface grid point failed for " +
+                                 arc_id(q) + ": " + r.error);
+            surface->delay.set_grid_value(at, r.delay);
+            surface->slew.set_grid_value(at, r.slew);
+        },
+        options_.threads);
+
+    return surface;
+}
+
+TimingService::SurfacePtr TimingService::surface_for(const TimingQuery& q) {
+    // Same single-flight contract as the repository: concurrent misses
+    // build once, failures are never cached.
+    return surfaces_.get_or_produce(arc_id(q),
+                                    [&] { return build_surface(q); });
+}
+
+TimingResult TimingService::eval_lut(const ArcSurface& surface,
+                                     const TimingQuery& q) const {
+    std::vector<double> x;
+    if (q.pins.size() == 1) {
+        x = {q.slews[0], q.load_cap};
+    } else {
+        // Delay is referenced to the latest input edge, so only the skew
+        // DIFFERENCE matters; absolute skews shift the whole experiment.
+        x = {q.slews[0], q.slews[1], skew_of(q, 1) - skew_of(q, 0),
+             q.load_cap};
+    }
+    TimingResult result;
+    result.valid = true;
+    result.path = ResultPath::kLut;
+    result.delay = surface.delay.at(x);
+    result.slew = surface.slew.at(x);
+    return result;
+}
+
+std::vector<TimingResult> TimingService::run_batch(
+    std::span<const TimingQuery> queries) {
+    std::vector<TimingResult> results(queries.size());
+
+    // Phase 1: warm every distinct arc once (surface or model), so the
+    // per-query phase interpolates instead of serializing on single-flight
+    // builds. Arcs are warmed sequentially ON PURPOSE: each cold surface
+    // build fans its grid transients over the whole pool, which beats
+    // building arcs concurrently with one inline-running worker each.
+    // A failed warm-up is recorded and short-circuits every query on that
+    // arc below -- one build attempt per arc per batch, not per query (the
+    // next run_batch retries, preserving the never-cache-failures
+    // contract).
+    std::unordered_map<std::string, std::string> failed;
+    {
+        std::unordered_set<std::string> seen;
+        for (const TimingQuery& q : queries) {
+            try {
+                validate(q);
+            } catch (const std::exception&) {
+                continue;  // phase 2 reports it on the right result
+            }
+            const bool lut = !(q.exact || q.want_waveform);
+            const std::string warm_id = (lut ? "S|" : "M|") + arc_id(q);
+            if (!seen.insert(warm_id).second) continue;
+            try {
+                if (lut)
+                    surface_for(q);
+                else
+                    repo_->get(ModelKey::arc(q.cell, q.pins));
+            } catch (const std::exception& e) {
+                failed.emplace(warm_id, e.what());
+            }
+        }
+    }
+
+    const auto failure_of = [&](const TimingQuery& q) -> const std::string* {
+        const bool lut = !(q.exact || q.want_waveform);
+        const auto it = failed.find((lut ? "S|" : "M|") + arc_id(q));
+        return it == failed.end() ? nullptr : &it->second;
+    };
+
+    // Phase 2: evaluate every query independently.
+    parallel_for(
+        queries.size(),
+        [&](std::size_t i) {
+            const TimingQuery& q = queries[i];
+            try {
+                validate(q);
+                if (const std::string* error = failure_of(q)) {
+                    results[i].error = *error;
+                    return;
+                }
+                if (q.exact || q.want_waveform) {
+                    const auto model =
+                        repo_->get(ModelKey::arc(q.cell, q.pins));
+                    results[i] = eval_transient(*model, q);
+                } else {
+                    results[i] = eval_lut(*surface_for(q), q);
+                }
+            } catch (const std::exception& e) {
+                results[i] = TimingResult{};
+                results[i].error = e.what();
+            }
+        },
+        options_.threads);
+    return results;
+}
+
+TimingResult TimingService::run_one(const TimingQuery& query) {
+    return run_batch({&query, 1}).front();
+}
+
+std::size_t TimingService::surface_count() const {
+    return surfaces_.ready_count();
+}
+
+}  // namespace mcsm::serve

@@ -1,0 +1,129 @@
+// Batched timing query service over cached CSM models.
+//
+// Callers submit vectors of TimingQuery{cell, switching pins, input slews,
+// per-pin skews, load} and get TimingResult{delay, slew, optional waveform}
+// back. MIS skew is a first-class query axis: two-pin arcs are served from
+// delay/slew surfaces over [slew_a, slew_b, skew, load], so near-
+// simultaneous and skewed input combinations interpolate through the MIS
+// valley instead of collapsing onto a single-input model.
+//
+// Two evaluation paths:
+//  * LUT fast path - multilinear interpolation into per-arc delay/slew
+//    surfaces, built on first use by running the CSM transient at every
+//    surface knot (fanned over the shared thread pool) and cached for the
+//    service lifetime. Surface builds are single-flight: concurrent misses
+//    on one arc build it once.
+//  * Transient exact path (query.exact / query.want_waveform) - one CSM
+//    transient per query, returning the measured delay/slew and the output
+//    waveform.
+// Models come from a ModelRepository (memory -> binary store -> on-demand
+// characterization). Batch results are deterministic for any thread count:
+// every query is an independent, single-threaded evaluation of immutable
+// tables.
+#ifndef MCSM_SERVE_TIMING_SERVICE_H
+#define MCSM_SERVE_TIMING_SERVICE_H
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/single_flight.h"
+#include "lut/ndtable.h"
+#include "serve/repository.h"
+#include "wave/waveform.h"
+
+namespace mcsm::serve {
+
+struct TimingQuery {
+    std::string cell;
+    // 1 switching pin (SIS model) or 2 (MCSM model, skewed MIS).
+    std::vector<std::string> pins;
+    // Edge direction of the switching inputs; every library cell is
+    // inverting, so the output edge is the opposite direction.
+    bool inputs_rise = false;
+    std::vector<double> slews;  // per-pin 0-100% input ramp [s]
+    // Per-pin edge offsets [s] relative to the common edge time; empty
+    // means all zero (simultaneous switching).
+    std::vector<double> skews;
+    double load_cap = 5e-15;  // linear output load [F]
+    bool exact = false;          // force the transient path
+    bool want_waveform = false;  // implies the transient path
+};
+
+enum class ResultPath { kLut, kTransient };
+
+struct TimingResult {
+    bool valid = false;
+    // 50% crossing of the LATEST switching input to 50% crossing of the
+    // output (the standard MIS delay reference).
+    double delay = 0.0;
+    double slew = 0.0;  // output 10-90% transition [s]
+    ResultPath path = ResultPath::kLut;
+    wave::Waveform waveform;  // output waveform (want_waveform only)
+    std::string error;        // set when !valid
+};
+
+struct ServeOptions {
+    // Surface knots. Slew knots parameterize every switching pin; skew
+    // knots parameterize pin[1] relative to pin[0] on two-pin arcs (must
+    // bracket 0 so the simultaneous-switching valley is a grid point).
+    std::vector<double> slew_knots{20e-12, 80e-12, 200e-12, 400e-12};
+    std::vector<double> skew_knots{-200e-12, -80e-12, 0.0, 80e-12,
+                                   200e-12};
+    std::vector<double> load_knots{1e-15, 4e-15, 16e-15, 32e-15};
+    double dt = 2e-12;      // transient step of the evaluators [s]
+    double settle = 2e-9;   // post-edge simulation window [s]
+    std::size_t threads = 0;  // batch fan-out (0: all cores)
+};
+
+class TimingService {
+public:
+    TimingService(ModelRepository& repo, ServeOptions options = {});
+
+    TimingService(const TimingService&) = delete;
+    TimingService& operator=(const TimingService&) = delete;
+
+    // Executes the batch over the shared thread pool; results come back in
+    // query order. Per-query failures land in TimingResult::error instead
+    // of aborting the batch.
+    std::vector<TimingResult> run_batch(std::span<const TimingQuery> queries);
+
+    TimingResult run_one(const TimingQuery& query);
+
+    // Delay/slew surfaces built so far.
+    std::size_t surface_count() const;
+
+    const ServeOptions& options() const { return options_; }
+
+private:
+    // Immutable per-arc delay/slew surfaces: axes [slew, load] for one-pin
+    // arcs, [slew_a, slew_b, skew_b, load] for two-pin arcs.
+    struct ArcSurface {
+        lut::NdTable delay;
+        lut::NdTable slew;
+    };
+    using SurfacePtr = std::shared_ptr<const ArcSurface>;
+
+    static void validate(const TimingQuery& query);
+    static std::string arc_id(const TimingQuery& query);
+
+    // Single-flight lookup/build of the arc surface for `query`.
+    SurfacePtr surface_for(const TimingQuery& query);
+    SurfacePtr build_surface(const TimingQuery& query);
+
+    TimingResult eval_lut(const ArcSurface& surface,
+                          const TimingQuery& query) const;
+    TimingResult eval_transient(const core::CsmModel& model,
+                                const TimingQuery& query) const;
+
+    ModelRepository* repo_;
+    ServeOptions options_;
+
+    SingleFlightCache<ArcSurface> surfaces_;
+};
+
+}  // namespace mcsm::serve
+
+#endif  // MCSM_SERVE_TIMING_SERVICE_H

@@ -1,0 +1,569 @@
+// Serving-layer tests: bit-exact binary/text store round trips (for every
+// library cell), corrupt-input rejection (bad magic, bad checksums,
+// truncations, malformed text -- always ModelError, never a partial model),
+// repository caching semantics (lazy load, single-flight characterization,
+// clean cache after failures), and deterministic batched timing queries
+// across thread counts.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cells/library.h"
+#include "common/parallel.h"
+#include "common/single_flight.h"
+#include "core/characterizer.h"
+#include "core/model_io.h"
+#include "lut/table_io.h"
+#include "serve/model_store.h"
+#include "serve/repository.h"
+#include "serve/timing_service.h"
+#include "tech/tech130.h"
+
+namespace mcsm::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+core::CharOptions fast_options(std::size_t grid_points = 6) {
+    core::CharOptions opt;
+    opt.transient_caps = false;  // model-linearized caps: test-fast
+    opt.grid_points = grid_points;
+    opt.cin_points = 5;
+    opt.threads = 1;
+    return opt;
+}
+
+// Deterministic serialization makes byte equality a bit-exactness check
+// over every field and table value.
+std::string binary_bytes(const core::CsmModel& model) {
+    std::stringstream ss;
+    write_model_binary(ss, model);
+    return ss.str();
+}
+
+std::string table_bytes(const lut::NdTable& table) {
+    std::stringstream ss;
+    write_table_binary(ss, table);
+    return ss.str();
+}
+
+// Shared characterized models (expensive; characterize once per suite).
+struct Shared {
+    tech::Technology tech = tech::make_tech130();
+    cells::CellLibrary lib{tech};
+    core::CsmModel inv;
+    core::CsmModel nor;
+
+    static const Shared& get() {
+        static Shared s;
+        return s;
+    }
+
+private:
+    Shared() {
+        const core::Characterizer chr(lib);
+        inv = chr.characterize("INV_X1", core::ModelKind::kSis, {"A"},
+                               fast_options());
+        nor = chr.characterize("NOR2", core::ModelKind::kMcsm, {"A", "B"},
+                               fast_options());
+    }
+};
+
+// Unique scratch directory per test, removed on scope exit.
+struct TempDir {
+    fs::path path;
+    explicit TempDir(const std::string& tag) {
+        path = fs::temp_directory_path() /
+               ("mcsm_serve_" + tag + "_" + std::to_string(::getpid()));
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~TempDir() {
+        std::error_code ec;
+        fs::remove_all(path, ec);
+    }
+    std::string str() const { return path.string(); }
+};
+
+// --- binary store round trips -------------------------------------------
+
+TEST(ModelStore, TableRoundTripIsBitExact) {
+    // Values that decimal text formatting historically mangles: subnormals,
+    // negative zero, huge/tiny magnitudes.
+    lut::NdTable t({lut::Axis("x", {-0.12, 0.0, 0.6, 1.32}),
+                    lut::Axis("y", {1e-18, 2.5e-15, 6.4e-13})},
+                   "quirks");
+    const std::vector<double> vals{
+        5e-324, -5e-324, -0.0,   0.0,       1e308,      -1e308,
+        1e-300, 3.14,    -2e-9,  7.77e-16,  0.1,        -0.3,
+    };
+    std::size_t i = 0;
+    t.for_each_grid_point([&](std::span<const std::size_t>,
+                              std::span<const double>, double& slot) {
+        slot = vals[i++ % vals.size()];
+    });
+
+    std::stringstream ss(table_bytes(t));
+    const lut::NdTable back = read_table_binary(ss);
+    EXPECT_EQ(back.name(), "quirks");
+    EXPECT_EQ(table_bytes(back), table_bytes(t));
+}
+
+TEST(ModelStore, ModelRoundTripEveryLibraryCell) {
+    const Shared& s = Shared::get();
+    const core::Characterizer chr(s.lib);
+    for (const std::string& name : s.lib.names()) {
+        const cells::CellType& cell = s.lib.get(name);
+        std::vector<std::string> pins{cell.inputs().front().name};
+        core::ModelKind kind = core::ModelKind::kSis;
+        if (cell.input_count() >= 2) {
+            pins.push_back(cell.inputs()[1].name);
+            kind = core::ModelKind::kMcsm;
+        }
+        // 5-D models (two internals) get a smaller grid to stay test-fast.
+        const core::CsmModel model = chr.characterize(
+            name, kind, pins,
+            fast_options(cell.internal_nodes().size() >= 2 ? 5u : 6u));
+
+        std::stringstream ss(binary_bytes(model));
+        const core::CsmModel back = read_model_binary(ss);
+        EXPECT_EQ(binary_bytes(back), binary_bytes(model))
+            << "binary round trip not bit-exact for " << name;
+    }
+}
+
+TEST(ModelStore, SaveLoadFileRoundTrip) {
+    const Shared& s = Shared::get();
+    TempDir dir("file_roundtrip");
+    const std::string path = dir.str() + "/nor" + kBinaryModelExt;
+    save_model_binary(path, s.nor);
+    const core::CsmModel back = load_model_binary(path);
+    EXPECT_EQ(binary_bytes(back), binary_bytes(s.nor));
+    // Atomic write: only the published file, no temp left behind.
+    std::size_t entries = 0;
+    for ([[maybe_unused]] const auto& e : fs::directory_iterator(dir.path))
+        ++entries;
+    EXPECT_EQ(entries, 1u);
+}
+
+// --- text store round-trip fidelity (hexfloat regression) ----------------
+
+TEST(ModelIoText, RoundTripIsBitExact) {
+    const Shared& s = Shared::get();
+    for (const core::CsmModel* m : {&s.inv, &s.nor}) {
+        std::stringstream ss;
+        core::write_model(ss, *m);
+        const core::CsmModel back = core::read_model(ss);
+        EXPECT_EQ(binary_bytes(back), binary_bytes(*m));
+    }
+}
+
+TEST(ModelIoText, TableRoundTripPreservesQuirkValues) {
+    lut::NdTable t({lut::Axis("x", {0.0, 1.0})}, "q");
+    std::vector<std::size_t> i0{0};
+    std::vector<std::size_t> i1{1};
+    t.set_grid_value(i0, 5e-324);  // subnormal: lost by %.17g-era formats
+    t.set_grid_value(i1, -0.0);
+    std::stringstream ss;
+    lut::write_table(ss, t);
+    const lut::NdTable back = lut::read_table(ss);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(back.values()[0]),
+              std::bit_cast<std::uint64_t>(t.values()[0]));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(back.values()[1]),
+              std::bit_cast<std::uint64_t>(t.values()[1]));
+}
+
+TEST(ModelIoText, LegacyDecimalTablesStillParse) {
+    std::stringstream ss(
+        "table legacy 1\n"
+        "axis x 3 0 0.5 1e0\n"
+        "values 3\n"
+        "0.25 -3e-15 17\n"
+        "end\n");
+    const lut::NdTable t = lut::read_table(ss);
+    EXPECT_EQ(t.values()[0], 0.25);
+    EXPECT_EQ(t.values()[1], -3e-15);
+    EXPECT_EQ(t.values()[2], 17.0);
+}
+
+// --- corrupt / malformed inputs ------------------------------------------
+
+TEST(ModelStoreValidation, RejectsBadMagic) {
+    std::string bytes = binary_bytes(Shared::get().nor);
+    bytes[0] = 'X';
+    std::stringstream ss(bytes);
+    EXPECT_THROW(read_model_binary(ss), ModelError);
+}
+
+TEST(ModelStoreValidation, RejectsBadVersion) {
+    std::string bytes = binary_bytes(Shared::get().nor);
+    bytes[8] = static_cast<char>(bytes[8] + 1);  // version field
+    std::stringstream ss(bytes);
+    EXPECT_THROW(read_model_binary(ss), ModelError);
+}
+
+TEST(ModelStoreValidation, RejectsKindMismatch) {
+    // A model envelope is not a table envelope and vice versa.
+    std::stringstream model_ss(binary_bytes(Shared::get().nor));
+    EXPECT_THROW(read_table_binary(model_ss), ModelError);
+    std::stringstream table_ss(table_bytes(Shared::get().nor.i_out));
+    EXPECT_THROW(read_model_binary(table_ss), ModelError);
+}
+
+TEST(ModelStoreValidation, RejectsTruncationAtAnyDepth) {
+    const std::string bytes = binary_bytes(Shared::get().nor);
+    for (const double frac : {0.001, 0.1, 0.5, 0.9, 0.9999}) {
+        const std::size_t cut =
+            static_cast<std::size_t>(frac * static_cast<double>(bytes.size()));
+        std::stringstream ss(bytes.substr(0, cut));
+        EXPECT_THROW(read_model_binary(ss), ModelError) << "cut=" << cut;
+    }
+}
+
+TEST(ModelStoreValidation, RejectsPayloadBitFlips) {
+    const std::string bytes = binary_bytes(Shared::get().nor);
+    // Flip one bit at several payload offsets; the checksum must catch all.
+    for (const double frac : {0.2, 0.5, 0.95}) {
+        std::string corrupt = bytes;
+        const std::size_t at =
+            32 + static_cast<std::size_t>(
+                     frac * static_cast<double>(bytes.size() - 64));
+        corrupt[at] = static_cast<char>(corrupt[at] ^ 0x10);
+        std::stringstream ss(corrupt);
+        EXPECT_THROW(read_model_binary(ss), ModelError) << "at=" << at;
+    }
+}
+
+TEST(ModelStoreValidation, MalformedTextTablesThrow) {
+    for (const char* text : {
+             "garbage",
+             "table t 1\naxis x 2 0 zz\nvalues 2\n0 1\nend\n",  // bad knot
+             "table t 1\naxis x 2 0 1\nvalues 5\n0 1\nend\n",   // bad count
+             "table t 1\naxis x 2 0 1\nvalues 2\n0 nope\nend\n",
+             "table t 1\naxis x 2 0 1\nvalues 2\n0 1\n",  // missing end
+         }) {
+        std::stringstream ss(text);
+        EXPECT_THROW(lut::read_table(ss), ModelError) << text;
+    }
+}
+
+// --- single-flight cache ---------------------------------------------------
+
+TEST(SingleFlight, FailureIsNotCachedAndRetries) {
+    SingleFlightCache<int> cache;
+    EXPECT_THROW(cache.get_or_produce(
+                     "k",
+                     []() -> std::shared_ptr<const int> {
+                         throw ModelError("production failed");
+                     }),
+                 ModelError);
+    EXPECT_FALSE(cache.ready("k"));
+    const auto v = cache.get_or_produce(
+        "k", [] { return std::make_shared<const int>(7); });
+    EXPECT_EQ(*v, 7);
+    EXPECT_TRUE(cache.ready("k"));
+}
+
+TEST(SingleFlight, FailedProducerDoesNotEvictConcurrentPut) {
+    // A put() that lands while a production for the same key is failing
+    // must survive the producer's eviction (the producer may only remove
+    // its own in-flight entry).
+    SingleFlightCache<int> cache;
+    const auto put_value = std::make_shared<const int>(42);
+    EXPECT_THROW(cache.get_or_produce(
+                     "k",
+                     [&]() -> std::shared_ptr<const int> {
+                         cache.put("k", put_value);
+                         throw ModelError("production failed");
+                     }),
+                 ModelError);
+    EXPECT_TRUE(cache.ready("k"));
+    const auto got = cache.get_or_produce(
+        "k", []() -> std::shared_ptr<const int> {
+            ADD_FAILURE() << "producer ran despite cached value";
+            return nullptr;
+        });
+    EXPECT_EQ(got.get(), put_value.get());
+}
+
+// --- repository -----------------------------------------------------------
+
+TEST(Repository, CorruptFileFailsAndCacheStaysClean) {
+    const Shared& s = Shared::get();
+    TempDir dir("corrupt");
+    const ModelKey key = ModelKey::arc("NOR2", {"A", "B"});
+
+    RepositoryOptions opt;
+    opt.dir = dir.str();
+    ModelRepository repo(nullptr, opt);
+    {
+        std::ofstream os(repo.binary_path(key), std::ios::binary);
+        os << "MCSMBIN1 but not really";
+    }
+    EXPECT_THROW(repo.get(key), ModelError);
+    EXPECT_EQ(repo.cached_count(), 0u);  // no partial model cached
+
+    // Replacing the corrupt file heals the key without restarting.
+    save_model_binary(repo.binary_path(key), s.nor);
+    const auto model = repo.get(key);
+    EXPECT_EQ(binary_bytes(*model), binary_bytes(s.nor));
+    EXPECT_TRUE(repo.cached(key));
+}
+
+TEST(Repository, FullMissWithoutLibraryThrows) {
+    ModelRepository repo(nullptr, RepositoryOptions{});
+    EXPECT_THROW(repo.get(ModelKey::arc("NOR2", {"A", "B"})), ModelError);
+    EXPECT_EQ(repo.cached_count(), 0u);
+}
+
+TEST(Repository, SingleFlightCharacterizesOnceUnderConcurrency) {
+    const Shared& s = Shared::get();
+    RepositoryOptions opt;
+    opt.char_options = fast_options();
+    ModelRepository repo(&s.lib, opt);
+
+    const ModelKey key = ModelKey::arc("INV_X1", {"A"});
+    std::vector<std::shared_ptr<const core::CsmModel>> seen(6);
+    parallel_workers(seen.size(),
+                     [&](std::size_t w) { seen[w] = repo.get(key); });
+    EXPECT_EQ(repo.characterize_count(), 1u);
+    for (const auto& m : seen) EXPECT_EQ(m.get(), seen.front().get());
+}
+
+TEST(Repository, WriteBackThenColdLoadIsBitExact) {
+    const Shared& s = Shared::get();
+    TempDir dir("writeback");
+    const ModelKey key = ModelKey::arc("NOR2", {"A", "B"});
+
+    RepositoryOptions opt;
+    opt.dir = dir.str();
+    {
+        ModelRepository warm(&s.lib, opt);
+        warm.put(key, s.nor);
+        EXPECT_TRUE(fs::exists(warm.binary_path(key)));
+    }
+    ModelRepository cold(nullptr, opt);  // no library: disk only
+    EXPECT_EQ(binary_bytes(*cold.get(key)), binary_bytes(s.nor));
+    EXPECT_EQ(cold.characterize_count(), 0u);
+}
+
+TEST(Repository, MigratesLegacyTextStoreToBinary) {
+    const Shared& s = Shared::get();
+    TempDir dir("migrate");
+    const ModelKey key = ModelKey::arc("NOR2", {"A", "B"});
+
+    RepositoryOptions opt;
+    opt.dir = dir.str();
+    core::save_model(dir.str() + "/" + key.to_string() + kTextModelExt,
+                     s.nor);
+
+    ModelRepository repo(nullptr, opt);
+    EXPECT_EQ(binary_bytes(*repo.get(key)), binary_bytes(s.nor));
+    EXPECT_TRUE(fs::exists(repo.binary_path(key)));  // migrated on load
+}
+
+// --- timing service --------------------------------------------------------
+
+ServeOptions test_serve_options() {
+    ServeOptions opt;
+    opt.slew_knots = {50e-12, 150e-12};
+    opt.skew_knots = {-100e-12, 0.0, 100e-12};
+    opt.load_knots = {2e-15, 8e-15};
+    opt.dt = 4e-12;
+    opt.settle = 1.5e-9;
+    return opt;
+}
+
+// Repository pre-seeded with the shared models; no disk, no characterizer.
+std::unique_ptr<ModelRepository> seeded_repo() {
+    const Shared& s = Shared::get();
+    auto repo =
+        std::make_unique<ModelRepository>(nullptr, RepositoryOptions{});
+    repo->put(ModelKey::arc("INV_X1", {"A"}), s.inv);
+    repo->put(ModelKey::arc("NOR2", {"A", "B"}), s.nor);
+    return repo;
+}
+
+TEST(TimingService, LutPathMatchesTransientAtSurfaceKnots) {
+    auto repo = seeded_repo();
+    TimingService service(*repo, test_serve_options());
+
+    TimingQuery q;
+    q.cell = "NOR2";
+    q.pins = {"A", "B"};
+    q.inputs_rise = false;  // both fall -> output rises through the stack
+    q.slews = {50e-12, 150e-12};
+    q.skews = {0.0, 100e-12};
+    q.load_cap = 8e-15;
+
+    const TimingResult lut = service.run_one(q);
+    ASSERT_TRUE(lut.valid) << lut.error;
+    EXPECT_EQ(lut.path, ResultPath::kLut);
+
+    TimingQuery exact = q;
+    exact.exact = true;
+    const TimingResult ref = service.run_one(exact);
+    ASSERT_TRUE(ref.valid) << ref.error;
+    EXPECT_EQ(ref.path, ResultPath::kTransient);
+
+    // At a surface knot the LUT holds the value measured from the identical
+    // deterministic transient: bitwise equality, not approximation.
+    EXPECT_EQ(lut.delay, ref.delay);
+    EXPECT_EQ(lut.slew, ref.slew);
+}
+
+TEST(TimingService, LutPathInterpolatesOffKnotWithinTolerance) {
+    auto repo = seeded_repo();
+    TimingService service(*repo, test_serve_options());
+
+    TimingQuery q;
+    q.cell = "NOR2";
+    q.pins = {"A", "B"};
+    q.slews = {80e-12, 120e-12};  // off every surface knot
+    q.skews = {0.0, 40e-12};
+    q.load_cap = 5e-15;
+
+    const TimingResult lut = service.run_one(q);
+    TimingQuery exact = q;
+    exact.exact = true;
+    const TimingResult ref = service.run_one(exact);
+    ASSERT_TRUE(lut.valid && ref.valid) << lut.error << ref.error;
+    EXPECT_NEAR(lut.delay, ref.delay, 0.25 * std::abs(ref.delay) + 5e-12);
+    EXPECT_NEAR(lut.slew, ref.slew, 0.25 * ref.slew + 5e-12);
+}
+
+TEST(TimingService, SkewIsAFirstClassQueryAxis) {
+    auto repo = seeded_repo();
+    TimingService service(*repo, test_serve_options());
+
+    // Sweeping the B skew through the MIS valley must change the answer;
+    // a characterization-time-only treatment would return a flat curve.
+    std::vector<TimingQuery> batch;
+    for (const double skew : {-100e-12, 0.0, 100e-12}) {
+        TimingQuery q;
+        q.cell = "NOR2";
+        q.pins = {"A", "B"};
+        q.slews = {80e-12, 80e-12};
+        q.skews = {0.0, skew};
+        q.load_cap = 4e-15;
+        batch.push_back(q);
+    }
+    const std::vector<TimingResult> r = service.run_batch(batch);
+    ASSERT_TRUE(r[0].valid && r[1].valid && r[2].valid);
+    // Absolute-skew invariance: shifting both edges together is a no-op
+    // (up to the ulp the skew subtraction itself introduces).
+    TimingQuery shifted = batch[2];
+    shifted.skews = {60e-12, 160e-12};
+    const TimingResult rs = service.run_one(shifted);
+    EXPECT_NEAR(rs.delay, r[2].delay, 1e-20);
+    // The simultaneous point must differ from the widely skewed points.
+    EXPECT_NE(r[1].delay, r[0].delay);
+    EXPECT_NE(r[1].delay, r[2].delay);
+}
+
+TEST(TimingService, BatchIsDeterministicAcrossThreadCounts) {
+    auto repo = seeded_repo();
+
+    // A mixed batch: both cells, both paths, off-grid skews, one failing
+    // query (unknown cell) that must not poison the rest.
+    std::vector<TimingQuery> batch;
+    for (int i = 0; i < 24; ++i) {
+        TimingQuery q;
+        if (i % 3 == 0) {
+            q.cell = "INV_X1";
+            q.pins = {"A"};
+            q.slews = {(40 + 13.0 * (i % 7)) * 1e-12};
+        } else {
+            q.cell = "NOR2";
+            q.pins = {"A", "B"};
+            q.slews = {(50 + 10.0 * (i % 5)) * 1e-12,
+                       (60 + 9.0 * (i % 6)) * 1e-12};
+            q.skews = {0.0, (i % 5 - 2) * 35e-12};
+        }
+        q.inputs_rise = (i % 2) == 1;
+        q.load_cap = (2 + (i % 4) * 2) * 1e-15;
+        q.exact = (i % 8) == 5;
+        batch.push_back(q);
+    }
+    TimingQuery bad;
+    bad.cell = "NO_SUCH_CELL";
+    bad.pins = {"A"};
+    bad.slews = {50e-12};
+    batch.push_back(bad);
+
+    ServeOptions opt1 = test_serve_options();
+    opt1.threads = 1;
+    ServeOptions optN = test_serve_options();
+    optN.threads = 4;
+    TimingService serial(*repo, opt1);
+    TimingService parallel(*repo, optN);
+
+    const std::vector<TimingResult> a = serial.run_batch(batch);
+    const std::vector<TimingResult> b = parallel.run_batch(batch);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].valid, b[i].valid) << i;
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(a[i].delay),
+                  std::bit_cast<std::uint64_t>(b[i].delay))
+            << i;
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(a[i].slew),
+                  std::bit_cast<std::uint64_t>(b[i].slew))
+            << i;
+    }
+    EXPECT_FALSE(a.back().valid);
+    EXPECT_FALSE(a.back().error.empty());
+    for (std::size_t i = 0; i + 1 < a.size(); ++i)
+        EXPECT_TRUE(a[i].valid) << i << ": " << a[i].error;
+    // One surface per (cell, pins, direction) arc in the batch.
+    EXPECT_EQ(serial.surface_count(), parallel.surface_count());
+}
+
+TEST(TimingService, WaveformQueriesReturnTheOutputWave) {
+    auto repo = seeded_repo();
+    TimingService service(*repo, test_serve_options());
+
+    TimingQuery q;
+    q.cell = "INV_X1";
+    q.pins = {"A"};
+    q.inputs_rise = true;
+    q.slews = {100e-12};
+    q.load_cap = 4e-15;
+    q.want_waveform = true;
+
+    const TimingResult r = service.run_one(q);
+    ASSERT_TRUE(r.valid) << r.error;
+    EXPECT_EQ(r.path, ResultPath::kTransient);
+    ASSERT_GT(r.waveform.size(), 10u);
+    const double vdd = Shared::get().inv.vdd;
+    EXPECT_NEAR(r.waveform.first_value(), vdd, 0.05 * vdd);
+    EXPECT_LT(r.waveform.last_value(), 0.1 * vdd);
+}
+
+TEST(TimingService, RejectsMalformedQueries) {
+    auto repo = seeded_repo();
+    TimingService service(*repo, test_serve_options());
+
+    TimingQuery q;
+    q.cell = "INV_X1";
+    q.pins = {"A"};
+    q.slews = {};  // missing slew
+    TimingResult r = service.run_one(q);
+    EXPECT_FALSE(r.valid);
+    EXPECT_FALSE(r.error.empty());
+
+    q.slews = {-1e-12};
+    r = service.run_one(q);
+    EXPECT_FALSE(r.valid);
+}
+
+}  // namespace
+}  // namespace mcsm::serve

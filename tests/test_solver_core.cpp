@@ -14,6 +14,7 @@
 #include <cstdlib>
 #include <new>
 #include <random>
+#include <unordered_set>
 
 #include "cells/library.h"
 #include "common/alloc_counter.h"
@@ -178,6 +179,57 @@ TEST(SparseLu, ThrowsOnSingular) {
     a.add(1, 1, 1.0);  // row 1 = 0.5 * row 0
     SparseLu lu;
     EXPECT_THROW(lu.factor(a), NumericalError);
+}
+
+TEST(SparseMatrix, RowHashedSlotMapBeyondDenseLimit) {
+    // n > 512 disables the dense (r, c) -> slot map, so every lookup goes
+    // through the row-hashed map; cross-check it against a reference set on
+    // a random large flat pattern.
+    std::mt19937 rng(20260728);
+    const std::size_t n = 1500;
+    std::uniform_int_distribution<int> pick(0, static_cast<int>(n) - 1);
+
+    std::vector<std::pair<int, int>> entries;
+    std::unordered_set<long long> reference;
+    auto key = [n](int r, int c) {
+        return static_cast<long long>(r) * static_cast<long long>(n) + c;
+    };
+    for (std::size_t i = 0; i + 1 < n; ++i) {  // tridiagonal backbone
+        entries.emplace_back(static_cast<int>(i), static_cast<int>(i + 1));
+        entries.emplace_back(static_cast<int>(i + 1), static_cast<int>(i));
+    }
+    for (int k = 0; k < 4000; ++k)  // long-range fill-ins
+        entries.emplace_back(pick(rng), pick(rng));
+    for (const auto& [r, c] : entries) reference.insert(key(r, c));
+    for (std::size_t i = 0; i < n; ++i)  // build() adds the diagonal
+        reference.insert(key(static_cast<int>(i), static_cast<int>(i)));
+
+    SparseMatrix a;
+    a.build(n, entries);
+    ASSERT_EQ(a.nnz(), reference.size());
+
+    // Every pattern entry accumulates; every off-pattern probe is rejected
+    // without disturbing stored values.
+    for (std::size_t r = 0; r < n; ++r)
+        for (int c : a.row_cols(r)) {
+            EXPECT_TRUE(a.add(r, static_cast<std::size_t>(c), 1.0));
+            EXPECT_TRUE(a.add(r, static_cast<std::size_t>(c), 0.5));
+        }
+    int probed = 0;
+    while (probed < 2000) {
+        const int r = pick(rng);
+        const int c = pick(rng);
+        if (reference.count(key(r, c))) continue;
+        ++probed;
+        EXPECT_FALSE(a.add(static_cast<std::size_t>(r),
+                           static_cast<std::size_t>(c), 7.0));
+        EXPECT_EQ(a.at(static_cast<std::size_t>(r),
+                       static_cast<std::size_t>(c)),
+                  0.0);
+    }
+    for (std::size_t r = 0; r < n; ++r)
+        for (int c : a.row_cols(r))
+            EXPECT_EQ(a.at(r, static_cast<std::size_t>(c)), 1.5);
 }
 
 // --- dense-vs-sparse cross-check through the full solver stack -----------

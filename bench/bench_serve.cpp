@@ -1,10 +1,13 @@
 // Serving-layer benchmark and correctness gates: binary vs text model
-// store (size, cold-load latency, bit-exact round trip) and TimingService
+// store (size, cold-load latency, bit-exact round trip), TimingService
 // batch throughput (LUT fast path, exact transient path, serial-vs-parallel
-// determinism). Results are written as machine-readable BENCH_serve.json
-// ({"threads", "model_store": {...}, "timing_service": {...}}) for CI trend
-// tracking, next to BENCH_perf.json; set MCSM_BENCH_JSON to change the
-// path, or =0 to skip the file.
+// determinism), the 3-pin MIS arc path (6-D characterize-on-miss + surface
+// build + warm throughput) and the RC pi-load path (throughput + a loose
+// LUT-vs-exact sanity gate; the tight 5% gate lives in test_serve_golden).
+// Results are written as machine-readable BENCH_serve.json ({"threads",
+// "model_store": {...}, "timing_service": {...}, "mis3": {...},
+// "pi_load": {...}}) for CI trend tracking, next to BENCH_perf.json; set
+// MCSM_BENCH_JSON to change the path, or =0 to skip the file.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -114,11 +117,22 @@ int main() {
 
     // --- timing service: surface build + warm batch throughput -----------
     serve::RepositoryOptions ropt;
-    serve::ModelRepository repo(nullptr, ropt);
+    // The 3-pin section characterizes its 6-D model on miss; keep that and
+    // the 1/2-pin fallbacks bench-fast.
+    ropt.char_options = copt;
+    ropt.char_options_mis3.grid_points = 4;
+    ropt.char_options_mis3.cin_points = 5;
+    serve::ModelRepository repo(&lib, ropt);
     repo.put(serve::ModelKey::arc("INV_X1", {"A"}), inv);
     repo.put(serve::ModelKey::arc("NOR2", {"A", "B"}), nor);
 
-    serve::ServeOptions sopt;  // stock surface grid
+    serve::ServeOptions sopt;  // stock 1/2-pin surface grid
+    // Bench-grade 3-pin knots: the stock 3-pin grid costs ~2k transients,
+    // which is offline-build territory, not bench territory.
+    sopt.slew_knots_mis3 = {60e-12, 250e-12};
+    sopt.skew_knots_mis3 = {-1.0, 0.0, 1.0};
+    sopt.skew_pair_knots_mis3 = {-1.0, 0.0, 1.0};
+    sopt.load_knots_mis3 = {2e-15, 16e-15};
     serve::TimingService service(repo, sopt);
 
     // First batch touches all four arcs: its wall clock is the cold
@@ -172,6 +186,124 @@ int main() {
         wall_ms([&] { (void)service.run_batch(exact_batch); });
     const double exact_qps = 1e3 * static_cast<double>(exact_n) / exact_ms;
 
+    // --- 3-pin MIS arcs: characterize-on-miss + surface build + warm LUT --
+    const auto mis3_query = [](std::size_t i) {
+        serve::TimingQuery q;
+        q.cell = "NAND3";
+        q.pins = {"A", "B", "C"};
+        q.inputs_rise = true;
+        q.slews = {(70 + 9.0 * (i % 19)) * 1e-12,
+                   (80 + 11.0 * (i % 13)) * 1e-12,
+                   (90 + 13.0 * (i % 11)) * 1e-12};
+        q.skews = {0.0, (static_cast<double>(i % 15) - 7.0) * 12e-12,
+                   (static_cast<double>(i % 9) - 4.0) * 16e-12};
+        q.load_cap = (3 + (i % 6) * 2) * 1e-15;
+        return q;
+    };
+    const double mis3_cold_ms = wall_ms([&] {
+        const auto r = service.run_one(mis3_query(0));
+        check.check(r.valid, "cold 3-pin query succeeded");
+    });
+    const std::size_t mis3_n = 4000;
+    std::vector<serve::TimingQuery> mis3_batch;
+    for (std::size_t i = 0; i < mis3_n; ++i)
+        mis3_batch.push_back(mis3_query(i));
+    std::vector<serve::TimingResult> mis3_results;
+    const double mis3_ms =
+        wall_ms([&] { mis3_results = service.run_batch(mis3_batch); });
+    std::size_t mis3_valid = 0;
+    for (const auto& r : mis3_results) mis3_valid += r.valid ? 1 : 0;
+    check.check(mis3_valid == mis3_n, "every warm 3-pin LUT query succeeded");
+    const double mis3_qps = 1e3 * static_cast<double>(mis3_n) / mis3_ms;
+
+    // --- RC pi loads: warm throughput + loose LUT-vs-exact sanity gate ----
+    const auto pi_query = [&](std::size_t i) {
+        serve::TimingQuery q = mixed_query(i);
+        q.load_cap = (1 + (i % 3)) * 1e-15;
+        q.c_near = (1 + (i % 4)) * 1e-15;
+        q.r_wire = 300.0 + 90.0 * static_cast<double>(i % 11);
+        q.c_far = (2 + (i % 7)) * 1e-15;
+        return q;
+    };
+    const std::size_t pi_n = 10000;
+    std::vector<serve::TimingQuery> pi_batch;
+    for (std::size_t i = 0; i < pi_n; ++i) pi_batch.push_back(pi_query(i));
+    std::vector<serve::TimingResult> pi_results;
+    const double pi_ms =
+        wall_ms([&] { pi_results = service.run_batch(pi_batch); });
+    std::size_t pi_valid = 0;
+    for (const auto& r : pi_results) pi_valid += r.valid ? 1 : 0;
+    check.check(pi_valid == pi_n, "every warm pi-load LUT query succeeded");
+    const double pi_qps = 1e3 * static_cast<double>(pi_n) / pi_ms;
+
+    double pi_max_delay_err = 0.0;
+    double pi_max_slew_err = 0.0;
+    {
+        // Accuracy probe inside the served domain (slew ratios <= ~2,
+        // normalized skews within the knot hull): it gates the
+        // effective-capacitance machinery, not stock-grid extrapolation
+        // at extreme coordinates.
+        const auto pi_probe_query = [](std::size_t i) {
+            serve::TimingQuery q;
+            if (i % 3 == 0) {
+                q.cell = "INV_X1";
+                q.pins = {"A"};
+                q.slews = {(50 + 15.0 * (i % 11)) * 1e-12};
+            } else {
+                q.cell = "NOR2";
+                q.pins = {"A", "B"};
+                const double slew_a = (60 + 12.0 * (i % 9)) * 1e-12;
+                const double slew_b = slew_a * (0.7 + 0.1 * (i % 8));
+                const double u = (static_cast<double>(i % 13) - 6.0) / 4.0;
+                const double delta = u * 0.5 * (slew_a + slew_b);
+                q.slews = {slew_a, slew_b};
+                q.skews = {0.0, delta - 0.5 * (slew_b - slew_a)};
+            }
+            q.inputs_rise = (i % 2) == 1;
+            q.load_cap = (1 + (i % 3)) * 1e-15;
+            q.c_near = (1 + (i % 4)) * 1e-15;
+            q.r_wire = 300.0 + 90.0 * static_cast<double>(i % 11);
+            q.c_far = (2 + (i % 7)) * 1e-15;
+            return q;
+        };
+        std::vector<serve::TimingQuery> probe;
+        std::vector<serve::TimingQuery> probe_exact;
+        for (std::size_t i = 0; i < 24; ++i) {
+            probe.push_back(pi_probe_query(i));
+            probe_exact.push_back(probe.back());
+            probe_exact.back().exact = true;
+        }
+        const auto lut = service.run_batch(probe);
+        const auto ref = service.run_batch(probe_exact);
+        // Errors are measured against max(20%, 8 ps) -- like the golden
+        // gate's tolerance shape, an absolute floor keeps near-zero MIS
+        // delays (output fired by the earlier edge) from exploding a
+        // relative metric.
+        const auto err_of = [](double got, double want) {
+            return std::abs(got - want) /
+                   std::max(8e-12, 0.2 * std::abs(want));
+        };
+        std::size_t compared = 0;
+        for (std::size_t i = 0; i < probe.size(); ++i) {
+            if (!lut[i].valid || !ref[i].valid) continue;
+            ++compared;
+            pi_max_delay_err =
+                std::max(pi_max_delay_err, err_of(lut[i].delay, ref[i].delay));
+            pi_max_slew_err =
+                std::max(pi_max_slew_err, err_of(lut[i].slew, ref[i].slew));
+        }
+        // Guard against a vacuous pass: failed probes must fail the gate,
+        // not silently shrink the comparison set to nothing.
+        check.check(compared == probe.size(),
+                    "every pi-load accuracy probe evaluated on both paths");
+        // Loose sanity bound -- the tight randomized 5% gate lives in
+        // test_serve_golden; this guards against the effective-capacitance
+        // path regressing wholesale.
+        check.check(pi_max_delay_err < 1.0 && pi_max_slew_err < 1.0,
+                    "pi-load LUT path stays within max(20%, 8 ps) of the "
+                    "exact path");
+    }
+
     // Measurements done; drop the scratch store before any early return in
     // the reporting below can leak it.
     fs::remove_all(dir);
@@ -189,6 +321,13 @@ int main() {
                 "transient path %.0f q/s\n",
                 surface_build_ms, batch_n, warm_qps, hardware_threads(),
                 serial_qps, exact_qps);
+    std::printf("# serve/mis3: cold 3-pin query (6-D characterize + "
+                "surface) %.0f ms; warm 3-pin LUT %.0f q/s\n",
+                mis3_cold_ms, mis3_qps);
+    std::printf("# serve/pi: warm pi-load LUT %.0f q/s; LUT vs exact max "
+                "err delay %.0f%%, slew %.0f%% of the max(20%%, 8 ps) "
+                "bound (24-query probe)\n",
+                pi_qps, 100.0 * pi_max_delay_err, 100.0 * pi_max_slew_err);
 
     const char* path_env = std::getenv("MCSM_BENCH_JSON");
     const std::string json_path =
@@ -214,8 +353,17 @@ int main() {
             f,
             "  \"timing_service\": {\"surface_build_ms\": %.2f, "
             "\"warm_batch_size\": %zu, \"warm_lut_qps\": %.0f, "
-            "\"warm_lut_qps_serial\": %.0f, \"exact_qps\": %.0f}\n}\n",
+            "\"warm_lut_qps_serial\": %.0f, \"exact_qps\": %.0f},\n",
             surface_build_ms, batch_n, warm_qps, serial_qps, exact_qps);
+        std::fprintf(f,
+                     "  \"mis3\": {\"cold_first_query_ms\": %.1f, "
+                     "\"warm_lut_qps\": %.0f},\n",
+                     mis3_cold_ms, mis3_qps);
+        std::fprintf(f,
+                     "  \"pi_load\": {\"warm_lut_qps\": %.0f, "
+                     "\"max_delay_err_of_bound\": %.4f, "
+                     "\"max_slew_err_of_bound\": %.4f}\n}\n",
+                     pi_qps, pi_max_delay_err, pi_max_slew_err);
         std::fclose(f);
         std::printf("# wrote %s\n", json_path.c_str());
     }

@@ -1,24 +1,8 @@
 // Thin CLI server loop over the serving stack: reads timing-query batches
 // from a file or stdin and streams results as CSV, demonstrating
-// end-to-end throughput of ModelRepository + TimingService.
-//
-// Usage:
-//   timing_server --demo          built-in sweep (also the CTest smoke run)
-//   timing_server <batch-file>    one query per line, batch flushed at EOF
-//   timing_server -               same, reading stdin; a line "flush"
-//                                 executes the pending batch immediately
-//
-// Query line:  <cell> <pins> <rise|fall> <slews_ps> <skews_ps> <load_fF>
-//   e.g.       NOR2 A,B fall 80,120 0,50 4
-// comma-separated per-pin slews/skews; '#' starts a comment line.
-//
-// Result CSV:  index,cell,delay_ps,slew_ps,path,error
-//
-// Environment:
-//   MCSM_MODEL_DIR   model store directory (default: in-memory only).
-//                    Models missing from the store are characterized on
-//                    demand and written back, so the second run serves
-//                    from disk.
+// end-to-end throughput of ModelRepository + TimingService across the full
+// scenario space (1/2/3-pin MIS arcs, linear and RC pi loads, Vdd/temp
+// corners). Run with --help for the query grammar.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -37,12 +21,76 @@ using namespace mcsm;
 
 namespace {
 
-std::vector<double> parse_ps_list(const std::string& csv) {
+constexpr const char* kUsage = R"(timing_server -- batched CSM timing queries over the serve stack
+
+Usage:
+  timing_server --demo          built-in sweep (also the CTest smoke run)
+  timing_server <batch-file>    one query per line, batch flushed at EOF
+  timing_server -               same, reading stdin; a line "flush"
+                                executes the pending batch immediately
+  timing_server --help          this text
+
+Query line (whitespace-separated; '#' starts a comment):
+  <cell> <pins> <rise|fall> <slews_ps> <skews_ps> <load_fF> [option...]
+
+  <pins>      1-3 comma-separated switching pins (2-3 -> MIS arc served
+              from a skew-aware surface)
+  <slews_ps>  per-pin 0-100% input ramps [ps], comma-separated
+  <skews_ps>  per-pin edge offsets [ps], comma-separated; a lone "0"
+              means simultaneous switching for any pin count
+  <load_fF>   lumped output load [fF]
+
+  options (any order, after the load):
+    pi=<c_near_fF>:<r_ohm>:<c_far_fF>   RC pi load on top of load_fF
+    vdd=<V>                             supply corner (default: nominal)
+    temp=<degC>                         temperature corner (default 25)
+    exact                               force the transient path
+
+  examples:
+    NOR2 A,B fall 80,120 0,50 4
+    NAND3 A,B,C rise 80,100,120 0,40,80 6 pi=1:300:4 vdd=1.1 temp=85
+    INV_X1 A rise 100 0 2 exact
+
+  A 3-pin arc is served from a 6-D surface ([slew_a, slew_b, slew_c,
+  skew_b, skew_c, load]); its first (cold) query characterizes a 6-D model
+  and runs one CSM transient per surface knot -- about 2k transients with
+  the default knots, vs ~450 for a 2-pin arc -- so warm it offline or
+  persist surfaces via MCSM_SURFACE_DIR.
+
+Result CSV:  index,cell,delay_ps,slew_ps,path,error
+
+Environment:
+  MCSM_MODEL_DIR    model store directory (default: in-memory only).
+                    Models missing from the store are characterized on
+                    demand and written back (corner models under
+                    corner-suffixed keys), so the second run serves from
+                    disk.
+  MCSM_SURFACE_DIR  arc-surface store directory: cold surface builds are
+                    persisted and reloaded by later runs.
+)";
+
+// Whole-token double parse: trailing junk ("1.1,temp=85" fed to stod)
+// must be a reported error, not silently dropped.
+double parse_full_double(const std::string& token, const std::string& line) {
+    std::size_t pos = 0;
+    double v = 0.0;
+    try {
+        v = std::stod(token, &pos);
+    } catch (const std::exception&) {
+        pos = 0;
+    }
+    require(pos == token.size() && !token.empty(),
+            "bad number '" + token + "': " + line);
+    return v;
+}
+
+std::vector<double> parse_ps_list(const std::string& csv,
+                                  const std::string& line) {
     std::vector<double> out;
     std::stringstream ss(csv);
     std::string item;
     while (std::getline(ss, item, ','))
-        out.push_back(std::stod(item) * 1e-12);
+        out.push_back(parse_full_double(item, line) * 1e-12);
     return out;
 }
 
@@ -73,9 +121,40 @@ bool parse_query(const std::string& line, serve::TimingQuery& q) {
     q.cell = cell;
     q.pins = parse_name_list(pins);
     q.inputs_rise = dir == "rise";
-    q.slews = parse_ps_list(slews);
-    q.skews = parse_ps_list(skews);
+    q.slews = parse_ps_list(slews, line);
+    q.skews = parse_ps_list(skews, line);
+    // A lone "0" means simultaneous switching for any pin count (the
+    // service wants either an empty list or one skew per pin).
+    if (q.skews.size() == 1 && q.skews[0] == 0.0 && q.pins.size() > 1)
+        q.skews.clear();
     q.load_cap = load_ff * 1e-15;
+
+    // Trailing options: pi=<near_fF>:<r_ohm>:<far_fF>, vdd=<V>,
+    // temp=<degC>, exact.
+    std::string opt;
+    while (ss >> opt) {
+        if (opt == "exact") {
+            q.exact = true;
+        } else if (opt.rfind("pi=", 0) == 0) {
+            std::stringstream pi(opt.substr(3));
+            std::string part;
+            std::vector<double> vals;
+            while (std::getline(pi, part, ':'))
+                vals.push_back(parse_full_double(part, line));
+            require(vals.size() == 3,
+                    "bad pi load (want pi=<near_fF>:<r_ohm>:<far_fF>): " +
+                        line);
+            q.c_near = vals[0] * 1e-15;
+            q.r_wire = vals[1];
+            q.c_far = vals[2] * 1e-15;
+        } else if (opt.rfind("vdd=", 0) == 0) {
+            q.corner.vdd = parse_full_double(opt.substr(4), line);
+        } else if (opt.rfind("temp=", 0) == 0) {
+            q.corner.temp_c = parse_full_double(opt.substr(5), line);
+        } else {
+            throw ModelError("unknown query option " + opt + ": " + line);
+        }
+    }
     return true;
 }
 
@@ -112,6 +191,35 @@ std::vector<serve::TimingQuery> demo_batch() {
         }
         q.inputs_rise = (i % 2) == 1;
         q.load_cap = (2 + (i % 8)) * 1e-15;
+        // A slice of the sweep exercises the expanded scenario space: RC
+        // pi loads and a hot/low-voltage corner.
+        if (i % 7 == 3) {
+            q.c_near = 1e-15;
+            q.r_wire = 400.0 + 40.0 * (i % 9);
+            q.c_far = (2 + (i % 5)) * 1e-15;
+        }
+        if (i % 5 == 2) q.corner = serve::Corner{1.1, 85.0};
+        batch.push_back(q);
+    }
+    // A 3-pin MIS section (every combination of leading/lagging B and C
+    // edges through the stack), small because its cold cost is a 6-D model
+    // characterization plus one transient per surface knot.
+    for (int i = 0; i < 60; ++i) {
+        serve::TimingQuery q;
+        q.cell = "NAND3";
+        q.pins = {"A", "B", "C"};
+        q.inputs_rise = true;  // NMOS stack discharge: the stack-effect arc
+        q.slews = {(60 + 10.0 * (i % 9)) * 1e-12,
+                   (70 + 12.0 * (i % 7)) * 1e-12,
+                   (80 + 14.0 * (i % 5)) * 1e-12};
+        q.skews = {0.0, (static_cast<double>(i % 7) - 3.0) * 30e-12,
+                   (static_cast<double>(i % 11) - 5.0) * 20e-12};
+        q.load_cap = (2 + (i % 6) * 3) * 1e-15;
+        if (i % 4 == 1) {
+            q.c_near = 1e-15;
+            q.r_wire = 500.0;
+            q.c_far = 4e-15;
+        }
         batch.push_back(q);
     }
     return batch;
@@ -120,6 +228,12 @@ std::vector<serve::TimingQuery> demo_batch() {
 }  // namespace
 
 int main(int argc, char** argv) {
+    if (argc > 1 && std::string(argv[1]) == "--help") {
+        std::fputs(kUsage, stdout);
+        return 0;
+    }
+    const bool demo = argc > 1 && std::string(argv[1]) == "--demo";
+
     const tech::Technology tech = tech::make_tech130();
     const cells::CellLibrary lib(tech);
 
@@ -130,8 +244,21 @@ int main(int argc, char** argv) {
     // server only ever loads it.
     ropt.char_options.transient_caps = false;
     ropt.char_options.grid_points = 7;
+    ropt.char_options_mis3.grid_points = 4;
     serve::ModelRepository repo(&lib, ropt);
-    serve::TimingService service(repo, serve::ServeOptions{});
+
+    serve::ServeOptions sopt;
+    if (const char* dir = std::getenv("MCSM_SURFACE_DIR"))
+        sopt.surface_dir = dir;
+    if (demo) {
+        // Keep the smoke run's cold 3-pin surface small; real servers keep
+        // the stock grid and amortize it via MCSM_SURFACE_DIR.
+        sopt.slew_knots_mis3 = {50e-12, 280e-12};
+        sopt.skew_knots_mis3 = {-1.5, 0.0, 1.5};
+        sopt.skew_pair_knots_mis3 = {-1.5, 0.0, 1.5};
+        sopt.load_knots_mis3 = {2e-15, 20e-15};
+    }
+    serve::TimingService service(repo, sopt);
 
     std::size_t served = 0;
     double busy_ms = 0.0;
@@ -150,7 +277,7 @@ int main(int argc, char** argv) {
 
     std::printf("index,cell,delay_ps,slew_ps,path,error\n");
     std::vector<serve::TimingQuery> batch;
-    if (argc > 1 && std::string(argv[1]) == "--demo") {
+    if (demo) {
         batch = demo_batch();
         run(batch);
         // Second pass is the warm steady state: every arc surface cached.

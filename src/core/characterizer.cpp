@@ -523,6 +523,7 @@ CsmModel Characterizer::characterize(
     model.cell_name = cell_name;
     model.vdd = vdd;
     model.dv_margin = dv;
+    model.temp_c = lib_->tech().temp_c;
     model.pins = switching_pins;
     for (const cells::PinInfo& pin : cell.inputs()) {
         if (std::find(switching_pins.begin(), switching_pins.end(),

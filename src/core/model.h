@@ -32,6 +32,10 @@ struct CsmModel {
     std::string cell_name;
     double vdd = 1.2;
     double dv_margin = 0.12;
+    // Junction temperature the model was characterized at [degC]. Purely
+    // descriptive at evaluation time (the tables already embody it), but
+    // it keys corner-aware stores and round trips through both formats.
+    double temp_c = 25.0;
 
     std::vector<std::string> pins;         // switching input pins
     std::vector<std::string> fixed_pins;   // remaining inputs...

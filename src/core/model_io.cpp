@@ -40,6 +40,9 @@ void write_model(std::ostream& os, const CsmModel& model) {
     os << "dv ";
     write_exact_double(os, model.dv_margin);
     os << '\n';
+    os << "temp ";
+    write_exact_double(os, model.temp_c);
+    os << '\n';
     os << "pins " << model.pins.size();
     for (const auto& p : model.pins) os << ' ' << p;
     os << '\n';
@@ -84,8 +87,16 @@ CsmModel read_model(std::istream& is) {
                 read_double(is, m.dv_margin),
             "read_model: missing dv");
 
+    // `temp` was added after the format shipped; legacy files jump straight
+    // to `pins` and keep the nominal default.
+    require(static_cast<bool>(is >> word), "read_model: truncated header");
+    if (word == "temp") {
+        require(read_double(is, m.temp_c), "read_model: bad temp");
+        require(static_cast<bool>(is >> word), "read_model: missing pins");
+    }
+
     std::size_t n = 0;
-    require(static_cast<bool>(is >> word >> n) && word == "pins",
+    require(word == "pins" && static_cast<bool>(is >> n),
             "read_model: missing pins");
     m.pins.resize(n);
     for (auto& p : m.pins)

@@ -7,8 +7,10 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "common/error.h"
 
@@ -135,7 +137,12 @@ void write_envelope(std::ostream& os, std::uint32_t kind,
     require(os.good(), "model_store: write failed");
 }
 
-std::string read_envelope(std::istream& is, std::uint32_t kind) {
+struct Envelope {
+    std::string payload;
+    std::uint32_t version = 0;
+};
+
+Envelope read_envelope(std::istream& is, std::uint32_t kind) {
     char magic[sizeof kStoreMagic];
     is.read(magic, sizeof magic);
     require(is.gcount() == sizeof magic &&
@@ -147,12 +154,16 @@ std::string read_envelope(std::istream& is, std::uint32_t kind) {
     require(is.gcount() == 24, "model_store: truncated header");
     ByteReader header(header_bytes);
     const std::uint32_t version = header.u32();
-    require(version == kFormatVersion,
+    require(version >= kMinFormatVersion && version <= kFormatVersion,
             "model_store: unsupported format version " +
                 std::to_string(version));
     const std::uint32_t file_kind = header.u32();
     require(file_kind == kind,
-            "model_store: payload kind mismatch (table vs model)");
+            "model_store: payload kind mismatch");
+    // Surfaces were introduced with format version 2; a v1 envelope
+    // declaring one is corrupt by definition.
+    require(kind != kSurfaceKind || version >= 2,
+            "model_store: surface payload in a pre-surface format version");
     const std::uint64_t size = header.u64();
     require(size <= kMaxPayloadBytes,
             "model_store: implausible payload size (corrupt header)");
@@ -163,7 +174,7 @@ std::string read_envelope(std::istream& is, std::uint32_t kind) {
     require(static_cast<std::uint64_t>(is.gcount()) == size,
             "model_store: truncated payload");
     require(fnv1a(payload) == checksum, "model_store: checksum mismatch");
-    return payload;
+    return Envelope{std::move(payload), version};
 }
 
 // --- table / model payloads ---------------------------------------------
@@ -231,8 +242,8 @@ void write_table_binary(std::ostream& os, const lut::NdTable& table) {
 }
 
 lut::NdTable read_table_binary(std::istream& is) {
-    const std::string payload = read_envelope(is, kTableKind);
-    ByteReader r(payload);
+    const Envelope env = read_envelope(is, kTableKind);
+    ByteReader r(env.payload);
     lut::NdTable table = get_table(r);
     require(r.exhausted(), "model_store: trailing bytes after table");
     return table;
@@ -245,6 +256,7 @@ void write_model_binary(std::ostream& os, const core::CsmModel& model) {
     w.str(model.cell_name);
     w.f64(model.vdd);
     w.f64(model.dv_margin);
+    w.f64(model.temp_c);  // since format version 2
     put_str_vec(w, model.pins);
     put_str_vec(w, model.fixed_pins);
     w.f64_vec(model.fixed_values);
@@ -260,8 +272,8 @@ void write_model_binary(std::ostream& os, const core::CsmModel& model) {
 }
 
 core::CsmModel read_model_binary(std::istream& is) {
-    const std::string payload = read_envelope(is, kModelKind);
-    ByteReader r(payload);
+    const Envelope env = read_envelope(is, kModelKind);
+    ByteReader r(env.payload);
 
     core::CsmModel m;
     const std::uint32_t kind = r.u32();
@@ -271,6 +283,7 @@ core::CsmModel read_model_binary(std::istream& is) {
     m.cell_name = r.str();
     m.vdd = r.f64();
     m.dv_margin = r.f64();
+    if (env.version >= 2) m.temp_c = r.f64();
     m.pins = get_str_vec(r);
     m.fixed_pins = get_str_vec(r);
     m.fixed_values = r.f64_vec();
@@ -290,39 +303,99 @@ core::CsmModel read_model_binary(std::istream& is) {
     return m;
 }
 
-void save_model_binary(const std::string& path,
-                       const core::CsmModel& model) {
-    // Write-to-temp + rename, so a crashed or concurrent writer can never
-    // leave a half-written store file where a reader expects a model. The
-    // temp name is per-process/per-call unique: concurrent writers of the
-    // same key each publish a complete file and the last rename wins.
+void write_surface_binary(std::ostream& os, const ArcSurfaceData& surface) {
+    require(!surface.arc_id.empty(), "write_surface_binary: empty arc id");
+    require(surface.delay.rank() == surface.slew.rank(),
+            "write_surface_binary: delay/slew rank mismatch");
+    ByteWriter w;
+    w.str(surface.arc_id);
+    w.f64(surface.dt);
+    w.f64(surface.settle);
+    w.u64(surface.model_check);
+    put_table(w, surface.delay);
+    put_table(w, surface.slew);
+    write_envelope(os, kSurfaceKind, w.bytes());
+}
+
+ArcSurfaceData read_surface_binary(std::istream& is) {
+    const Envelope env = read_envelope(is, kSurfaceKind);
+    ByteReader r(env.payload);
+    ArcSurfaceData s;
+    s.arc_id = r.str();
+    s.dt = r.f64();
+    s.settle = r.f64();
+    s.model_check = r.u64();
+    s.delay = get_table(r);
+    s.slew = get_table(r);
+    require(r.exhausted(), "model_store: trailing bytes after surface");
+    require(!s.arc_id.empty() && s.dt > 0.0 && s.settle > 0.0,
+            "model_store: implausible surface parameters");
+    require(s.delay.rank() == s.slew.rank(),
+            "model_store: surface delay/slew rank mismatch");
+    return s;
+}
+
+std::uint64_t model_checksum(const core::CsmModel& model) {
+    std::ostringstream os;
+    write_model_binary(os, model);
+    return fnv1a(os.str());
+}
+
+namespace {
+
+// Write-to-temp + rename, so a crashed or concurrent writer can never
+// leave a half-written store file where a reader expects a payload. The
+// temp name is per-process/per-call unique: concurrent writers of the
+// same key each publish a complete file and the last rename wins.
+void save_atomically(const std::string& path,
+                     const std::function<void(std::ostream&)>& write) {
     static std::atomic<unsigned> counter{0};
     const std::string tmp = path + ".tmp." + std::to_string(::getpid()) +
                             "." + std::to_string(counter++);
     std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    require(os.good(), "save_model_binary: cannot open " + tmp);
-    write_model_binary(os, model);
+    require(os.good(), "model_store: cannot open " + tmp);
+    write(os);
     // close() flushes; a full disk at flush time must not get renamed
     // into place.
     os.close();
     if (!os) {
         std::error_code ec;
         std::filesystem::remove(tmp, ec);
-        throw ModelError("save_model_binary: write failed for " + tmp);
+        throw ModelError("model_store: write failed for " + tmp);
     }
     std::error_code ec;
     std::filesystem::rename(tmp, path, ec);
     if (ec) {
         std::error_code ec2;
         std::filesystem::remove(tmp, ec2);
-        throw ModelError("save_model_binary: rename failed for " + path);
+        throw ModelError("model_store: rename failed for " + path);
     }
+}
+
+}  // namespace
+
+void save_model_binary(const std::string& path,
+                       const core::CsmModel& model) {
+    save_atomically(path,
+                    [&](std::ostream& os) { write_model_binary(os, model); });
 }
 
 core::CsmModel load_model_binary(const std::string& path) {
     std::ifstream is(path, std::ios::binary);
     require(is.good(), "load_model_binary: cannot open " + path);
     return read_model_binary(is);
+}
+
+void save_surface_binary(const std::string& path,
+                         const ArcSurfaceData& surface) {
+    save_atomically(
+        path, [&](std::ostream& os) { write_surface_binary(os, surface); });
+}
+
+ArcSurfaceData load_surface_binary(const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    require(is.good(), "load_surface_binary: cannot open " + path);
+    return read_surface_binary(is);
 }
 
 }  // namespace mcsm::serve

@@ -1,19 +1,26 @@
-// Versioned, checksummed binary serialization of characterized models and
-// lookup tables -- the at-rest format of the serving layer. Compared to the
-// text model_io/table_io path it is ~10x smaller and faster to load, and the
-// round trip is bit-exact by construction (doubles travel as their IEEE-754
-// bit patterns).
+// Versioned, checksummed binary serialization of characterized models,
+// lookup tables and serve-layer arc surfaces -- the at-rest format of the
+// serving layer. Compared to the text model_io/table_io path it is ~10x
+// smaller and faster to load, and the round trip is bit-exact by
+// construction (doubles travel as their IEEE-754 bit patterns).
 //
-// Envelope (shared by tables and models):
+// Envelope (shared by every payload kind):
 //   magic   8 bytes  "MCSMBIN1"
 //   version u32      kFormatVersion (little-endian, like every scalar)
-//   kind    u32      payload kind (kTableKind / kModelKind)
+//   kind    u32      payload kind (kTableKind / kModelKind / kSurfaceKind)
 //   size    u64      payload byte count
 //   check   u64      FNV-1a 64 over the payload bytes
 //   payload size bytes
 // Readers verify magic, version, kind, size and checksum before any payload
 // parsing, and throw ModelError on the slightest mismatch -- a corrupt store
 // can never yield a partial model.
+//
+// Version history:
+//   1  initial format (tables, models)
+//   2  model payload gains the characterization temperature (temp_c);
+//      new kSurfaceKind payload (serve-layer delay/slew arc surfaces).
+// Writers emit version 2; readers accept 1 and 2 (a v1 model loads with the
+// nominal 25 degC temperature).
 #ifndef MCSM_SERVE_MODEL_STORE_H
 #define MCSM_SERVE_MODEL_STORE_H
 
@@ -28,13 +35,16 @@ namespace mcsm::serve {
 
 inline constexpr char kStoreMagic[8] = {'M', 'C', 'S', 'M',
                                         'B', 'I', 'N', '1'};
-inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::uint32_t kFormatVersion = 2;
+inline constexpr std::uint32_t kMinFormatVersion = 1;
 inline constexpr std::uint32_t kTableKind = 1;
 inline constexpr std::uint32_t kModelKind = 2;
+inline constexpr std::uint32_t kSurfaceKind = 3;
 
-// Canonical file extensions of the two store formats.
+// Canonical file extensions of the store formats.
 inline constexpr const char* kBinaryModelExt = ".csm.bin";
 inline constexpr const char* kTextModelExt = ".csm";
+inline constexpr const char* kSurfaceExt = ".surf.bin";
 
 void write_table_binary(std::ostream& os, const lut::NdTable& table);
 lut::NdTable read_table_binary(std::istream& is);
@@ -42,11 +52,38 @@ lut::NdTable read_table_binary(std::istream& is);
 void write_model_binary(std::ostream& os, const core::CsmModel& model);
 core::CsmModel read_model_binary(std::istream& is);
 
+// A persisted serve-layer arc surface: the delay/slew tables the
+// TimingService builds by running one CSM transient per knot, plus the
+// evaluation parameters they were built under. arc_id and the parameters
+// let a loader reject stale files after an options change instead of
+// serving wrong numbers.
+struct ArcSurfaceData {
+    std::string arc_id;   // TimingService arc identity (cell|pins|dir|corner)
+    double dt = 0.0;      // transient step the knots were measured with [s]
+    double settle = 0.0;  // post-edge simulation window [s]
+    // model_checksum() of the CSM model the knot transients ran against;
+    // loaders compare it so a surface derived from a stale model (e.g.
+    // re-characterized with different options) is rebuilt, never served.
+    std::uint64_t model_check = 0;
+    lut::NdTable delay;
+    lut::NdTable slew;
+};
+
+void write_surface_binary(std::ostream& os, const ArcSurfaceData& surface);
+ArcSurfaceData read_surface_binary(std::istream& is);
+
+// FNV-1a 64 over the model's binary payload: a content identity for
+// derived caches (arc surfaces).
+std::uint64_t model_checksum(const core::CsmModel& model);
+
 // File convenience wrappers; save overwrites atomically (temp file +
 // rename), load throws ModelError when the file is missing, truncated,
 // corrupt, or structurally inconsistent.
 void save_model_binary(const std::string& path, const core::CsmModel& model);
 core::CsmModel load_model_binary(const std::string& path);
+void save_surface_binary(const std::string& path,
+                         const ArcSurfaceData& surface);
+ArcSurfaceData load_surface_binary(const std::string& path);
 
 }  // namespace mcsm::serve
 

@@ -1,5 +1,6 @@
 #include "serve/repository.h"
 
+#include <cstdio>
 #include <filesystem>
 #include <utility>
 
@@ -11,6 +12,16 @@ namespace mcsm::serve {
 
 namespace fs = std::filesystem;
 
+std::string Corner::tag() const {
+    if (nominal()) return {};
+    // %.6g is stable and round-trip-exact for the handful of digits corner
+    // specs carry; the tag is an identity, not a serialization.
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6gV%.6gC", vdd > 0.0 ? vdd : 0.0,
+                  temp_c);
+    return buf;
+}
+
 std::string ModelKey::to_string() const {
     std::string s = cell;
     s += '.';
@@ -20,15 +31,22 @@ std::string ModelKey::to_string() const {
         if (i) s += '-';
         s += pins[i];
     }
+    const std::string tag = corner.tag();
+    if (!tag.empty()) {
+        s += '@';
+        s += tag;
+    }
     return s;
 }
 
-ModelKey ModelKey::arc(std::string cell, std::vector<std::string> pins) {
+ModelKey ModelKey::arc(std::string cell, std::vector<std::string> pins,
+                       Corner corner) {
     ModelKey key;
     key.cell = std::move(cell);
     key.kind = pins.size() == 1 ? core::ModelKind::kSis
                                 : core::ModelKind::kMcsm;
     key.pins = std::move(pins);
+    key.corner = corner;
     return key;
 }
 
@@ -69,14 +87,35 @@ ModelRepository::ModelPtr ModelRepository::load_or_characterize(
                                  " not in store and no cell library "
                                  "attached for characterization");
     ++characterize_count_;
-    const core::Characterizer chr(*lib_);
-    core::CsmModel m =
-        chr.characterize(key.cell, key.kind, key.pins, options_.char_options);
+    const cells::CellLibrary& lib = library_for(key.corner);
+    const core::Characterizer chr(lib);
+    const core::CharOptions& copt = key.pins.size() >= 3
+                                        ? options_.char_options_mis3
+                                        : options_.char_options;
+    core::CsmModel m = chr.characterize(key.cell, key.kind, key.pins, copt);
     if (!options_.dir.empty() && options_.write_back) {
         fs::create_directories(options_.dir);
         save_model_binary(binary_path(key), m);
     }
     return std::make_shared<const core::CsmModel>(std::move(m));
+}
+
+const cells::CellLibrary& ModelRepository::library_for(const Corner& corner) {
+    require(lib_ != nullptr,
+            "ModelRepository: no cell library attached for characterization");
+    if (corner.nominal()) return *lib_;
+    const std::string tag = corner.tag();
+    std::lock_guard<std::mutex> lock(corner_mutex_);
+    auto it = corner_libs_.find(tag);
+    if (it == corner_libs_.end()) {
+        it = corner_libs_
+                 .emplace(tag, std::make_unique<CornerLibrary>(
+                                   tech::apply_environment(
+                                       lib_->tech(), corner.vdd,
+                                       corner.temp_c)))
+                 .first;
+    }
+    return it->second->lib;
 }
 
 void ModelRepository::put(const ModelKey& key, core::CsmModel model) {

@@ -9,12 +9,20 @@
 // load/characterization instead of duplicating it, and a failed load is
 // never cached (the next get retries, e.g. after the corrupt file was
 // replaced).
+//
+// Keys carry an optional Vdd/temperature corner. Corner models are
+// first-class store citizens: they characterize on miss against a derated
+// technology card (tech::apply_environment), cache under a corner-suffixed
+// key, and persist like any nominal model -- two corners of the same cell
+// never share a cache entry or a store file.
 #ifndef MCSM_SERVE_REPOSITORY_H
 #define MCSM_SERVE_REPOSITORY_H
 
 #include <atomic>
 #include <cstddef>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -22,22 +30,39 @@
 #include "common/single_flight.h"
 #include "core/characterizer.h"
 #include "core/model.h"
+#include "tech/tech130.h"
 
 namespace mcsm::serve {
 
-// Identifies one characterized model: cell, model family, and the ordered
-// switching pins.
+// Operating-point (environmental) corner of a query or model key.
+// vdd <= 0 means "library nominal supply"; temp_c defaults to the nominal
+// 25 degC. The default-constructed Corner is the nominal corner.
+struct Corner {
+    double vdd = 0.0;     // supply override [V]; <= 0 keeps nominal
+    double temp_c = 25.0; // junction temperature [degC]
+
+    bool nominal() const { return vdd <= 0.0 && temp_c == 25.0; }
+    // Filename-safe key suffix, "" for the nominal corner (so nominal
+    // store files keep their pre-corner names): "1.08V85C".
+    std::string tag() const;
+};
+
+// Identifies one characterized model: cell, model family, the ordered
+// switching pins, and the Vdd/temperature corner.
 struct ModelKey {
     std::string cell;
     core::ModelKind kind = core::ModelKind::kMcsm;
     std::vector<std::string> pins;
+    Corner corner;
 
-    // "NOR2.MCSM.A-B": also the store file stem.
+    // "NOR2.MCSM.A-B" (nominal) / "NOR2.MCSM.A-B@1.08V85C": also the store
+    // file stem.
     std::string to_string() const;
 
     // Conventional key for a cell's timing arc: one pin -> SIS, several ->
     // MCSM (internal stack nodes modeled).
-    static ModelKey arc(std::string cell, std::vector<std::string> pins);
+    static ModelKey arc(std::string cell, std::vector<std::string> pins,
+                        Corner corner = {});
 };
 
 struct RepositoryOptions {
@@ -45,8 +70,21 @@ struct RepositoryOptions {
     std::string dir;
     // Persist freshly characterized models into `dir`.
     bool write_back = true;
-    // Options for the characterize-on-miss fallback.
+    // Options for the characterize-on-miss fallback (1- and 2-pin arcs).
     core::CharOptions char_options;
+    // Characterization options for arcs with >= 3 switching pins. A 3-pin
+    // MCSM model of a 3-stack cell is 6-D (3 pins + 2 internals + out), so
+    // the default grid would cost knots^6 DC solves and the paper-faithful
+    // transient cap extraction becomes intractable; the defaults here trade
+    // grid resolution for a feasible build (~50k DC points) and use the
+    // model-linearized capacitance path.
+    core::CharOptions char_options_mis3 = [] {
+        core::CharOptions o;
+        o.grid_points = 5;
+        o.transient_caps = false;
+        o.cin_points = 9;
+        return o;
+    }();
 };
 
 class ModelRepository {
@@ -84,9 +122,25 @@ private:
     using ModelPtr = std::shared_ptr<const core::CsmModel>;
 
     ModelPtr load_or_characterize(const ModelKey& key);
+    // Library evaluated at `corner` (the attached nominal library for the
+    // nominal corner; built once per distinct corner otherwise). Requires
+    // an attached library; throws ModelError without one.
+    const cells::CellLibrary& library_for(const Corner& corner);
 
     const cells::CellLibrary* lib_;
     RepositoryOptions options_;
+
+    // Corner-derated technology cards + cell libraries, built lazily and
+    // owned for the repository lifetime (characterized models reference
+    // nothing in them afterwards, but concurrent characterizations do).
+    struct CornerLibrary {
+        tech::Technology tech;
+        cells::CellLibrary lib;
+        explicit CornerLibrary(tech::Technology t)
+            : tech(std::move(t)), lib(tech) {}
+    };
+    std::mutex corner_mutex_;
+    std::map<std::string, std::unique_ptr<CornerLibrary>> corner_libs_;
 
     SingleFlightCache<core::CsmModel> cache_;
     std::atomic<std::size_t> characterize_count_{0};

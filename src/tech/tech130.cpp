@@ -1,6 +1,7 @@
 #include "tech/tech130.h"
 
 #include <algorithm>
+#include <cmath>
 #include <random>
 
 namespace mcsm::tech {
@@ -44,6 +45,26 @@ Technology apply_corner(const Technology& nominal, const ProcessCorner& c) {
     t.pmos.kp *= c.kp_scale;
     t.nmos.cox *= c.cox_scale;
     t.pmos.cox *= c.cox_scale;
+    return t;
+}
+
+Technology apply_environment(const Technology& nominal, double vdd,
+                             double temp_c) {
+    Technology t = nominal;
+    if (vdd > 0.0) t.vdd = vdd;
+    t.temp_c = temp_c;
+    const double t_k = 273.15 + temp_c;
+    const double tnom_k = 273.15 + nominal.temp_c;
+    const double ratio = t_k / tnom_k;
+    const double dvt = -0.9e-3 * (temp_c - nominal.temp_c);
+    const double mobility = std::pow(ratio, -1.5);
+    for (spice::MosParams* m : {&t.nmos, &t.pmos}) {
+        m->ut *= ratio;
+        // vt0 is a positive magnitude for both polarities; clamp so an
+        // extreme hot corner cannot drive it negative.
+        m->vt0 = std::max(0.05, m->vt0 + dvt);
+        m->kp *= mobility;
+    }
     return t;
 }
 

@@ -21,6 +21,9 @@ struct Technology {
     // 50 fF-class coupling noise can push a driven net several hundred mV
     // past the rails, so the margin is generous.
     double dv_margin = 0.3;
+    // Junction temperature the card is evaluated at [degC]; see
+    // apply_environment for the derating applied away from nominal.
+    double temp_c = 25.0;
 };
 
 // The default 130nm-class card used across tests, benches and examples.
@@ -39,6 +42,14 @@ struct ProcessCorner {
 
 // Applies a corner to a nominal card.
 Technology apply_corner(const Technology& nominal, const ProcessCorner& c);
+
+// Environmental (operating-point) corner: supply voltage and junction
+// temperature. `vdd <= 0` keeps the nominal supply. Temperature enters the
+// EKV card through the thermal voltage (kT/q), a mobility derating
+// (kp ~ (T/Tnom)^-1.5) and a threshold shift (~ -0.9 mV/K) -- first-order
+// derating, representative rather than foundry-calibrated.
+Technology apply_environment(const Technology& nominal, double vdd,
+                             double temp_c);
 
 // Deterministic pseudo-random corner (seeded), with 3-sigma bounds of
 // +/-30 mV on thresholds and +/-8% on kp/cox - representative 130nm global

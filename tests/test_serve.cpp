@@ -12,7 +12,10 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <functional>
+#include <limits>
 #include <memory>
+#include <random>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -243,6 +246,162 @@ TEST(ModelStoreValidation, RejectsPayloadBitFlips) {
     }
 }
 
+// --- new-in-v2 payloads: corner metadata and arc surfaces ---------------
+
+ArcSurfaceData sample_surface() {
+    ArcSurfaceData s;
+    s.arc_id = "NOR2|A-B|F";
+    s.dt = 4e-12;
+    s.settle = 1.5e-9;
+    s.model_check = 0x5eedf00dULL;
+    std::vector<lut::Axis> axes{lut::Axis("slew", {50e-12, 150e-12}),
+                                lut::Axis("load", {2e-15, 8e-15})};
+    s.delay = lut::NdTable(axes, s.arc_id + ".delay");
+    s.slew = lut::NdTable(axes, s.arc_id + ".slew");
+    double v = 11e-12;
+    s.delay.for_each_grid_point([&](std::span<const std::size_t>,
+                                    std::span<const double>, double& slot) {
+        slot = (v += 3e-12);
+    });
+    s.slew.for_each_grid_point([&](std::span<const std::size_t>,
+                                   std::span<const double>, double& slot) {
+        slot = (v += 5e-12);
+    });
+    return s;
+}
+
+std::string surface_bytes(const ArcSurfaceData& s) {
+    std::stringstream ss;
+    write_surface_binary(ss, s);
+    return ss.str();
+}
+
+TEST(ModelStore, SurfaceRoundTripIsBitExact) {
+    const ArcSurfaceData s = sample_surface();
+    std::stringstream ss(surface_bytes(s));
+    const ArcSurfaceData back = read_surface_binary(ss);
+    EXPECT_EQ(back.arc_id, s.arc_id);
+    EXPECT_EQ(back.dt, s.dt);
+    EXPECT_EQ(back.settle, s.settle);
+    EXPECT_EQ(back.model_check, s.model_check);
+    EXPECT_EQ(surface_bytes(back), surface_bytes(s));
+}
+
+TEST(ModelStore, ModelCarriesCharacterizationTemperature) {
+    core::CsmModel m = Shared::get().inv;
+    m.temp_c = 85.0;
+    std::stringstream ss(binary_bytes(m));
+    EXPECT_EQ(read_model_binary(ss).temp_c, 85.0);
+    // The text path carries it too.
+    std::stringstream text;
+    core::write_model(text, m);
+    EXPECT_EQ(core::read_model(text).temp_c, 85.0);
+}
+
+namespace {
+std::uint64_t test_fnv1a(const std::string& bytes) {
+    std::uint64_t h = 14695981039346656037ull;
+    for (const char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+void poke_u32(std::string& bytes, std::size_t at, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+        bytes[at + static_cast<std::size_t>(i)] =
+            static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+void poke_u64(std::string& bytes, std::size_t at, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+        bytes[at + static_cast<std::size_t>(i)] =
+            static_cast<char>((v >> (8 * i)) & 0xff);
+}
+}  // namespace
+
+TEST(ModelStoreValidation, LegacyV1ModelPayloadStillLoads) {
+    // Reconstruct a pre-corner (version 1) file by byte surgery on the v2
+    // bytes: drop the temp_c double that sits after dv_margin, mark the
+    // envelope as version 1 and re-checksum. Reading it must default the
+    // temperature to the nominal 25 degC -- which makes the reloaded model
+    // re-serialize bitwise identical to the v2 original.
+    const core::CsmModel& nor = Shared::get().nor;
+    ASSERT_EQ(nor.temp_c, 25.0);
+    const std::string v2 = binary_bytes(nor);
+
+    const std::size_t name_len = nor.cell_name.size();
+    const std::size_t temp_at = 32 + 4 + 4 + name_len + 8 + 8;
+    std::string payload = v2.substr(32);
+    payload.erase(temp_at - 32, 8);
+
+    std::string v1 = v2.substr(0, 32) + payload;
+    poke_u32(v1, 8, 1);  // version
+    poke_u64(v1, 16, payload.size());
+    poke_u64(v1, 24, test_fnv1a(payload));
+
+    std::stringstream ss(v1);
+    const core::CsmModel back = read_model_binary(ss);
+    EXPECT_EQ(back.temp_c, 25.0);
+    EXPECT_EQ(binary_bytes(back), v2);
+}
+
+TEST(ModelStoreValidation, SurfaceInV1EnvelopeRejected) {
+    // Surfaces were introduced with format version 2; a v1 envelope
+    // declaring one is corrupt by definition.
+    std::string bytes = surface_bytes(sample_surface());
+    poke_u32(bytes, 8, 1);
+    std::stringstream ss(bytes);
+    EXPECT_THROW(read_surface_binary(ss), ModelError);
+}
+
+TEST(ModelStoreValidation, SurfaceAndModelKindsDoNotCrossLoad) {
+    std::stringstream model_ss(binary_bytes(Shared::get().nor));
+    EXPECT_THROW(read_surface_binary(model_ss), ModelError);
+    std::stringstream surf_ss(surface_bytes(sample_surface()));
+    EXPECT_THROW(read_model_binary(surf_ss), ModelError);
+}
+
+// Fuzz-style robustness over the v2 payload kinds: seeded random
+// truncations and single-bit flips over freshly written files must always
+// throw ModelError before any object exists -- never crash, never yield a
+// partial surface/model.
+TEST(ModelStoreValidation, FuzzedTruncationsAndBitFlipsAlwaysThrow) {
+    const std::string surface = surface_bytes(sample_surface());
+    const std::string model = binary_bytes(Shared::get().inv);
+    std::mt19937 gen(0xC0FFEEu);
+
+    const auto read_any = [](const std::string& bytes, bool is_surface) {
+        std::stringstream ss(bytes);
+        if (is_surface)
+            (void)read_surface_binary(ss);
+        else
+            (void)read_model_binary(ss);
+    };
+
+    for (const bool is_surface : {true, false}) {
+        const std::string& bytes = is_surface ? surface : model;
+        for (int i = 0; i < 60; ++i) {
+            const std::size_t cut = std::uniform_int_distribution<
+                std::size_t>(0, bytes.size() - 1)(gen);
+            EXPECT_THROW(read_any(bytes.substr(0, cut), is_surface),
+                         ModelError)
+                << (is_surface ? "surface" : "model") << " cut=" << cut;
+        }
+        for (int i = 0; i < 80; ++i) {
+            std::string corrupt = bytes;
+            const std::size_t at = std::uniform_int_distribution<
+                std::size_t>(0, bytes.size() - 1)(gen);
+            const int bit = std::uniform_int_distribution<int>(0, 7)(gen);
+            corrupt[at] = static_cast<char>(corrupt[at] ^ (1 << bit));
+            EXPECT_THROW(read_any(corrupt, is_surface), ModelError)
+                << (is_surface ? "surface" : "model") << " at=" << at
+                << " bit=" << bit;
+        }
+    }
+}
+
 TEST(ModelStoreValidation, MalformedTextTablesThrow) {
     for (const char* text : {
              "garbage",
@@ -371,12 +530,62 @@ TEST(Repository, MigratesLegacyTextStoreToBinary) {
     EXPECT_TRUE(fs::exists(repo.binary_path(key)));  // migrated on load
 }
 
+// --- repository corner keying ---------------------------------------------
+
+TEST(Repository, CornerModelsCharacterizeCacheAndReloadDistinctly) {
+    const Shared& s = Shared::get();
+    TempDir dir("corners");
+    RepositoryOptions opt;
+    opt.dir = dir.str();
+    opt.char_options = fast_options();
+
+    const Corner hot{1.0, 100.0};
+    const ModelKey nominal = ModelKey::arc("INV_X1", {"A"});
+    const ModelKey corner = ModelKey::arc("INV_X1", {"A"}, hot);
+    ASSERT_NE(nominal.to_string(), corner.to_string());
+    EXPECT_EQ(corner.to_string(), "INV_X1.SIS.A@1V100C");
+
+    std::string nom_bytes;
+    std::string hot_bytes;
+    {
+        ModelRepository warm(&s.lib, opt);
+        const auto nom = warm.get(nominal);
+        const auto hot_model = warm.get(corner);
+        EXPECT_EQ(warm.characterize_count(), 2u);  // no cross-corner hit
+        EXPECT_TRUE(warm.cached(nominal));
+        EXPECT_TRUE(warm.cached(corner));
+
+        // The corner model really is a different model, characterized on a
+        // derated card: supply and temperature both differ.
+        EXPECT_EQ(nom->vdd, s.tech.vdd);
+        EXPECT_EQ(nom->temp_c, 25.0);
+        EXPECT_EQ(hot_model->vdd, 1.0);
+        EXPECT_EQ(hot_model->temp_c, 100.0);
+        nom_bytes = binary_bytes(*nom);
+        hot_bytes = binary_bytes(*hot_model);
+        EXPECT_NE(nom_bytes, hot_bytes);
+        EXPECT_TRUE(fs::exists(warm.binary_path(nominal)));
+        EXPECT_TRUE(fs::exists(warm.binary_path(corner)));
+    }
+
+    // Cold restart from the binary store, no library attached: both corner
+    // variants reload bit-exactly from their own files, without
+    // characterization and without cross-corner cache hits.
+    ModelRepository cold(nullptr, opt);
+    EXPECT_EQ(binary_bytes(*cold.get(corner)), hot_bytes);
+    EXPECT_TRUE(cold.cached(corner));
+    EXPECT_FALSE(cold.cached(nominal));
+    EXPECT_EQ(binary_bytes(*cold.get(nominal)), nom_bytes);
+    EXPECT_EQ(cold.characterize_count(), 0u);
+}
+
 // --- timing service --------------------------------------------------------
 
 ServeOptions test_serve_options() {
     ServeOptions opt;
     opt.slew_knots = {50e-12, 150e-12};
-    opt.skew_knots = {-100e-12, 0.0, 100e-12};
+    // Normalized edge offsets: +-1.25 mean-slews around simultaneity.
+    opt.skew_knots = {-1.25, 0.0, 1.25};
     opt.load_knots = {2e-15, 8e-15};
     opt.dt = 4e-12;
     opt.settle = 1.5e-9;
@@ -402,7 +611,10 @@ TEST(TimingService, LutPathMatchesTransientAtSurfaceKnots) {
     q.pins = {"A", "B"};
     q.inputs_rise = false;  // both fall -> output rises through the stack
     q.slews = {50e-12, 150e-12};
-    q.skews = {0.0, 100e-12};
+    // The skew axis holds normalized 50%-crossing offsets: delta = skew_b
+    // + (slew_b - slew_a)/2 = 125 ps over a 100 ps mean slew, i.e. the
+    // u = +1.25 surface knot.
+    q.skews = {0.0, 75e-12};
     q.load_cap = 8e-15;
 
     const TimingResult lut = service.run_one(q);
@@ -416,8 +628,10 @@ TEST(TimingService, LutPathMatchesTransientAtSurfaceKnots) {
     EXPECT_EQ(ref.path, ResultPath::kTransient);
 
     // At a surface knot the LUT holds the value measured from the identical
-    // deterministic transient: bitwise equality, not approximation.
-    EXPECT_EQ(lut.delay, ref.delay);
+    // deterministic transient. The delay differs from the exact path only
+    // by the rounding of the pin-0 -> latest-edge reference conversion
+    // (sub-attosecond); the slew is bitwise identical.
+    EXPECT_NEAR(lut.delay, ref.delay, 1e-22);
     EXPECT_EQ(lut.slew, ref.slew);
 }
 
@@ -548,21 +762,180 @@ TEST(TimingService, WaveformQueriesReturnTheOutputWave) {
     EXPECT_LT(r.waveform.last_value(), 0.1 * vdd);
 }
 
-TEST(TimingService, RejectsMalformedQueries) {
-    auto repo = seeded_repo();
-    TimingService service(*repo, test_serve_options());
+// Persisted surfaces are a derived cache of (options, model): a second
+// service reloads them bit-for-bit, but a changed source model must force
+// a rebuild -- a surface of a stale model is never served.
+TEST(TimingService, PersistedSurfacesInvalidateWhenModelChanges) {
+    const Shared& s = Shared::get();
+    TempDir dir("surf_stale");
+    ServeOptions opt = test_serve_options();
+    opt.surface_dir = dir.str();
 
     TimingQuery q;
     q.cell = "INV_X1";
     q.pins = {"A"};
-    q.slews = {};  // missing slew
-    TimingResult r = service.run_one(q);
-    EXPECT_FALSE(r.valid);
-    EXPECT_FALSE(r.error.empty());
+    q.slews = {80e-12};
+    q.load_cap = 4e-15;
 
-    q.slews = {-1e-12};
-    r = service.run_one(q);
-    EXPECT_FALSE(r.valid);
+    auto repo = seeded_repo();
+    double fresh_delay = 0.0;
+    {
+        TimingService first(*repo, opt);
+        const TimingResult r = first.run_one(q);
+        ASSERT_TRUE(r.valid) << r.error;
+        fresh_delay = r.delay;
+        EXPECT_EQ(first.surface_load_count(), 0u);  // cold build
+    }
+    {
+        TimingService second(*repo, opt);
+        const TimingResult r = second.run_one(q);
+        ASSERT_TRUE(r.valid) << r.error;
+        EXPECT_EQ(r.delay, fresh_delay);  // bit-exact reload
+        EXPECT_EQ(second.surface_load_count(), 1u);
+    }
+
+    // Same key, different model content (as after a re-characterization
+    // with other options): the persisted surface must be rebuilt.
+    core::CsmModel tweaked = s.inv;
+    const std::vector<std::size_t> origin(tweaked.i_out.rank(), 0);
+    tweaked.i_out.set_grid_value(origin,
+                                 tweaked.i_out.grid_value(origin) + 1e-6);
+    auto repo2 =
+        std::make_unique<ModelRepository>(nullptr, RepositoryOptions{});
+    repo2->put(ModelKey::arc("INV_X1", {"A"}), tweaked);
+    TimingService third(*repo2, opt);
+    const TimingResult r = third.run_one(q);
+    ASSERT_TRUE(r.valid) << r.error;
+    EXPECT_EQ(third.surface_load_count(), 0u)
+        << "stale surface served for a changed model";
+}
+
+// Every malformed query must come back as valid=false with a descriptive
+// error -- never a crash, never silent garbage -- and must not poison the
+// healthy queries sharing its batch.
+TEST(TimingService, MalformedQueriesYieldDescriptiveErrors) {
+    auto repo = seeded_repo();
+    TimingService service(*repo, test_serve_options());
+
+    const auto base = [] {
+        TimingQuery q;
+        q.cell = "INV_X1";
+        q.pins = {"A"};
+        q.slews = {80e-12};
+        q.load_cap = 4e-15;
+        return q;
+    };
+
+    struct Case {
+        const char* name;
+        std::function<void(TimingQuery&)> mutate;
+    };
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    const std::vector<Case> cases{
+        {"empty cell", [](TimingQuery& q) { q.cell.clear(); }},
+        {"no pins", [](TimingQuery& q) { q.pins.clear(); }},
+        {"four pins",
+         [](TimingQuery& q) {
+             q.pins = {"A", "B", "C", "D"};
+             q.slews.assign(4, 80e-12);
+         }},
+        {"duplicate pins",
+         [](TimingQuery& q) {
+             q.pins = {"A", "A"};
+             q.slews = {80e-12, 80e-12};
+         }},
+        {"empty pin name", [](TimingQuery& q) { q.pins = {""}; }},
+        {"missing slew", [](TimingQuery& q) { q.slews.clear(); }},
+        {"extra slew",
+         [](TimingQuery& q) { q.slews = {80e-12, 90e-12}; }},
+        {"negative slew", [](TimingQuery& q) { q.slews = {-1e-12}; }},
+        {"zero slew", [](TimingQuery& q) { q.slews = {0.0}; }},
+        {"NaN slew", [&](TimingQuery& q) { q.slews = {nan}; }},
+        {"infinite slew", [&](TimingQuery& q) { q.slews = {inf}; }},
+        {"skew count mismatch",
+         [](TimingQuery& q) { q.skews = {0.0, 10e-12}; }},
+        {"NaN skew", [&](TimingQuery& q) { q.skews = {nan}; }},
+        {"negative load", [](TimingQuery& q) { q.load_cap = -1e-15; }},
+        {"NaN load", [&](TimingQuery& q) { q.load_cap = nan; }},
+        {"negative wire resistance",
+         [](TimingQuery& q) { q.r_wire = -100.0; }},
+        {"negative far cap",
+         [](TimingQuery& q) {
+             q.r_wire = 100.0;
+             q.c_far = -1e-15;
+         }},
+        {"pi caps without wire",
+         [](TimingQuery& q) { q.c_far = 4e-15; }},
+        {"corner vdd out of range",
+         [](TimingQuery& q) { q.corner.vdd = 0.05; }},
+        {"corner temperature out of range",
+         [](TimingQuery& q) { q.corner.temp_c = 400.0; }},
+        {"unknown cell", [](TimingQuery& q) { q.cell = "NO_SUCH_CELL"; }},
+        {"unknown pin", [](TimingQuery& q) { q.pins = {"Z"}; }},
+    };
+
+    // One batch: every malformed case plus a healthy query at each end.
+    std::vector<TimingQuery> batch;
+    batch.push_back(base());
+    for (const Case& c : cases) {
+        TimingQuery q = base();
+        c.mutate(q);
+        batch.push_back(q);
+    }
+    batch.push_back(base());
+
+    const std::vector<TimingResult> results = service.run_batch(batch);
+    EXPECT_TRUE(results.front().valid) << results.front().error;
+    EXPECT_TRUE(results.back().valid) << results.back().error;
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        const TimingResult& r = results[i + 1];
+        EXPECT_FALSE(r.valid) << cases[i].name;
+        EXPECT_FALSE(r.error.empty()) << cases[i].name;
+        EXPECT_EQ(r.delay, 0.0) << cases[i].name << ": no garbage numbers";
+    }
+}
+
+// A misconfigured service must refuse to construct instead of serving
+// garbage later.
+TEST(TimingService, RejectsMalformedServeOptions) {
+    auto repo = seeded_repo();
+    const auto expect_throws = [&](const char* name,
+                                   const std::function<void(ServeOptions&)>&
+                                       mutate) {
+        ServeOptions opt = test_serve_options();
+        mutate(opt);
+        EXPECT_THROW(TimingService(*repo, opt), ModelError) << name;
+    };
+    expect_throws("empty slew knots",
+                  [](ServeOptions& o) { o.slew_knots.clear(); });
+    expect_throws("single-knot axis",
+                  [](ServeOptions& o) { o.slew_knots = {80e-12}; });
+    expect_throws("non-monotone slew knots", [](ServeOptions& o) {
+        o.slew_knots = {80e-12, 50e-12};
+    });
+    expect_throws("duplicate load knots", [](ServeOptions& o) {
+        o.load_knots = {4e-15, 4e-15};
+    });
+    expect_throws("negative slew knot", [](ServeOptions& o) {
+        o.slew_knots = {-20e-12, 80e-12};
+    });
+    expect_throws("skew knots not bracketing 0", [](ServeOptions& o) {
+        o.skew_knots = {0.5, 1.0, 1.5};
+    });
+    expect_throws("3-pin skew knots not bracketing 0", [](ServeOptions& o) {
+        o.skew_knots_mis3 = {-2.0, -1.0, -0.5};
+    });
+    expect_throws("seconds-valued skew knots (pre-normalized schema)",
+                  [](ServeOptions& o) {
+                      o.skew_knots = {-100e-12, 0.0, 100e-12};
+                  });
+    expect_throws("NaN knot", [](ServeOptions& o) {
+        o.load_knots = {2e-15, std::numeric_limits<double>::quiet_NaN()};
+    });
+    expect_throws("zero dt", [](ServeOptions& o) { o.dt = 0.0; });
+    expect_throws("negative settle",
+                  [](ServeOptions& o) { o.settle = -1e-9; });
 }
 
 }  // namespace

@@ -1,0 +1,424 @@
+// Randomized golden cross-validation of the serve layer over the full
+// paper scenario space: a seeded sampler draws queries spanning 1/2/3-pin
+// MIS arcs, linear and RC pi loads, and two Vdd/temperature corners, runs
+// every query through both the LUT fast path and the exact CSM transient
+// path, and asserts
+//  * relative delay/slew agreement within max(5%, 2 ps), and
+//  * bitwise-identical batch results across thread counts (including a
+//    service that reloads the persisted surfaces instead of rebuilding).
+// This is the regression gate that keeps future surface/schema changes
+// honest: any interpolation scheme, knot default or effective-capacitance
+// change that degrades the LUT path shows up here as a tolerance failure.
+//
+// Environment:
+//   MCSM_GOLDEN_QUERIES=<n>  shrink the sample (and the arc set) for
+//                            instrumented runs; the default 240-query run
+//                            is the acceptance gate.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cells/library.h"
+#include "serve/repository.h"
+#include "serve/timing_service.h"
+#include "tech/tech130.h"
+
+namespace mcsm::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr double kPs = 1e-12;
+constexpr double kFf = 1e-15;
+
+// Tolerance of the acceptance gate: 5% relative or 2 ps absolute,
+// whichever is larger.
+double tolerance(double reference) {
+    return std::max(0.05 * std::fabs(reference), 2e-12);
+}
+
+struct TempDir {
+    fs::path path;
+    explicit TempDir(const std::string& tag) {
+        path = fs::temp_directory_path() /
+               ("mcsm_golden_" + tag + "_" + std::to_string(::getpid()));
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~TempDir() {
+        std::error_code ec;
+        fs::remove_all(path, ec);
+    }
+    std::string str() const { return path.string(); }
+};
+
+std::size_t query_budget() {
+    if (const char* env = std::getenv("MCSM_GOLDEN_QUERIES")) {
+        const long n = std::atol(env);
+        if (n > 0) return static_cast<std::size_t>(n);
+    }
+    return 240;
+}
+
+// Small budgets (instrumented CI) switch to a cheaper arc set, a coarser
+// 3-pin grid and knot-exact 3-pin queries; see sample_batch.
+bool reduced_mode() { return query_budget() < 150; }
+
+// The sampled scenario space. The full run draws from every row; the
+// reduced (instrumented) run keeps one arc per pin count so the scenario
+// classes stay covered while surface-build cost shrinks.
+struct ArcChoice {
+    const char* cell;
+    std::vector<std::string> pins;
+};
+
+ServeOptions golden_options(const std::string& surface_dir,
+                            std::size_t threads) {
+    ServeOptions o;
+    o.slew_knots = {40 * kPs,  75 * kPs,  130 * kPs,
+                    200 * kPs, 280 * kPs, 360 * kPs};
+    // Skew knots are normalized edge offsets; the dominance transition
+    // lives inside |u| <~ 1 (with the strongest curvature in the MIS
+    // valley core |u| < 0.4), the tails are (bi)linear.
+    o.skew_knots = {-4.5,  -1.8, -1.4, -1.0, -0.7, -0.47, -0.25, -0.12,
+                    0.0,   0.12, 0.25, 0.47, 0.7,  1.0,   1.4,   1.8,
+                    4.5};
+    // The extra 2.2 fF knot resolves the concave low-load region (slew vs
+    // load flattens where the cell's intrinsic cap dominates).
+    o.load_knots = {1 * kFf, 2.2 * kFf, 4.7 * kFf, 10 * kFf, 24 * kFf};
+    o.slew_knots_mis3 = {55 * kPs, 95 * kPs, 140 * kPs, 195 * kPs,
+                         260 * kPs};
+    o.skew_knots_mis3 = {-1.2, -0.85, -0.55, -0.32, -0.15, 0.0,
+                         0.15, 0.32,  0.55,  0.85,  1.2};
+    o.skew_pair_knots_mis3 = {-2.1, -1.1, -0.55, -0.35, -0.22, 0.0,
+                              0.22, 0.35,  0.55,  1.1,   2.1};
+    o.load_knots_mis3 = {1 * kFf, 6 * kFf, 24 * kFf};
+    if (reduced_mode()) {
+        // Coarse 3-pin grid: queries sample it knot-exactly.
+        o.slew_knots_mis3 = {60 * kPs, 120 * kPs, 240 * kPs};
+        o.skew_knots_mis3 = {-1.2, -0.4, 0.0, 0.4, 1.2};
+        o.skew_pair_knots_mis3 = {-1.6, -0.5, 0.0, 0.5, 1.6};
+        o.load_knots_mis3 = {1.5 * kFf, 8 * kFf, 22 * kFf};
+    }
+    o.dt = 4e-12;
+    o.settle = 1.2e-9;
+    o.threads = threads;
+    o.surface_dir = surface_dir;
+    return o;
+}
+
+class ServeGolden : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        rig_ = new Rig();
+    }
+    static void TearDownTestSuite() {
+        delete rig_;
+        rig_ = nullptr;
+    }
+
+    struct Rig {
+        tech::Technology tech = tech::make_tech130();
+        cells::CellLibrary lib{tech};
+        TempDir surfaces{"surfaces"};
+        std::unique_ptr<ModelRepository> repo;
+        std::unique_ptr<TimingService> service;
+        std::vector<TimingQuery> batch;
+
+        Rig() {
+            RepositoryOptions ropt;  // in-memory store; characterize on miss
+            ropt.char_options.transient_caps = false;
+            ropt.char_options.grid_points = 6;
+            ropt.char_options.cin_points = 5;
+            ropt.char_options_mis3.transient_caps = false;
+            ropt.char_options_mis3.grid_points = 4;
+            ropt.char_options_mis3.cin_points = 5;
+            repo = std::make_unique<ModelRepository>(&lib, ropt);
+            service = std::make_unique<TimingService>(
+                *repo, golden_options(surfaces.str(), 0));
+            batch = sample_batch(query_budget());
+        }
+
+        // Seeded sampler over the expanded scenario space. Sampling ranges
+        // stay inside the surface knot hulls (the LUT clamps outside them,
+        // which is a coverage decision, not an accuracy one).
+        std::vector<TimingQuery> sample_batch(std::size_t n) const {
+            const bool reduced = n < 150;
+            const std::vector<ArcChoice> one_pin =
+                reduced ? std::vector<ArcChoice>{{"INV_X1", {"A"}}}
+                        : std::vector<ArcChoice>{{"INV_X1", {"A"}},
+                                                 {"INV_X4", {"A"}},
+                                                 {"NOR2", {"B"}}};
+            const std::vector<ArcChoice> two_pin =
+                reduced ? std::vector<ArcChoice>{{"NOR2", {"A", "B"}}}
+                        : std::vector<ArcChoice>{{"NOR2", {"A", "B"}},
+                                                 {"NAND2", {"A", "B"}}};
+            const std::vector<ArcChoice> three_pin{{"NAND3", {"A", "B", "C"}}};
+
+            std::mt19937 gen(20260728u);
+            auto uniform = [&](double lo, double hi) {
+                return std::uniform_real_distribution<double>(lo, hi)(gen);
+            };
+            auto pick = [&](const std::vector<ArcChoice>& arcs) {
+                return arcs[std::uniform_int_distribution<std::size_t>(
+                    0, arcs.size() - 1)(gen)];
+            };
+
+            // The reduced (instrumented-CI) run samples 3-pin queries AT
+            // surface knot coordinates: that exercises the whole 3-pin
+            // pipeline -- 6-D characterization, surface build, persistence,
+            // threading -- while allowing a coarse 3-pin grid, because at a
+            // knot the LUT reproduces the measured transient regardless of
+            // grid density. Off-knot 3-pin interpolation accuracy is the
+            // full run's job.
+            const ServeOptions opts = golden_options("", 0);
+
+            std::vector<TimingQuery> batch;
+            batch.reserve(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                TimingQuery q;
+                // ~30% 1-pin, ~45% 2-pin, ~25% 3-pin.
+                const unsigned cls = std::uniform_int_distribution<unsigned>(
+                    0, 19)(gen);
+                const bool mis3 = cls >= 15;
+                const ArcChoice arc = mis3          ? pick(three_pin)
+                                      : (cls >= 6) ? pick(two_pin)
+                                                   : pick(one_pin);
+                q.cell = arc.cell;
+                q.pins = arc.pins;
+                auto pick_knot = [&](const std::vector<double>& knots) {
+                    return knots[std::uniform_int_distribution<std::size_t>(
+                        0, knots.size() - 1)(gen)];
+                };
+                if (mis3 && reduced) {
+                    for (std::size_t p = 0; p < q.pins.size(); ++p)
+                        q.slews.push_back(pick_knot(opts.slew_knots_mis3));
+                } else {
+                    const double slew_lo = mis3 ? 65 * kPs : 45 * kPs;
+                    const double slew_hi = mis3 ? 250 * kPs : 340 * kPs;
+                    q.slews.push_back(uniform(slew_lo, slew_hi));
+                    for (std::size_t p = 1; p < q.pins.size(); ++p) {
+                        // Per-pair slew ratios are capped at 3.5: a very
+                        // slow and a very fast edge arriving together
+                        // produce two-phase output transitions whose
+                        // 10-90% span is not a smooth function of any
+                        // surface axis (dedicated treatment tracked in
+                        // ROADMAP). Within ratio 3.5 the surfaces hold
+                        // the 5% budget.
+                        const double lo =
+                            std::max(slew_lo, q.slews[0] / 3.5);
+                        const double hi =
+                            std::min(slew_hi, q.slews[0] * 3.5);
+                        q.slews.push_back(uniform(lo, hi));
+                    }
+                }
+                if (q.pins.size() > 1) {
+                    // Sample the normalized edge offsets (the surface's
+                    // skew coordinates) inside the knot hull, then convert
+                    // to the edge-start skews the query carries. The
+                    // absolute offset is additionally capped so exact-path
+                    // windows stay short. Knot-exact 3-pin sampling picks
+                    // a (skew_max, skew_diff) knot pair and inverts the
+                    // rotation, exactly as the surface build does.
+                    const double u_range = mis3 ? 1.05 : 4.2;
+                    const double delta_cap = mis3 ? 400 * kPs : 350 * kPs;
+                    q.skews.assign(q.pins.size(), 0.0);
+                    double u[3] = {0.0, 0.0, 0.0};
+                    if (mis3 && reduced) {
+                        const double m = pick_knot(opts.skew_knots_mis3);
+                        const double d =
+                            pick_knot(opts.skew_pair_knots_mis3);
+                        u[1] = d >= 0.0 ? m : m + d;
+                        u[2] = d >= 0.0 ? m - d : m;
+                    } else {
+                        for (std::size_t p = 1; p < q.pins.size(); ++p)
+                            u[p] = uniform(-u_range, u_range);
+                    }
+                    for (std::size_t p = 1; p < q.pins.size(); ++p) {
+                        const double scale =
+                            0.5 * (q.slews[0] + q.slews[p]);
+                        double delta = u[p] * scale;
+                        if (!(mis3 && reduced))
+                            delta = std::clamp(delta, -delta_cap, delta_cap);
+                        q.skews[p] =
+                            delta - 0.5 * (q.slews[p] - q.slews[0]);
+                    }
+                }
+                // 3-pin arcs keep one direction (rising inputs -> the NMOS
+                // stack discharge, THE stack-effect arc) so only one
+                // multi-thousand-transient surface gets built.
+                q.inputs_rise = mis3 ? true : (gen() & 1u) != 0;
+                // 3-pin arcs stay at the nominal corner (their surface is
+                // the expensive one); 1/2-pin arcs split across corners.
+                if (!mis3 && (gen() & 1u) != 0)
+                    q.corner = Corner{1.08, 85.0};
+                // ~40% pi loads; Ctot stays inside the load knot hull
+                // (knot-exact 3-pin queries use knot-exact linear loads).
+                if (mis3 && reduced) {
+                    q.load_cap = pick_knot(opts.load_knots_mis3);
+                } else if (gen() % 5 < 2) {
+                    q.load_cap = uniform(0.5 * kFf, 3 * kFf);
+                    q.c_near = uniform(0.5 * kFf, 4 * kFf);
+                    q.c_far = uniform(1 * kFf, 10 * kFf);
+                    q.r_wire = uniform(150.0, 1500.0);
+                } else {
+                    q.load_cap = uniform(1.2 * kFf, 20 * kFf);
+                }
+                batch.push_back(std::move(q));
+            }
+            return batch;
+        }
+    };
+
+    static Rig* rig_;
+};
+
+ServeGolden::Rig* ServeGolden::rig_ = nullptr;
+
+// --- the cross-validation gate -------------------------------------------
+
+TEST_F(ServeGolden, LutPathTracksExactTransientAcrossScenarioSpace) {
+    const std::vector<TimingQuery>& batch = rig_->batch;
+    if (std::getenv("MCSM_GOLDEN_QUERIES") == nullptr) {
+        ASSERT_GE(batch.size(), 200u) << "acceptance gate needs >= 200";
+    }
+
+    const std::vector<TimingResult> lut = rig_->service->run_batch(batch);
+
+    std::vector<TimingQuery> exact_batch = batch;
+    for (TimingQuery& q : exact_batch) q.exact = true;
+    const std::vector<TimingResult> exact =
+        rig_->service->run_batch(exact_batch);
+
+    double worst_delay = 0.0;  // error / tolerance, max over the batch
+    double worst_slew = 0.0;
+    // (err/tol, "what") of every query, so the summary can always name the
+    // top offenders even when a CI log truncates individual failures.
+    std::vector<std::pair<double, std::string>> offenders;
+    std::size_t n_pi = 0;
+    std::size_t n_corner = 0;
+    std::size_t n_pins[3] = {0, 0, 0};
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        ASSERT_TRUE(lut[i].valid) << i << ": " << lut[i].error;
+        ASSERT_TRUE(exact[i].valid) << i << ": " << exact[i].error;
+        EXPECT_EQ(lut[i].path, ResultPath::kLut) << i;
+        EXPECT_EQ(exact[i].path, ResultPath::kTransient) << i;
+
+        const double d_err = std::fabs(lut[i].delay - exact[i].delay);
+        const double s_err = std::fabs(lut[i].slew - exact[i].slew);
+        const double d_tol = tolerance(exact[i].delay);
+        const double s_tol = tolerance(exact[i].slew);
+        const auto describe = [&](const TimingQuery& q) {
+            std::string s = q.cell;
+            s += q.inputs_rise ? " rise" : " fall";
+            s += " slews[";
+            for (double v : q.slews)
+                s += std::to_string(v / kPs).substr(0, 5) + " ";
+            s += "] skews[";
+            for (double v : q.skews)
+                s += std::to_string(v / kPs).substr(0, 6) + " ";
+            s += "] load " + std::to_string(q.load_cap / kFf).substr(0, 4);
+            if (q.has_pi_load())
+                s += " pi(" + std::to_string(q.c_near / kFf).substr(0, 4) +
+                     "," + std::to_string(q.r_wire).substr(0, 6) + "," +
+                     std::to_string(q.c_far / kFf).substr(0, 4) + ")";
+            if (!q.corner.nominal()) s += " @" + q.corner.tag();
+            return s;
+        };
+        EXPECT_LE(d_err, d_tol)
+            << "query " << i << " [" << describe(batch[i]) << "]: delay "
+            << lut[i].delay / kPs << " ps vs exact "
+            << exact[i].delay / kPs << " ps";
+        EXPECT_LE(s_err, s_tol)
+            << "query " << i << " [" << describe(batch[i]) << "]: slew "
+            << lut[i].slew / kPs << " ps vs exact " << exact[i].slew / kPs
+            << " ps";
+        worst_delay = std::max(worst_delay, d_err / d_tol);
+        worst_slew = std::max(worst_slew, s_err / s_tol);
+        offenders.emplace_back(d_err / d_tol,
+                               "delay q" + std::to_string(i) + " " +
+                                   describe(batch[i]));
+        offenders.emplace_back(s_err / s_tol,
+                               "slew q" + std::to_string(i) + " " +
+                                   describe(batch[i]));
+        n_pi += batch[i].has_pi_load() ? 1 : 0;
+        n_corner += batch[i].corner.nominal() ? 0 : 1;
+        ++n_pins[batch[i].pins.size() - 1];
+    }
+
+    // The sampler must actually have spanned the space (guards against a
+    // future edit quietly dropping a scenario class).
+    EXPECT_GT(n_pins[0], 0u);
+    EXPECT_GT(n_pins[1], 0u);
+    EXPECT_GT(n_pins[2], 0u);
+    EXPECT_GT(n_pi, 0u);
+    EXPECT_GT(n_corner, 0u);
+
+    std::printf(
+        "[golden] %zu queries (%zu/%zu/%zu per pin count, %zu pi, %zu "
+        "corner): worst delay err %.0f%% of tol, worst slew err %.0f%% of "
+        "tol\n",
+        batch.size(), n_pins[0], n_pins[1], n_pins[2], n_pi, n_corner,
+        100.0 * worst_delay, 100.0 * worst_slew);
+    std::partial_sort(offenders.begin(),
+                      offenders.begin() +
+                          std::min<std::size_t>(8, offenders.size()),
+                      offenders.end(), std::greater<>());
+    for (std::size_t i = 0; i < std::min<std::size_t>(8, offenders.size());
+         ++i)
+        std::printf("[golden]   %3.0f%% %s\n", 100.0 * offenders[i].first,
+                    offenders[i].second.c_str());
+}
+
+// --- determinism across thread counts (and across surface reloads) -------
+
+TEST_F(ServeGolden, BatchesAreBitwiseDeterministicAcrossThreadCounts) {
+    // Mixed batch: every LUT query plus a slice of exact-path twins.
+    std::vector<TimingQuery> mixed = rig_->batch;
+    for (std::size_t i = 0; i < rig_->batch.size(); i += 8) {
+        TimingQuery q = rig_->batch[i];
+        q.exact = true;
+        mixed.push_back(std::move(q));
+    }
+
+    // The reference comes from the shared service (default thread count,
+    // surfaces built in-process). The two probes run at forced thread
+    // counts and share the persisted surface directory, so they reload the
+    // stored tables instead of rebuilding -- which makes this also a
+    // bit-exactness check of the surface store round trip.
+    const std::vector<TimingResult> ref = rig_->service->run_batch(mixed);
+
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        TimingService probe(*rig_->repo,
+                            golden_options(rig_->surfaces.str(), threads));
+        const std::vector<TimingResult> got = probe.run_batch(mixed);
+        ASSERT_EQ(got.size(), ref.size());
+        for (std::size_t i = 0; i < ref.size(); ++i) {
+            ASSERT_EQ(got[i].valid, ref[i].valid) << i;
+            EXPECT_EQ(std::bit_cast<std::uint64_t>(got[i].delay),
+                      std::bit_cast<std::uint64_t>(ref[i].delay))
+                << "threads=" << threads << " query " << i;
+            EXPECT_EQ(std::bit_cast<std::uint64_t>(got[i].slew),
+                      std::bit_cast<std::uint64_t>(ref[i].slew))
+                << "threads=" << threads << " query " << i;
+        }
+        EXPECT_GT(probe.surface_load_count(), 0u)
+            << "probe was expected to reload persisted surfaces";
+    }
+}
+
+}  // namespace
+}  // namespace mcsm::serve

@@ -179,6 +179,28 @@ void write_bench_perf_json() {
     stages.push_back({"newton_cycle_48cell",
                       newton_cycle_ms(ctx, 48, SolverBackend::kDense),
                       newton_cycle_ms(ctx, 48, SolverBackend::kSparse)});
+    // Device-evaluation pass alone (assembly, no solve): the virtual
+    // per-device scalar loop vs the batched SoA evaluate-and-stamp, both
+    // writing the same CSR workspace.
+    stages.push_back({"device_eval_12cell",
+                      bench::time_device_eval_us(ctx.lib(), 12, false) * 1e-3,
+                      bench::time_device_eval_us(ctx.lib(), 12, true) * 1e-3});
+    stages.push_back({"device_eval_48cell",
+                      bench::time_device_eval_us(ctx.lib(), 48, false) * 1e-3,
+                      bench::time_device_eval_us(ctx.lib(), 48, true) * 1e-3});
+    // 32 solutions of the factored chain system: per-solution refactor +
+    // single-RHS solve (the point-by-point Newton pattern) vs one refactor
+    // + one blocked multi-RHS substitution.
+    stages.push_back(
+        {"multi_rhs_32_12cell",
+         bench::time_multi_rhs_us(ctx.lib(), 12, 32, false) * 1e-3,
+         bench::time_multi_rhs_us(ctx.lib(), 12, 32, true) * 1e-3});
+    // Characterization-style DC bias sweep (all modeled nodes forced,
+    // 6^4 grid): dense point-by-point baseline vs sparse blocked sweep.
+    stages.push_back({"dc_sweep_nor2_1296pt",
+                      bench::time_dc_sweep_ms(ctx.lib(), SolverBackend::kDense),
+                      bench::time_dc_sweep_ms(ctx.lib(),
+                                              SolverBackend::kSparse)});
     stages.push_back({"transient_12cell",
                       golden_transient_ms(ctx, 12, SolverBackend::kDense),
                       golden_transient_ms(ctx, 12, SolverBackend::kSparse)});

@@ -48,6 +48,44 @@ int main() {
                     stages, "", d, s, d / s);
     }
 
+    // --- batched vs scalar device evaluation -----------------------------
+    std::printf("\n%-28s %10s %10s %9s\n", "stage", "scalar", "batched",
+                "speedup");
+    for (int stages : {12, 48}) {
+        const double v = bench::time_device_eval_us(ctx.lib(), stages, false);
+        const double b = bench::time_device_eval_us(ctx.lib(), stages, true);
+        std::printf("device_eval_%-2d cells  %7s %8.2fus %8.2fus %8.2fx\n",
+                    stages, "", v, b, v / b);
+        if (stages == 48)
+            check.check(b < v,
+                        "batched SoA device evaluation beats the virtual "
+                        "scalar loop");
+    }
+
+    // --- multi-RHS vs single-RHS solves ----------------------------------
+    std::printf("\n%-28s %10s %10s %9s\n", "stage", "single", "blocked",
+                "speedup");
+    for (std::size_t nrhs : {8u, 32u}) {
+        const double one =
+            bench::time_multi_rhs_us(ctx.lib(), 12, nrhs, false);
+        const double blk = bench::time_multi_rhs_us(ctx.lib(), 12, nrhs, true);
+        std::printf("multi_rhs_%-2zu 12 cells %6s %8.2fus %8.2fus %8.2fx\n",
+                    nrhs, "", one, blk, one / blk);
+        if (nrhs == 32)
+            check.check(blk < one,
+                        "blocked multi-RHS solve beats per-RHS refactor+solve");
+    }
+
+    // --- blocked DC bias sweep -------------------------------------------
+    {
+        const double d = bench::time_dc_sweep_ms(ctx.lib(),
+                                                 SolverBackend::kDense);
+        const double s = bench::time_dc_sweep_ms(ctx.lib(),
+                                                 SolverBackend::kSparse);
+        std::printf("\ndc_sweep_nor2 1296pt        %8.1fms %8.1fms %8.2fx\n",
+                    d, s, d / s);
+    }
+
     // --- full transient --------------------------------------------------
     wave::Waveform w_dense;
     wave::Waveform w_sparse;
@@ -94,11 +132,16 @@ int main() {
         spice::SimContext sctx;
         sctx.mode = spice::SimContext::Mode::kDc;
         sctx.x = &op.x;
+        // The batched evaluate-and-stamp entry point the solvers use, plus
+        // a blocked multi-RHS solve on the same factorization.
+        const std::size_t n = ws.system_size();
+        std::vector<double> b_block(n * 8, 1e-9);
+        std::vector<double> x_block(n * 8);
         auto cycle = [&] {
-            spice::Stamper& st = ws.begin_assembly();
-            for (const auto& dev : c.devices()) dev->stamp(st, sctx);
+            spice::Stamper& st = ws.assemble(sctx);
             st.add_gmin_everywhere(1e-12);
             (void)ws.solve();
+            ws.solve_block(b_block.data(), x_block.data(), 8);
         };
         cycle();  // warm
         const std::size_t before = AllocCounter::count();
@@ -107,7 +150,8 @@ int main() {
         std::printf("\nnewton cycle heap allocations after prepare(): %zu\n",
                     allocs);
         check.check(allocs == 0,
-                    "Newton assembly+solve cycle is allocation-free");
+                    "batched Newton assembly+solve and multi-RHS cycle is "
+                    "allocation-free");
     }
 
     return check.exit_code();

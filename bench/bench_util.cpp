@@ -148,6 +148,147 @@ double time_newton_cycle_us(const cells::CellLibrary& lib, int stages,
            reps;
 }
 
+double time_device_eval_us(const cells::CellLibrary& lib, int stages,
+                           bool batched) {
+    using Clock = std::chrono::steady_clock;
+    spice::Circuit c = make_chain_circuit(lib, stages);
+    c.set_solver_backend(spice::SolverBackend::kSparse);
+    const spice::DcResult op = spice::solve_dc(c);
+    spice::SolverWorkspace& ws = c.workspace();
+
+    spice::SimContext ctx;
+    ctx.mode = spice::SimContext::Mode::kDc;
+    ctx.x = &op.x;
+    const int reps = 4000;
+    const auto t0 = Clock::now();
+    for (int r = 0; r < reps; ++r) {
+        if (batched) {
+            (void)ws.assemble(ctx);
+        } else {
+            spice::Stamper& st = ws.begin_assembly();
+            for (const auto& dev : c.devices()) dev->stamp(st, ctx);
+        }
+    }
+    return std::chrono::duration<double, std::micro>(Clock::now() - t0)
+               .count() /
+           reps;
+}
+
+double time_multi_rhs_us(const cells::CellLibrary& lib, int stages,
+                         std::size_t nrhs, bool blocked) {
+    using Clock = std::chrono::steady_clock;
+    spice::Circuit c = make_chain_circuit(lib, stages);
+    c.set_solver_backend(spice::SolverBackend::kSparse);
+    const spice::DcResult op = spice::solve_dc(c);
+    spice::SolverWorkspace& ws = c.workspace();
+
+    // Leave a representative assembly in the workspace storage.
+    spice::SimContext ctx;
+    ctx.mode = spice::SimContext::Mode::kDc;
+    ctx.x = &op.x;
+    spice::Stamper& st = ws.assemble(ctx);
+    st.add_gmin_everywhere(1e-12);
+
+    const std::size_t n = ws.system_size();
+    std::vector<double> b(n * nrhs);
+    std::vector<double> x(n * nrhs);
+    for (std::size_t i = 0; i < b.size(); ++i)
+        b[i] = 1e-6 * static_cast<double>(i % 23);
+
+    const int reps = 500;
+    const auto t0 = Clock::now();
+    for (int r = 0; r < reps; ++r) {
+        if (blocked) {
+            ws.factor();
+            ws.solve_block(b.data(), x.data(), nrhs);
+        } else {
+            for (std::size_t k = 0; k < nrhs; ++k) {
+                ws.factor();
+                ws.solve_block(b.data() + k * n, x.data() + k * n, 1);
+            }
+        }
+    }
+    return std::chrono::duration<double, std::micro>(Clock::now() - t0)
+               .count() /
+           reps;
+}
+
+double time_dc_sweep_ms(const cells::CellLibrary& lib,
+                        spice::SolverBackend backend) {
+    using Clock = std::chrono::steady_clock;
+    using spice::Circuit;
+    using spice::SourceSpec;
+    const double vdd_v = lib.tech().vdd;
+
+    // NOR2 with every modeled node forced, like the MCSM characterization
+    // fixture: pins A/B, the internal stack node, and OUT.
+    Circuit c;
+    const int vdd = c.node("vdd");
+    c.add_vsource("VDD", vdd, Circuit::kGround, SourceSpec::dc(vdd_v));
+    const int a = c.node("a");
+    const int b = c.node("b");
+    const int out = c.node("out");
+    c.add_vsource("VA", a, Circuit::kGround, SourceSpec::dc(0.0));
+    c.add_vsource("VB", b, Circuit::kGround, SourceSpec::dc(0.0));
+    c.add_vsource("VOUT", out, Circuit::kGround, SourceSpec::dc(0.0));
+    const cells::CellType& nor = lib.get("NOR2");
+    std::unordered_map<std::string, int> conn{{cells::kVdd, vdd},
+                                              {cells::kGnd, 0},
+                                              {"A", a},
+                                              {"B", b},
+                                              {cells::kOut, out}};
+    std::vector<spice::VSource*> swept;
+    for (const std::string& formal : nor.internal_nodes()) {
+        const int n = c.node("int_" + formal);
+        conn[formal] = n;
+        c.add_vsource("VN_" + formal, n, Circuit::kGround,
+                      SourceSpec::dc(0.0));
+    }
+    nor.instantiate(c, "DUT", conn);
+    c.set_solver_backend(backend);
+    c.prepare();
+    swept.push_back(&c.vsource("VA"));
+    swept.push_back(&c.vsource("VB"));
+    for (const std::string& formal : nor.internal_nodes())
+        swept.push_back(&c.vsource("VN_" + formal));
+    swept.push_back(&c.vsource("VOUT"));
+
+    const std::vector<double> knots{-0.2, 0.0, 0.4, 0.8, 1.2, 1.4};
+    const std::size_t dim = swept.size();
+    std::vector<double> values;
+    std::vector<std::size_t> idx(dim, 0);
+    bool more = true;
+    while (more) {
+        for (std::size_t d = 0; d < dim; ++d)
+            values.push_back(knots[idx[d]]);
+        more = false;
+        for (std::size_t d = dim; d-- > 0;) {
+            if (++idx[d] < knots.size()) {
+                more = true;
+                break;
+            }
+            idx[d] = 0;
+        }
+    }
+    const std::size_t n_points = values.size() / dim;
+
+    double best = 1e300;
+    for (int rep = 0; rep < 2; ++rep) {
+        double sink = 0.0;
+        const auto t0 = Clock::now();
+        spice::solve_dc_sweep(
+            c, swept, values, n_points, {}, nullptr,
+            [&](std::size_t, const std::vector<double>& x) {
+                sink += x.back();
+            });
+        best = std::min(best, std::chrono::duration<double, std::milli>(
+                                  Clock::now() - t0)
+                                  .count());
+        if (sink == 1e300) std::printf("#");  // keep the sweep observable
+    }
+    return best;
+}
+
 double time_chain_transient_ms(const cells::CellLibrary& lib, int stages,
                                spice::SolverBackend backend,
                                wave::Waveform* far_out) {

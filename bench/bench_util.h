@@ -84,6 +84,27 @@ spice::Circuit make_chain_circuit(const cells::CellLibrary& lib, int stages);
 double time_newton_cycle_us(const cells::CellLibrary& lib, int stages,
                             spice::SolverBackend backend);
 
+// Per-assembly cost of the device-evaluation pass alone (no solve) on the
+// sparse workspace: `batched` runs the SoA evaluate-and-stamp entry point
+// the solvers use; otherwise the legacy virtual per-device loop writes the
+// same CSR storage. Microseconds.
+double time_device_eval_us(const cells::CellLibrary& lib, int stages,
+                           bool batched);
+
+// Per-batch cost of producing `nrhs` solutions on the chain circuit's
+// factored system, microseconds. `blocked` uses one refactor plus one
+// interleaved SparseLu::solve_block; otherwise each solution pays its own
+// refactor + single-RHS solve (the point-by-point Newton pattern).
+double time_multi_rhs_us(const cells::CellLibrary& lib, int stages,
+                         std::size_t nrhs, bool blocked);
+
+// Wall clock of a characterization-style DC bias sweep (NOR2 with every
+// modeled node forced, 6^4 grid points), milliseconds. The dense backend
+// takes the retained point-by-point path; the sparse backend runs the
+// blocked solve_dc_sweep.
+double time_dc_sweep_ms(const cells::CellLibrary& lib,
+                        spice::SolverBackend backend);
+
 // Best-of-3 wall clock of the full chain transient, milliseconds. When
 // far_out is non-null it receives the far-end output waveform.
 double time_chain_transient_ms(const cells::CellLibrary& lib, int stages,

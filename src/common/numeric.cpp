@@ -1,6 +1,8 @@
 #include "common/numeric.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 
 #include "common/error.h"
 
@@ -22,6 +24,100 @@ double logistic(double x) {
     const double e = std::exp(x);
     return e / (1.0 + e);
 }
+
+#ifdef MCSM_NO_FAST_EKV
+
+SpSig softplus_logistic_fast(double x) { return softplus_logistic_ref(x); }
+
+#else
+
+namespace {
+
+// Both softplus and logistic reduce to one exponential of -|x|:
+//     z = e^-|x|,  softplus = max(x, 0) + log1p(z),  logistic = 1/(1+z)
+//     (x >= 0) or z/(1+z) (x < 0).
+// The kernel below evaluates z with a 32-slot table-reduced exponential
+// (degree-4 core polynomial) and log1p(z) with a 64-slot mantissa-reduced
+// log (degree-6 core), plus a short alternating series when z drops below
+// 2^-12 (where the mantissa reduction would cancel). Worst relative error
+// against the libm reference is ~2e-12 on both outputs over the full
+// double range — asserted in test_ekv_batch.
+
+struct FastTables {
+    double exp2neg[32];  // 2^(-j/32)
+    double inv_m0[64];   // 1 / (1 + j/64)
+    double log_m0[64];   // log(1 + j/64)
+};
+
+FastTables make_fast_tables() {
+    FastTables t;
+    for (int j = 0; j < 32; ++j) t.exp2neg[j] = std::exp2(-j / 32.0);
+    for (int j = 0; j < 64; ++j) {
+        t.inv_m0[j] = 1.0 / (1.0 + j / 64.0);
+        t.log_m0[j] = std::log(1.0 + j / 64.0);
+    }
+    return t;
+}
+
+const FastTables kFastTables = make_fast_tables();
+
+// e^-u for u in [0, 708]: u = (32k + j) * ln2/32 - r with |r| <= ln2/64,
+// so e^-u = e^r * 2^-k * 2^(-j/32).
+inline double exp_neg(double u) {
+    constexpr double kInvStep = 46.166241308446828384;    // 32/ln2
+    constexpr double kStepHi = 2.166084939249829418e-02;  // ln2/32 (hi)
+    constexpr double kStepLo = -4.5170722176016611e-19;
+    const double nd = std::floor(u * kInvStep + 0.5);
+    const double r = (nd * kStepHi - u) + nd * kStepLo;
+    const auto n = static_cast<std::int64_t>(nd);
+    const auto j = static_cast<std::uint64_t>(n) & 31u;
+    const auto k = n >> 5;
+    double p = 1.0 / 24.0;
+    p = p * r + 1.0 / 6.0;
+    p = p * r + 0.5;
+    p = p * r + 1.0;
+    p = p * r + 1.0;
+    const double scale = std::bit_cast<double>(
+        static_cast<std::uint64_t>(1023 - k) << 52);
+    return p * (kFastTables.exp2neg[j] * scale);
+}
+
+// log(y) for y in (1, 2]: y = 2^e * m0 * (1 + t) with m0 = 1 + j/64 picked
+// from the top mantissa bits, t in [0, 1/64].
+inline double log_y(double y) {
+    constexpr double kLn2 = 6.93147180559945310e-01;
+    const auto bits = std::bit_cast<std::uint64_t>(y);
+    const auto e = static_cast<int>(bits >> 52) - 1023;  // 0, or 1 at y = 2
+    const double m = std::bit_cast<double>(
+        (bits & 0x000FFFFFFFFFFFFFull) | 0x3FF0000000000000ull);
+    const auto j = (bits >> 46) & 63u;
+    const double t = m * kFastTables.inv_m0[j] - 1.0;
+    double q = -1.0 / 7.0;
+    q = q * t + 1.0 / 6.0;
+    q = q * t - 1.0 / 5.0;
+    q = q * t + 1.0 / 4.0;
+    q = q * t - 1.0 / 3.0;
+    q = q * t + 0.5;
+    const double l1pt = t - t * t * q;
+    return static_cast<double>(e) * kLn2 + kFastTables.log_m0[j] + l1pt;
+}
+
+}  // namespace
+
+SpSig softplus_logistic_fast(double x) {
+    if (std::isnan(x)) return {x, x};  // the int cast in exp_neg would be UB
+    const double u = std::min(std::fabs(x), 708.0);
+    const double z = exp_neg(u);
+    const double inv = 1.0 / (1.0 + z);
+    // Below 2^-12 the 1+z mantissa reduction cancels; the alternating
+    // series (truncation z^5/5 < 2e-19) takes over.
+    const double l1p =
+        z < 0x1p-12 ? z * (1.0 - z * (0.5 - z * (1.0 / 3.0 - z * 0.25)))
+                    : log_y(1.0 + z);
+    return {std::max(x, 0.0) + l1p, x >= 0.0 ? inv : z * inv};
+}
+
+#endif  // MCSM_NO_FAST_EKV
 
 double smooth_abs(double x, double eps) {
     return std::sqrt(x * x + eps * eps) - eps;

@@ -14,6 +14,41 @@ double softplus(double x);
 // d/dx softplus(x) = logistic(x) = 1 / (1 + e^-x), overflow-safe.
 double logistic(double x);
 
+// Softplus and logistic evaluated together. The EKV channel model needs
+// both at the same argument (F(v) and dF/dv share one exponential), so the
+// pair is the natural kernel primitive.
+struct SpSig {
+    double sp;   // softplus(x)
+    double sig;  // logistic(x)
+};
+
+// Reference pairing of softplus()/logistic() above (libm exp/log1p).
+inline SpSig softplus_logistic_ref(double x) {
+    return {softplus(x), logistic(x)};
+}
+
+// Fast path for the batched EKV kernel. Both outputs reduce to one
+// exponential z = e^-|x|: softplus = max(x,0) + log1p(z), logistic =
+// 1/(1+z) or z/(1+z). z comes from a 32-slot table-reduced exponential
+// (degree-4 core polynomial) and log1p(z) from a 64-slot mantissa-reduced
+// log (degree-6 core), switching to a short alternating series below
+// z = 2^-12 where the mantissa reduction would cancel. Worst relative
+// error vs the reference is ~2e-12 on both outputs over the full double
+// range (asserted in test_ekv_batch). Compiled to the reference when
+// MCSM_NO_FAST_EKV is defined (the CI portability job builds both
+// flavors).
+SpSig softplus_logistic_fast(double x);
+
+// True when softplus_logistic_fast is the distinct piecewise approximation
+// (i.e. the library was built without MCSM_NO_FAST_EKV).
+constexpr bool fast_ekv_enabled() {
+#ifdef MCSM_NO_FAST_EKV
+    return false;
+#else
+    return true;
+#endif
+}
+
 // Smooth absolute value: sqrt(x^2 + eps^2) - eps, so smooth_abs(0) == 0.
 double smooth_abs(double x, double eps);
 

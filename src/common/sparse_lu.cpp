@@ -236,6 +236,40 @@ bool SparseLu::refactor(const SparseMatrix& a, double pivot_floor) {
     return true;
 }
 
+void SparseLu::solve_block(const double* b, double* x,
+                           std::size_t nrhs) const {
+    require(analyzed(), "SparseLu: factor() before solve_block()");
+    require(nrhs > 0, "SparseLu: solve_block needs at least one rhs");
+
+    // Forward: L Y = P B (unit lower triangle), Y stored in x.
+    for (std::size_t i = 0; i < n_; ++i) {
+        double* xi = x + i * nrhs;
+        const double* bi =
+            b + static_cast<std::size_t>(perm_[i]) * nrhs;
+        for (std::size_t j = 0; j < nrhs; ++j) xi[j] = bi[j];
+        const int dp = diag_pos_[i];
+        for (int s = lu_row_ptr_[i]; s < dp; ++s) {
+            const double l = lu_vals_[static_cast<std::size_t>(s)];
+            const double* xk =
+                x + static_cast<std::size_t>(lu_cols_[s]) * nrhs;
+            for (std::size_t j = 0; j < nrhs; ++j) xi[j] -= l * xk[j];
+        }
+    }
+    // Backward: U X = Y.
+    for (std::size_t i = n_; i-- > 0;) {
+        double* xi = x + i * nrhs;
+        const int row_end = lu_row_ptr_[i + 1];
+        for (int s = diag_pos_[i] + 1; s < row_end; ++s) {
+            const double u = lu_vals_[static_cast<std::size_t>(s)];
+            const double* xk =
+                x + static_cast<std::size_t>(lu_cols_[s]) * nrhs;
+            for (std::size_t j = 0; j < nrhs; ++j) xi[j] -= u * xk[j];
+        }
+        const double d = inv_diag_[i];
+        for (std::size_t j = 0; j < nrhs; ++j) xi[j] *= d;
+    }
+}
+
 void SparseLu::solve(const std::vector<double>& b,
                      std::vector<double>& x) const {
     require(analyzed(), "SparseLu: factor() before solve()");

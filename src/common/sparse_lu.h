@@ -30,6 +30,14 @@ public:
     // no allocation once its capacity is established.
     void solve(const std::vector<double>& b, std::vector<double>& x) const;
 
+    // Solves A X = B for `nrhs` right-hand sides with one forward/backward
+    // pass over the factors. B and X are interleaved (the entry for unknown
+    // i of system j sits at [i * nrhs + j]) so the substitution inner loops
+    // run contiguously over the RHS dimension — each L/U value is loaded
+    // once and applied to the whole block, and the loops vectorize across
+    // systems. Both buffers must hold n * nrhs doubles; allocation-free.
+    void solve_block(const double* b, double* x, std::size_t nrhs) const;
+
     bool analyzed() const { return n_ > 0; }
     // Drops the symbolic analysis (next factor() re-pivots from scratch).
     void invalidate() { n_ = 0; }

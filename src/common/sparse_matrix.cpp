@@ -78,6 +78,19 @@ double SparseMatrix::at(std::size_t r, std::size_t c) const {
     return slot < 0 ? 0.0 : vals_[static_cast<std::size_t>(slot)];
 }
 
+void SparseMatrix::multiply(std::span<const double> x,
+                            std::span<double> y) const {
+    require(x.size() == n_ && y.size() == n_,
+            "SparseMatrix: multiply size mismatch");
+    for (std::size_t r = 0; r < n_; ++r) {
+        double acc = 0.0;
+        for (int s = row_ptr_[r]; s < row_ptr_[r + 1]; ++s)
+            acc += vals_[static_cast<std::size_t>(s)] *
+                   x[static_cast<std::size_t>(cols_[static_cast<std::size_t>(s)])];
+        y[r] = acc;
+    }
+}
+
 double SparseMatrix::max_abs() const {
     double m = 0.0;
     for (double v : vals_) m = std::max(m, std::fabs(v));

@@ -40,6 +40,19 @@ public:
     // Value at (r, c); zero for entries outside the pattern.
     double at(std::size_t r, std::size_t c) const;
 
+    // Slot index of (r, c) within values(), -1 outside the pattern. Device
+    // batches resolve their stamp destinations once per topology and then
+    // scatter by slot, skipping the per-write map probe.
+    int slot_index(std::size_t r, std::size_t c) const { return slot_of(r, c); }
+
+    // Flat value storage, indexed by slot (row-major over the CSR rows).
+    std::span<double> values() { return vals_; }
+    std::span<const double> values() const { return vals_; }
+
+    // y = A x over the stored pattern (sizes n). Used for residual
+    // computation in the block DC solver; allocation-free.
+    void multiply(std::span<const double> x, std::span<double> y) const;
+
     // Row access for factorization / iteration.
     std::span<const int> row_cols(std::size_t r) const {
         return {cols_.data() + row_ptr_[r],

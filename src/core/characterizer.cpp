@@ -19,7 +19,6 @@ namespace {
 using cells::CellType;
 using spice::Circuit;
 using spice::DcOptions;
-using spice::DcResult;
 using spice::Mosfet;
 using spice::SourceSpec;
 
@@ -137,11 +136,6 @@ bool next_index(std::vector<std::size_t>& idx,
         if (d == 0) return false;
     }
     return false;
-}
-
-double branch_current(const Circuit& circuit, const DcResult& r,
-                      int branch_index) {
-    return r.x[static_cast<std::size_t>(circuit.node_count() + branch_index)];
 }
 
 // Sums the small-signal MOSFET capacitance between two circuit nodes at the
@@ -564,15 +558,12 @@ CsmModel Characterizer::characterize(
     const std::size_t g_knots = knots.size();
     DcOptions dc_opt;
 
-    // Per-worker sweep bench: a private testbench fixture (with its own
-    // solver workspace) plus the warm-start chain of its slices.
+    // Per-worker sweep bench: a private testbench fixture with its own
+    // solver workspace.
     struct SweepBench {
         Fixture* fx;
         int out_branch = -1;
         std::vector<int> int_branches;
-        std::vector<int> pin_branches;
-        DcResult dc;
-        bool have_prev = false;
     };
     auto make_bench = [&](Fixture* f) {
         SweepBench b;
@@ -580,43 +571,30 @@ CsmModel Characterizer::characterize(
         b.out_branch = f->circuit.branch_of(f->out_source);
         for (const std::string& s : f->internal_sources)
             b.int_branches.push_back(f->circuit.branch_of(s));
-        for (const std::string& s : f->pin_sources)
-            b.pin_branches.push_back(f->circuit.branch_of(s));
         return b;
     };
 
-    auto sweep_point = [&](SweepBench& b, const std::vector<std::size_t>& idx) {
+    // Records one solved grid point (x: DcResult layout) into the tables.
+    auto record_point = [&](SweepBench& b, const std::vector<std::size_t>& idx,
+                            const std::vector<double>& x) {
         Fixture& bfx = *b.fx;
-        // Program the forcing sources for this grid point.
-        for (std::size_t p = 0; p < n_pins; ++p)
-            bfx.circuit.vsource(bfx.pin_sources[p])
-                .set_spec(SourceSpec::dc(knots[idx[p]]));
-        for (std::size_t j = 0; j < n_int; ++j)
-            bfx.circuit.vsource(bfx.internal_sources[j])
-                .set_spec(SourceSpec::dc(knots[idx[n_pins + j]]));
-        bfx.circuit.vsource(bfx.out_source)
-            .set_spec(SourceSpec::dc(knots[idx[dim - 1]]));
-
-        b.dc = spice::solve_dc(bfx.circuit, dc_opt,
-                               b.have_prev ? &b.dc.x : nullptr);
-        b.have_prev = true;
-        const DcResult& dc = b.dc;
-
+        const std::size_t nn =
+            static_cast<std::size_t>(bfx.circuit.node_count());
         // Current INTO the cell = -(branch current of the forcing source).
         model.i_out.set_grid_value(
-            idx, -branch_current(bfx.circuit, dc, b.out_branch));
+            idx, -x[nn + static_cast<std::size_t>(b.out_branch)]);
         for (std::size_t j = 0; j < n_int; ++j)
             model.i_internal[j].set_grid_value(
-                idx, -branch_current(bfx.circuit, dc, b.int_branches[j]));
+                idx, -x[nn + static_cast<std::size_t>(b.int_branches[j])]);
 
         if (!options.transient_caps) {
             // Model-linearization shortcut: sum device caps at this bias.
             for (std::size_t p = 0; p < n_pins; ++p)
                 model.c_miller[p].set_grid_value(
-                    idx, pair_cap(bfx.dut_mosfets, dc.x, bfx.pin_nodes[p],
+                    idx, pair_cap(bfx.dut_mosfets, x, bfx.pin_nodes[p],
                                   bfx.out_node));
             model.c_out.set_grid_value(
-                idx, incident_cap(bfx.dut_mosfets, dc.x, bfx.out_node,
+                idx, incident_cap(bfx.dut_mosfets, x, bfx.out_node,
                                   bfx.pin_nodes));
             // When pin->internal Millers are modeled, CN excludes the pin
             // couplings (they get their own tables); otherwise CN absorbs
@@ -625,13 +603,13 @@ CsmModel Characterizer::characterize(
                 options.internal_miller ? bfx.pin_nodes : std::vector<int>{};
             for (std::size_t j = 0; j < n_int; ++j)
                 model.c_internal[j].set_grid_value(
-                    idx, incident_cap(bfx.dut_mosfets, dc.x,
+                    idx, incident_cap(bfx.dut_mosfets, x,
                                       bfx.internal_nodes[j], excluded));
             if (options.internal_miller) {
                 for (std::size_t p = 0; p < n_pins; ++p)
                     for (std::size_t j = 0; j < n_int; ++j)
                         model.c_miller_internal[p * n_int + j].set_grid_value(
-                            idx, pair_cap(bfx.dut_mosfets, dc.x,
+                            idx, pair_cap(bfx.dut_mosfets, x,
                                           bfx.pin_nodes[p],
                                           bfx.internal_nodes[j]));
             }
@@ -639,17 +617,58 @@ CsmModel Characterizer::characterize(
     };
 
     // One slice: every grid point with first-axis knot i0, next_index
-    // odometer over the remaining axes (grid writes are disjoint across
-    // slices).
+    // odometer over the remaining axes, solved as blocked bias sweeps
+    // (solve_dc_sweep shares one Jacobian factorization per Newton round
+    // across a block and updates it with one multi-RHS substitution). Grid
+    // writes are disjoint across slices and each slice starts from its own
+    // cold warm-start chain with a fresh pivot order, so the tables come
+    // out bitwise identical for any worker count or claim order.
     auto sweep_slice = [&](SweepBench& b, std::size_t i0) {
+        Fixture& bfx = *b.fx;
+        std::vector<spice::VSource*> swept;
+        swept.reserve(dim);
+        for (std::size_t p = 0; p < n_pins; ++p)
+            swept.push_back(&bfx.circuit.vsource(bfx.pin_sources[p]));
+        for (std::size_t j = 0; j < n_int; ++j)
+            swept.push_back(&bfx.circuit.vsource(bfx.internal_sources[j]));
+        swept.push_back(&bfx.circuit.vsource(bfx.out_source));
+
+        spice::DcSweepOptions sopt;
+        sopt.dc = dc_opt;
+
+        // Bounded chunks keep the value/index staging small on the 5-axis
+        // slices of 3-pin MCSM models; the chunk size is fixed so chunk
+        // boundaries (and results) never depend on scheduling.
+        constexpr std::size_t kChunk = 4096;
         std::vector<std::size_t> rest(dim - 1, 0);
         const std::vector<std::size_t> rest_sizes(dim - 1, g_knots);
-        std::vector<std::size_t> idx(dim, 0);
-        idx[0] = i0;
-        do {
-            std::copy(rest.begin(), rest.end(), idx.begin() + 1);
-            sweep_point(b, idx);
-        } while (next_index(rest, rest_sizes));
+        std::vector<double> vals;
+        std::vector<std::vector<std::size_t>> idxs;
+        std::vector<double> warm;
+        bool more = true;
+        while (more) {
+            vals.clear();
+            idxs.clear();
+            while (idxs.size() < kChunk) {
+                std::vector<std::size_t> idx(dim);
+                idx[0] = i0;
+                std::copy(rest.begin(), rest.end(), idx.begin() + 1);
+                for (std::size_t d = 0; d < dim; ++d)
+                    vals.push_back(knots[idx[d]]);
+                idxs.push_back(std::move(idx));
+                if (!next_index(rest, rest_sizes)) {
+                    more = false;
+                    break;
+                }
+            }
+            spice::solve_dc_sweep(
+                bfx.circuit, swept, vals, idxs.size(), sopt,
+                warm.empty() ? nullptr : &warm,
+                [&](std::size_t p, const std::vector<double>& x) {
+                    record_point(b, idxs[p], x);
+                    warm = x;
+                });
+        }
     };
 
     // As in extract_caps_transient: run inline without spare fixtures when
@@ -659,8 +678,6 @@ CsmModel Characterizer::characterize(
             ? 1
             : std::min(resolve_threads(options.threads), g_knots);
     if (sweep_workers <= 1) {
-        // Sequential: one bench, warm-start chain across the whole grid
-        // (matches the pre-parallel sweep order exactly).
         SweepBench bench = make_bench(&fx);
         for (std::size_t i0 = 0; i0 < g_knots; ++i0) sweep_slice(bench, i0);
     } else {

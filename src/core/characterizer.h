@@ -43,10 +43,13 @@ struct CharOptions {
     bool internal_miller = true;
     // Worker threads for the grid sweeps (0: all cores, see MCSM_THREADS).
     // Every worker runs its own testbench fixture and solver workspace and
-    // writes disjoint table slots; results are reproducible to solver
-    // tolerance for any thread count (warm-start chains and frozen LU
-    // pivot orders differ per worker, so bitwise equality is not
-    // guaranteed).
+    // writes disjoint table slots. The DC sweep is bitwise identical for
+    // any thread count or claim order: each first-axis slice runs its own
+    // blocked solve_dc_sweep with a fresh pivot order and a slice-local
+    // warm-start chain (so shortcut characterizations — transient_caps
+    // false — are fully deterministic; the transient cap extraction
+    // remains reproducible to solver tolerance, its worker fixtures reuse
+    // frozen pivot orders across combos).
     std::size_t threads = 0;
     // Solver backend for the testbench fixtures (the dense fallback is kept
     // for cross-checking and perf baselines).

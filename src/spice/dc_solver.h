@@ -1,8 +1,11 @@
-// Newton-Raphson DC operating point with gmin stepping and damping.
+// Newton-Raphson DC operating point with gmin stepping and damping, plus a
+// blocked sweep solver that amortizes factorizations over many bias points.
 #ifndef MCSM_SPICE_DC_SOLVER_H
 #define MCSM_SPICE_DC_SOLVER_H
 
 #include <cstddef>
+#include <functional>
+#include <span>
 #include <vector>
 
 #include "spice/circuit.h"
@@ -33,6 +36,49 @@ struct DcResult {
 // (same layout as DcResult::x). Throws NumericalError on non-convergence.
 DcResult solve_dc(Circuit& circuit, const DcOptions& options = {},
                   const std::vector<double>* initial = nullptr);
+
+struct DcSweepOptions {
+    DcOptions dc;
+    // Bias points solved together: per quasi-Newton round the block shares
+    // one Jacobian factorization (taken at the first unconverged point) and
+    // one blocked multi-RHS substitution.
+    std::size_t block = 32;
+    // Shared-matrix rounds before a point falls back to its own solve_dc
+    // (which re-pivots per iteration and gmin-steps if needed).
+    int shared_rounds = 25;
+};
+
+// Solves `n_points` DC operating points on one prepared circuit that differ
+// only in the DC levels of the `swept` sources. `values` is point-major:
+// values[p * swept.size() + k] programs swept[k] at point p.
+//
+// Each block runs delta-form Newton: every point assembles its own
+// linearized system (through the batched device pass) and computes its true
+// residual r = b - A x, but the update comes from the *lead* point's
+// factorization via one blocked SparseLu::solve_block. A point whose
+// shared-matrix step falls below vtol is then *verified* with one
+// exact-Newton step against its own factored Jacobian — the same
+// acceptance criterion the per-point solver uses, so a shared matrix that
+// under-resolves some node (its local conductance far below the lead's)
+// cannot smuggle an unconverged point through. Points that fail the
+// shared rounds or the verification fall back to solve_dc. One structural
+// exception: when every non-ground node is pinned by a ground-referenced
+// voltage source (the characterization-fixture shape), the source rows
+// make the shared step exact and the verification is provably redundant,
+// so those sweeps skip it and most points cost a single seeded assembly
+// plus a share of one factorization.
+//
+// `initial` seeds the first point's iterate (DcResult::x layout); warm
+// starts chain point-to-point inside the call. on_point(p, x) fires for
+// every point in order. Results are deterministic: the frozen LU pivot
+// order is dropped on entry so the outcome does not depend on what the
+// workspace solved before.
+void solve_dc_sweep(
+    Circuit& circuit, const std::vector<VSource*>& swept,
+    std::span<const double> values, std::size_t n_points,
+    const DcSweepOptions& options, const std::vector<double>* initial,
+    const std::function<void(std::size_t, const std::vector<double>&)>&
+        on_point);
 
 }  // namespace mcsm::spice
 

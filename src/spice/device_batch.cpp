@@ -1,0 +1,213 @@
+#include "spice/device_batch.h"
+
+#include "common/error.h"
+
+namespace mcsm::spice {
+
+namespace {
+
+// Unknown-space row/col of a node (ground is eliminated), mirroring
+// Stamper::unknown_of_node.
+inline int unknown_of(int node) { return node == 0 ? -1 : node - 1; }
+
+// Slot of (row_node, col_node) in the pattern, -1 when either is ground.
+int resolve_slot(const SparseMatrix& pattern, int row_node, int col_node) {
+    const int r = unknown_of(row_node);
+    const int c = unknown_of(col_node);
+    if (r < 0 || c < 0) return -1;
+    const int slot = pattern.slot_index(static_cast<std::size_t>(r),
+                                        static_cast<std::size_t>(c));
+    require(slot >= 0,
+            "MosfetBatch: stamp destination missing from the pattern");
+    return slot;
+}
+
+}  // namespace
+
+void MosfetBatch::build(const std::vector<const Mosfet*>& mosfets,
+                        const SparseMatrix& pattern) {
+    count_ = mosfets.size();
+    devices_ = mosfets;
+
+    pol_.resize(count_);
+    is_.resize(count_);
+    nn_.resize(count_);
+    vt0_.resize(count_);
+    lambda_.resize(count_);
+    ut_.resize(count_);
+    nd_.resize(count_);
+    ng_.resize(count_);
+    ns_.resize(count_);
+    nb_.resize(count_);
+    mat_slots_.resize(count_ * 8);
+    rhs_d_.resize(count_);
+    rhs_s_.resize(count_);
+    cap_a_.resize(count_ * 5);
+    cap_b_.resize(count_ * 5);
+    cap_slots_.resize(count_ * 20);
+    cap_rhs_.resize(count_ * 10);
+    cap_state_.resize(count_ * 5);
+    cap_geq_.assign(count_ * 5, 0.0);
+    cap_isrc_.assign(count_ * 5, 0.0);
+    cap_step_id_ = -1;
+
+    for (std::size_t i = 0; i < count_; ++i) {
+        const Mosfet& m = *mosfets[i];
+        const EkvCoeffs& c = m.ekv_coeffs();
+        pol_[i] = c.pol;
+        is_[i] = c.is;
+        nn_[i] = c.n;
+        vt0_[i] = c.vt0;
+        lambda_[i] = c.lambda;
+        ut_[i] = c.ut;
+        const int d = m.drain();
+        const int g = m.gate();
+        const int s = m.source();
+        const int b = m.bulk();
+        nd_[i] = d;
+        ng_[i] = g;
+        ns_[i] = s;
+        nb_[i] = b;
+
+        int* ms = &mat_slots_[i * 8];
+        ms[0] = resolve_slot(pattern, d, g);
+        ms[1] = resolve_slot(pattern, d, d);
+        ms[2] = resolve_slot(pattern, d, s);
+        ms[3] = resolve_slot(pattern, d, b);
+        ms[4] = resolve_slot(pattern, s, g);
+        ms[5] = resolve_slot(pattern, s, d);
+        ms[6] = resolve_slot(pattern, s, s);
+        ms[7] = resolve_slot(pattern, s, b);
+        rhs_d_[i] = unknown_of(d);
+        rhs_s_[i] = unknown_of(s);
+
+        // Companion-cap pairs in Mosfet state order.
+        const int pa[5] = {g, g, g, d, s};
+        const int pb[5] = {s, d, b, b, b};
+        for (std::size_t k = 0; k < 5; ++k) {
+            const std::size_t p = i * 5 + k;
+            cap_a_[p] = pa[k];
+            cap_b_[p] = pb[k];
+            int* cs = &cap_slots_[p * 4];
+            cs[0] = resolve_slot(pattern, pa[k], pa[k]);
+            cs[1] = resolve_slot(pattern, pb[k], pb[k]);
+            cs[2] = resolve_slot(pattern, pa[k], pb[k]);
+            cs[3] = resolve_slot(pattern, pb[k], pa[k]);
+            cap_rhs_[p * 2 + 0] = unknown_of(pa[k]);
+            cap_rhs_[p * 2 + 1] = unknown_of(pb[k]);
+            cap_state_[p] = m.state_base() + static_cast<int>(k);
+        }
+    }
+}
+
+template <typename SpSigFn>
+void MosfetBatch::stamp_channel(SparseMatrix& matrix,
+                                std::vector<double>& rhs,
+                                const std::vector<double>& x,
+                                SpSigFn&& sp_sig) const {
+    double* vals = matrix.values().data();
+    for (std::size_t i = 0; i < count_; ++i) {
+        const double vd = x[static_cast<std::size_t>(nd_[i])];
+        const double vg = x[static_cast<std::size_t>(ng_[i])];
+        const double vs = x[static_cast<std::size_t>(ns_[i])];
+        const double vb = x[static_cast<std::size_t>(nb_[i])];
+
+        const MosCurrent cur =
+            ekv_current(coeffs_at(i), vd, vg, vs, vb, sp_sig);
+
+        const int* ms = &mat_slots_[i * 8];
+        if (ms[0] >= 0) vals[ms[0]] += cur.gm;
+        if (ms[1] >= 0) vals[ms[1]] += cur.gds;
+        if (ms[2] >= 0) vals[ms[2]] += cur.gms;
+        if (ms[3] >= 0) vals[ms[3]] += cur.gmb;
+        if (ms[4] >= 0) vals[ms[4]] -= cur.gm;
+        if (ms[5] >= 0) vals[ms[5]] -= cur.gds;
+        if (ms[6] >= 0) vals[ms[6]] -= cur.gms;
+        if (ms[7] >= 0) vals[ms[7]] -= cur.gmb;
+
+        const double i_affine = cur.ids - (cur.gm * vg + cur.gds * vd +
+                                           cur.gms * vs + cur.gmb * vb);
+        if (rhs_d_[i] >= 0)
+            rhs[static_cast<std::size_t>(rhs_d_[i])] -= i_affine;
+        if (rhs_s_[i] >= 0)
+            rhs[static_cast<std::size_t>(rhs_s_[i])] += i_affine;
+    }
+}
+
+void MosfetBatch::refresh_caps(const SimContext& ctx) const {
+    const std::vector<double>& x_prev = *ctx.x_prev;
+    const std::vector<double>& state = *ctx.state;
+    const std::size_t n_caps = count_ * 5;
+    for (std::size_t i = 0; i < count_; ++i) {
+        // Per-device cache shared with commit(): one scalar caps evaluation
+        // per device per step.
+        const MosCaps& caps = devices_[i]->caps_at_step(ctx);
+        const std::size_t p = i * 5;
+        cap_geq_[p + 0] = caps.cgs;
+        cap_geq_[p + 1] = caps.cgd;
+        cap_geq_[p + 2] = caps.cgb;
+        cap_geq_[p + 3] = caps.cdb;
+        cap_geq_[p + 4] = caps.csb;
+    }
+    // Companion linearization (see spice/cap_companion.h): geq and the
+    // equivalent current source are fixed for the whole step.
+    const bool be = ctx.integrator == Integrator::kBackwardEuler;
+    const double gscale = (be ? 1.0 : 2.0) / ctx.dt;
+    for (std::size_t p = 0; p < n_caps; ++p) {
+        const double v_prev =
+            x_prev[static_cast<std::size_t>(cap_a_[p])] -
+            x_prev[static_cast<std::size_t>(cap_b_[p])];
+        const double geq = cap_geq_[p] * gscale;
+        const double i_prev =
+            be ? 0.0 : state[static_cast<std::size_t>(cap_state_[p])];
+        cap_geq_[p] = geq;
+        cap_isrc_[p] = -geq * v_prev - i_prev;
+    }
+    cap_step_id_ = ctx.step_id;
+}
+
+void MosfetBatch::evaluate_and_stamp(SparseMatrix& matrix,
+                                     std::vector<double>& rhs,
+                                     const SimContext& ctx) const {
+#ifdef MCSM_NO_FAST_EKV
+    stamp_channel(matrix, rhs, *ctx.x, mcsm::softplus_logistic_ref);
+#else
+    stamp_channel(matrix, rhs, *ctx.x, mcsm::softplus_logistic_fast);
+#endif
+
+    if (!ctx.is_tran() || ctx.dt <= 0.0) return;
+    if (ctx.step_id < 0 || ctx.step_id != cap_step_id_) refresh_caps(ctx);
+
+    double* vals = matrix.values().data();
+    const std::size_t n_caps = count_ * 5;
+    for (std::size_t p = 0; p < n_caps; ++p) {
+        const double geq = cap_geq_[p];
+        const double isrc = cap_isrc_[p];
+        const int* cs = &cap_slots_[p * 4];
+        if (cs[0] >= 0) vals[cs[0]] += geq;
+        if (cs[1] >= 0) vals[cs[1]] += geq;
+        if (cs[2] >= 0) vals[cs[2]] -= geq;
+        if (cs[3] >= 0) vals[cs[3]] -= geq;
+        const int ra = cap_rhs_[p * 2 + 0];
+        const int rb = cap_rhs_[p * 2 + 1];
+        if (ra >= 0) rhs[static_cast<std::size_t>(ra)] -= isrc;
+        if (rb >= 0) rhs[static_cast<std::size_t>(rb)] += isrc;
+    }
+}
+
+void MosfetBatch::evaluate(const std::vector<double>& x, MosCurrent* out,
+                           bool fast) const {
+    for (std::size_t i = 0; i < count_; ++i) {
+        const double vd = x[static_cast<std::size_t>(nd_[i])];
+        const double vg = x[static_cast<std::size_t>(ng_[i])];
+        const double vs = x[static_cast<std::size_t>(ns_[i])];
+        const double vb = x[static_cast<std::size_t>(nb_[i])];
+        const EkvCoeffs c = coeffs_at(i);
+        out[i] = fast ? ekv_current(c, vd, vg, vs, vb,
+                                    mcsm::softplus_logistic_fast)
+                      : ekv_current(c, vd, vg, vs, vb,
+                                    mcsm::softplus_logistic_ref);
+    }
+}
+
+}  // namespace mcsm::spice

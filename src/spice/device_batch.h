@@ -1,0 +1,119 @@
+// Batch-first device evaluation: the per-device virtual stamp() loop
+// regrouped into structure-of-arrays batches so the Newton inner loop runs
+// as flat, vectorizable kernels instead of pointer-chasing dispatch.
+//
+// MosfetBatch holds every MOSFET of a prepared circuit as parallel arrays:
+// EKV channel coefficients, terminal node ids, and — resolved once per
+// topology against the workspace's CSR pattern — the matrix slot of every
+// entry a device stamps. evaluate_and_stamp() then
+//   1. gathers terminal voltages,
+//   2. evaluates the EKV current/conductances for all devices in one flat
+//      loop (piecewise-polynomial softplus/logistic fast path unless the
+//      library was built with MCSM_NO_FAST_EKV),
+//   3. scatters the linearized stamps straight into CSR value slots and RHS
+//      rows, skipping the Stamper's per-write map probes.
+// Companion-capacitor stamps (5 pairs per device, linearized at the
+// previous accepted solution) are refreshed once per transient step into
+// parallel geq/isrc arrays — they are constant across the Newton iterations
+// of a step — and scattered the same way.
+//
+// The dense backend keeps the original per-device virtual path, which pins
+// its bit-compatibility with the seed solver.
+#ifndef MCSM_SPICE_DEVICE_BATCH_H
+#define MCSM_SPICE_DEVICE_BATCH_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/sparse_matrix.h"
+#include "spice/mosfet.h"
+
+namespace mcsm::spice {
+
+class MosfetBatch {
+public:
+    MosfetBatch() = default;
+
+    // Captures `mosfets` into SoA storage and resolves every stamp
+    // destination against `pattern` (the workspace CSR matrix, already
+    // containing the full DC + transient incidence). Entries whose row or
+    // column is ground resolve to -1 and are skipped when scattering.
+    void build(const std::vector<const Mosfet*>& mosfets,
+               const SparseMatrix& pattern);
+
+    std::size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+
+    // Evaluates all devices at the node voltages in ctx and scatters the
+    // linearized stamps into `matrix`/`rhs` (rhs indexed by unknown row).
+    // Uses the fast EKV kernel unless built with MCSM_NO_FAST_EKV.
+    void evaluate_and_stamp(SparseMatrix& matrix, std::vector<double>& rhs,
+                            const SimContext& ctx) const;
+
+    // Evaluation-only hook for tests and benches: out[i] receives device
+    // i's channel current evaluated at the node voltages in `x` (node-id
+    // indexed like SimContext::x). `fast` selects the kernel;
+    // evaluate_and_stamp always uses the compiled-in default.
+    void evaluate(const std::vector<double>& x, MosCurrent* out,
+                  bool fast) const;
+
+private:
+    EkvCoeffs coeffs_at(std::size_t i) const {
+        EkvCoeffs c;
+        c.pol = pol_[i];
+        c.is = is_[i];
+        c.n = nn_[i];
+        c.vt0 = vt0_[i];
+        c.lambda = lambda_[i];
+        c.ut = ut_[i];
+        return c;
+    }
+
+    template <typename SpSigFn>
+    void stamp_channel(SparseMatrix& matrix, std::vector<double>& rhs,
+                       const std::vector<double>& x, SpSigFn&& sp_sig) const;
+    // Recomputes the per-step companion-cap conductances/current sources
+    // (keyed on SimContext::step_id like the per-device caches).
+    void refresh_caps(const SimContext& ctx) const;
+
+    std::size_t count_ = 0;
+    std::vector<const Mosfet*> devices_;  // for the per-step cap cache
+
+    // Channel coefficients (SoA mirror of EkvCoeffs).
+    std::vector<double> pol_;
+    std::vector<double> is_;
+    std::vector<double> nn_;
+    std::vector<double> vt0_;
+    std::vector<double> lambda_;
+    std::vector<double> ut_;
+
+    // Terminal node ids for the voltage gather.
+    std::vector<int> nd_;
+    std::vector<int> ng_;
+    std::vector<int> ns_;
+    std::vector<int> nb_;
+
+    // Channel stamp destinations: 8 matrix slots per device in the order
+    // (d,g) (d,d) (d,s) (d,b) (s,g) (s,d) (s,s) (s,b), then the RHS rows of
+    // d and s (-1: ground, skipped).
+    std::vector<int> mat_slots_;
+    std::vector<int> rhs_d_;
+    std::vector<int> rhs_s_;
+
+    // Companion caps: 5 pairs per device in Mosfet state order
+    // (g,s) (g,d) (g,b) (d,b) (s,b). Per pair: the two node ids, 4 matrix
+    // slots (a,a) (b,b) (a,b) (b,a), and 2 RHS rows.
+    std::vector<int> cap_a_;
+    std::vector<int> cap_b_;
+    std::vector<int> cap_slots_;
+    std::vector<int> cap_rhs_;
+    std::vector<int> cap_state_;  // state index of the pair's i_prev
+    // Per-step linearization, shared by every Newton iteration of a step.
+    mutable long long cap_step_id_ = -1;
+    mutable std::vector<double> cap_geq_;
+    mutable std::vector<double> cap_isrc_;
+};
+
+}  // namespace mcsm::spice
+
+#endif  // MCSM_SPICE_DEVICE_BATCH_H

@@ -8,23 +8,6 @@
 
 namespace mcsm::spice {
 
-namespace {
-
-// F(v) = softplus(v / (2 Ut))^2 and its derivative w.r.t. v.
-struct FValue {
-    double f;
-    double df;
-};
-
-FValue ekv_f(double v, double ut) {
-    const double x = v / (2.0 * ut);
-    const double sp = mcsm::softplus(x);
-    const double sig = mcsm::logistic(x);
-    return {sp * sp, sp * sig / ut};
-}
-
-}  // namespace
-
 Mosfet::Mosfet(std::string name, int d, int g, int s, int b,
                const MosParams& params, double w, double l, double ad,
                double as, double pd, double ps)
@@ -45,43 +28,8 @@ Mosfet::Mosfet(std::string name, int d, int g, int s, int b,
 
 MosCurrent Mosfet::evaluate_current(double vd, double vg, double vs,
                                     double vb) const {
-    const MosParams& p = *params_;
-    const double pol = polarity();
-
-    // Polarity-normalized, bulk-referenced voltages.
-    const double wg = pol * (vg - vb);
-    const double wd = pol * (vd - vb);
-    const double ws = pol * (vs - vb);
-
-    const double beta = p.kp * w_ / l_;
-    const double is = 2.0 * p.n * beta * p.ut * p.ut;
-    const double vp = (wg - p.vt0) / p.n;
-
-    const FValue ff = ekv_f(vp - ws, p.ut);
-    const FValue fr = ekv_f(vp - wd, p.ut);
-    const double diff = ff.f - fr.f;
-
-    // Smooth channel-length modulation, symmetric in d/s.
-    const double eps = 1e-3;
-    const double sabs = mcsm::smooth_abs(wd - ws, eps);
-    const double dsabs = mcsm::smooth_abs_deriv(wd - ws, eps);
-    const double clm = 1.0 + p.lambda * sabs;
-
-    const double iw = is * diff * clm;
-
-    // Derivatives in w-space.
-    const double di_dwg = is * clm * (ff.df - fr.df) / p.n;
-    const double di_dws = -is * clm * ff.df - is * diff * p.lambda * dsabs;
-    const double di_dwd = is * clm * fr.df + is * diff * p.lambda * dsabs;
-
-    MosCurrent out;
-    // ids = pol * iw; d(ids)/d(v_x) = pol * d(iw)/d(w_x) * pol = d(iw)/d(w_x).
-    out.ids = pol * iw;
-    out.gm = di_dwg;
-    out.gds = di_dwd;
-    out.gms = di_dws;
-    out.gmb = -(out.gm + out.gds + out.gms);
-    return out;
+    return ekv_current(ekv_coeffs(), vd, vg, vs, vb,
+                       mcsm::softplus_logistic_ref);
 }
 
 double Mosfet::junction_cap(double vj, double area, double perim) const {
@@ -167,7 +115,7 @@ void Mosfet::stamp(Stamper& st, const SimContext& ctx) const {
 
     if (ctx.is_tran()) {
         // Capacitances linearized at the previous accepted solution.
-        const MosCaps& caps = step_caps(ctx);
+        const MosCaps& caps = caps_at_step(ctx);
         const auto base = static_cast<std::size_t>(state_base());
         const std::vector<double>& state = *ctx.state;
         stamp_capacitor(st, ctx, g_, s_, caps.cgs, state[base + 0]);
@@ -178,7 +126,7 @@ void Mosfet::stamp(Stamper& st, const SimContext& ctx) const {
     }
 }
 
-const MosCaps& Mosfet::step_caps(const SimContext& ctx) const {
+const MosCaps& Mosfet::caps_at_step(const SimContext& ctx) const {
     if (ctx.step_id < 0 || ctx.step_id != caps_step_id_) {
         caps_cache_ =
             evaluate_caps(ctx.prev_voltage(d_), ctx.prev_voltage(g_),
@@ -191,7 +139,7 @@ const MosCaps& Mosfet::step_caps(const SimContext& ctx) const {
 void Mosfet::commit(const SimContext& ctx,
                     std::span<double> state_next) const {
     if (!ctx.is_tran()) return;
-    const MosCaps& caps = step_caps(ctx);
+    const MosCaps& caps = caps_at_step(ctx);
     const auto base = static_cast<std::size_t>(state_base());
     const std::vector<double>& state = *ctx.state;
 

@@ -16,18 +16,10 @@
 #include <string>
 
 #include "spice/device.h"
+#include "spice/ekv.h"
 #include "spice/mos_params.h"
 
 namespace mcsm::spice {
-
-// Channel current and derivatives w.r.t. terminal voltages (d, g, s, b).
-struct MosCurrent {
-    double ids = 0.0;  // current from drain terminal to source terminal [A]
-    double gm = 0.0;   // d ids / d vg
-    double gds = 0.0;  // d ids / d vd
-    double gms = 0.0;  // d ids / d vs
-    double gmb = 0.0;  // d ids / d vb
-};
 
 // Small-signal capacitances evaluated at a bias point.
 struct MosCaps {
@@ -53,10 +45,27 @@ public:
                 std::span<double> state_next) const override;
 
     // Model evaluation at explicit terminal voltages (exposed for tests and
-    // for the model-based capacitance shortcut in the characterizer).
+    // for the model-based capacitance shortcut in the characterizer). This
+    // is the scalar reference path: libm softplus/logistic through the
+    // shared ekv_current kernel.
     MosCurrent evaluate_current(double vd, double vg, double vs,
                                 double vb) const;
     MosCaps evaluate_caps(double vd, double vg, double vs, double vb) const;
+
+    // Channel coefficients for the batched SoA evaluator
+    // (spice/device_batch). Derived on demand so the device keeps the
+    // original read-params-at-evaluation semantics (the tech card must
+    // outlive the device, not predate its construction).
+    EkvCoeffs ekv_coeffs() const {
+        return EkvCoeffs::from(*params_, w_, l_);
+    }
+
+    // Capacitances at the previous accepted solution, cached per transient
+    // step (keyed on SimContext::step_id): shared by every Newton iteration
+    // and the commit of a step, and by the batched companion-cap stamping.
+    // A device belongs to one circuit and circuits solve single-threaded,
+    // so the mutable cache is safe.
+    const MosCaps& caps_at_step(const SimContext& ctx) const;
 
     double width() const { return w_; }
     double length() const { return l_; }
@@ -74,13 +83,6 @@ private:
     // Junction capacitance (area + sidewall) for the given junction reverse
     // bias; vj is the forward-bias voltage of the junction diode.
     double junction_cap(double vj, double area, double perim) const;
-
-    // Capacitances at the previous accepted solution, cached per transient
-    // step: they are re-used by every Newton iteration and the commit of a
-    // step (junction caps cost several pow() calls). Keyed on
-    // SimContext::step_id; a device belongs to one circuit and circuits
-    // solve single-threaded, so a mutable member is safe.
-    const MosCaps& step_caps(const SimContext& ctx) const;
 
     int d_;
     int g_;

@@ -79,6 +79,18 @@ SolverWorkspace::SolverWorkspace(const Circuit& circuit, SolverBackend backend)
         dense_scratch_.resize(n, n);
         rhs_scratch_.assign(n, 0.0);
     }
+
+    // Group devices for assemble(): MOSFETs into the SoA batch (sparse
+    // backend only), the rest onto the virtual path in original order.
+    std::vector<const Mosfet*> mosfets;
+    for (const auto& dev : circuit.devices()) {
+        const auto* m = dynamic_cast<const Mosfet*>(dev.get());
+        if (backend_ == SolverBackend::kSparse && m != nullptr)
+            mosfets.push_back(m);
+        else
+            scalar_devices_.push_back(dev.get());
+    }
+    if (!mosfets.empty()) batch_.build(mosfets, matrix_);
 }
 
 std::size_t SolverWorkspace::pattern_nnz() const {
@@ -89,6 +101,37 @@ std::size_t SolverWorkspace::pattern_nnz() const {
 Stamper& SolverWorkspace::begin_assembly() {
     stamper_.clear();
     return stamper_;
+}
+
+Stamper& SolverWorkspace::assemble(const SimContext& ctx) {
+    stamper_.clear();
+    if (!batch_.empty())
+        batch_.evaluate_and_stamp(matrix_, stamper_.rhs(), ctx);
+    for (const Device* dev : scalar_devices_) dev->stamp(stamper_, ctx);
+    return stamper_;
+}
+
+void SolverWorkspace::factor() {
+    require(backend_ == SolverBackend::kSparse,
+            "SolverWorkspace: factor() needs the sparse backend");
+    lu_.factor(matrix_);
+}
+
+void SolverWorkspace::solve_block(const double* b, double* x,
+                                  std::size_t nrhs) {
+    require(backend_ == SolverBackend::kSparse,
+            "SolverWorkspace: solve_block() needs the sparse backend");
+    ++solves_;
+    lu_.solve_block(b, x, nrhs);
+}
+
+void SolverWorkspace::residual(std::span<const double> x_unknown,
+                               std::span<double> r) const {
+    require(backend_ == SolverBackend::kSparse,
+            "SolverWorkspace: residual() needs the sparse backend");
+    matrix_.multiply(x_unknown, r);
+    const std::vector<double>& b = stamper_.rhs();
+    for (std::size_t i = 0; i < r.size(); ++i) r[i] = b[i] - r[i];
 }
 
 const std::vector<double>& SolverWorkspace::solve() {

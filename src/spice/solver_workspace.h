@@ -16,16 +16,19 @@
 #define MCSM_SPICE_SOLVER_WORKSPACE_H
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "common/dense_matrix.h"
 #include "common/sparse_lu.h"
 #include "common/sparse_matrix.h"
+#include "spice/device_batch.h"
 #include "spice/stamper.h"
 
 namespace mcsm::spice {
 
 class Circuit;
+class Device;
 
 enum class SolverBackend {
     kSparse,  // CSR storage + pattern-reusing sparse LU (default)
@@ -54,9 +57,33 @@ public:
     // Clears the assembly storage and hands out the device-facing writer.
     Stamper& begin_assembly();
 
+    // Assembles the full linearized system for `ctx`: clears the storage,
+    // runs the batched MOSFET evaluate-and-stamp pass (sparse backend), then
+    // the remaining devices' virtual stamp(). Returns the stamper so the
+    // caller can add gmin / extra stamps before solving. This is the Newton
+    // inner-loop entry point; it performs no heap allocation.
+    Stamper& assemble(const SimContext& ctx);
+
     // Factors and solves the assembled system; the result stays valid until
     // the next solve(). Throws NumericalError on singular systems.
     const std::vector<double>& solve();
+
+    // --- blocked multi-RHS interface (sparse backend) -------------------
+    // Factors the assembled matrix without solving; throws NumericalError
+    // on singular systems.
+    void factor();
+    // Solves nrhs systems against the last factor()ed matrix. Interleaved
+    // layout (see SparseLu::solve_block); allocation-free.
+    void solve_block(const double* b, double* x, std::size_t nrhs);
+    // Residual r = rhs - A*x of the assembled system, in unknown space.
+    void residual(std::span<const double> x_unknown, std::span<double> r) const;
+    // Drops the frozen LU pivot order so the next factorization re-pivots
+    // from scratch (used where results must not depend on which systems a
+    // reused workspace solved before).
+    void invalidate_factorization() { lu_.invalidate(); }
+
+    // The batched MOSFET evaluator (empty on the dense backend).
+    const MosfetBatch& mosfet_batch() const { return batch_; }
 
     // --- instrumentation ------------------------------------------------
     std::size_t solve_count() const { return solves_; }
@@ -76,6 +103,12 @@ private:
     std::vector<double> rhs_scratch_;
     std::vector<double> sol_;
     std::size_t solves_ = 0;
+    // Device grouping for assemble(): MOSFETs go through the SoA batch on
+    // the sparse backend; everything else (and every device on the dense
+    // backend, preserving its bit-compatible ordering) stays on the virtual
+    // path.
+    MosfetBatch batch_;
+    std::vector<const Device*> scalar_devices_;
 };
 
 }  // namespace mcsm::spice

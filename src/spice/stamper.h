@@ -101,6 +101,7 @@ public:
     // Dense-backend storage (throws on other backends).
     DenseMatrix& matrix();
     std::vector<double>& rhs() { return b_; }
+    const std::vector<double>& rhs() const { return b_; }
 
     // Solves the assembled dense system; returns the full solution vector
     // indexed like the unknowns. Standalone/legacy path - circuit solvers

@@ -111,8 +111,7 @@ bool newton_tran(Circuit& circuit, const TranOptions& options,
         make_tran_context(integrator, time, dt, x_prev, state, x, step_id);
 
     for (int it = 0; it < options.max_newton; ++it) {
-        Stamper& st = ws.begin_assembly();
-        for (const auto& dev : circuit.devices()) dev->stamp(st, ctx);
+        Stamper& st = ws.assemble(ctx);
         st.add_gmin_everywhere(options.gmin);
 
         const std::vector<double>* sol_ptr;

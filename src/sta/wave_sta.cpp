@@ -1,6 +1,8 @@
 #include "sta/wave_sta.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
 
 #include "common/error.h"
 #include "common/parallel.h"
@@ -22,52 +24,74 @@ WaveformSta::WaveformSta(
                 "WaveformSta: no model for cell " + inst.cell);
 }
 
+namespace {
+
+// A reusable stage circuit: driver CSM device + receiver caps + wire cap,
+// with one programmable source per driver model pin. Stages of the same
+// (cell, fanout signature) differ only in their input waveforms, so one
+// prepared circuit per signature per worker serves them all with source
+// re-programming — the node/device construction, pattern discovery, and
+// workspace allocation happen once.
+struct StageFixture {
+    Circuit circuit;
+    std::vector<spice::VSource*> pin_sources;  // model.pins order
+    int out_node = -1;
+    bool used = false;
+};
+
+// Signature of a stage: driver cell plus everything load-side that shapes
+// the circuit (wire cap bits, ordered receiver (cell, pin) list).
+std::string stage_signature(const GateNetlist& netlist, const Instance& inst,
+                            double wire_cap) {
+    std::string key = inst.cell;
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "|%a", wire_cap);
+    key += buf;
+    for (const Sink& sink : netlist.sinks_of(inst.conn.at("OUT"))) {
+        const Instance& s_inst = netlist.instances()[sink.instance];
+        key += '|';
+        key += s_inst.cell;
+        key += ':';
+        key += sink.pin;
+    }
+    return key;
+}
+
+}  // namespace
+
 std::unordered_map<std::string, wave::Waveform> WaveformSta::run(
     const WaveStaOptions& options) const {
     std::unordered_map<std::string, wave::Waveform> nets;
     for (const auto& [net, w] : netlist_->primary_inputs()) nets[net] = w;
 
-    // Simulates one stage against the already-evaluated input nets; returns
-    // the output-net waveform. Builds a private stage circuit (with its own
-    // solver workspace), so stages with ready inputs can run concurrently.
-    auto run_stage = [&](const Instance& inst) -> wave::Waveform {
+    // Builds the stage circuit for `inst` (sources carry placeholder DC
+    // drives until a use programs them).
+    auto build_fixture = [&](const Instance& inst) -> StageFixture {
         const CsmModel& model = *models_.at(inst.cell);
         const std::string& out_net = inst.conn.at("OUT");
 
-        // Stage circuit: input sources -> CSM device -> receiver caps.
-        Circuit circuit;
+        StageFixture fx;
         std::vector<int> pin_nodes;
         for (const std::string& pin : model.pins) {
-            const int n = circuit.node("in_" + pin);
+            const int n = fx.circuit.node("in_" + pin);
             pin_nodes.push_back(n);
-            const auto cit = inst.conn.find(pin);
-            if (cit != inst.conn.end()) {
-                const auto nit = nets.find(cit->second);
-                require(nit != nets.end(),
-                        "WaveformSta: net evaluated out of order: " +
-                            cit->second);
-                circuit.add_vsource("V" + pin, n, Circuit::kGround,
-                                    SourceSpec::pwl(nit->second));
-            } else {
-                // Unconnected model pin: park at the non-controlling level
-                // recorded... the model itself holds non-controlling values
-                // only for its fixed pins, so an unconnected switching pin
-                // is a netlist error.
-                throw ModelError("WaveformSta: instance " + inst.name +
-                                 " leaves model pin " + pin + " unconnected");
-            }
+            fx.circuit.add_vsource("V" + pin, n, Circuit::kGround,
+                                   SourceSpec::dc(0.0));
         }
+        for (const std::string& pin : model.pins)
+            fx.pin_sources.push_back(&fx.circuit.vsource("V" + pin));
         std::vector<int> internal_nodes;
         for (const std::string& formal : model.internals)
-            internal_nodes.push_back(circuit.node("int_" + formal));
-        const int out_node = circuit.node("out");
-        circuit.add_device<core::CsmCellDevice>("DRV", model, pin_nodes,
-                                                internal_nodes, out_node,
-                                                /*stamp_input_caps=*/false);
+            internal_nodes.push_back(fx.circuit.node("int_" + formal));
+        fx.out_node = fx.circuit.node("out");
+        fx.circuit.add_device<core::CsmCellDevice>("DRV", model, pin_nodes,
+                                                   internal_nodes, fx.out_node,
+                                                   /*stamp_input_caps=*/false);
 
         const double wire = netlist_->wire_cap(out_net);
         if (wire > 0.0)
-            circuit.add_capacitor("CW", out_node, Circuit::kGround, wire);
+            fx.circuit.add_capacitor("CW", fx.out_node, Circuit::kGround,
+                                     wire);
         int sink_idx = 0;
         for (const Sink& sink : netlist_->sinks_of(out_net)) {
             const Instance& s_inst = netlist_->instances()[sink.instance];
@@ -79,16 +103,58 @@ std::unordered_map<std::string, wave::Waveform> WaveformSta::run(
                         sink.pin);
             const auto p =
                 static_cast<std::size_t>(pin_it - s_model.pins.begin());
-            circuit.add_device<core::LutCapDevice>(
+            fx.circuit.add_device<core::LutCapDevice>(
                 "CSINK" + std::to_string(sink_idx++), s_model.c_in[p],
-                out_node);
+                fx.out_node);
         }
+        return fx;
+    };
+
+    // Simulates one stage against the already-evaluated input nets through
+    // a (cached) fixture; returns the output-net waveform.
+    auto run_stage =
+        [&](const Instance& inst,
+            std::unordered_map<std::string, StageFixture>& cache)
+        -> wave::Waveform {
+        const CsmModel& model = *models_.at(inst.cell);
+        const std::string key =
+            stage_signature(*netlist_, inst,
+                            netlist_->wire_cap(inst.conn.at("OUT")));
+        auto it = cache.find(key);
+        if (it == cache.end())
+            it = cache.emplace(key, build_fixture(inst)).first;
+        StageFixture& fx = it->second;
+
+        for (std::size_t p = 0; p < model.pins.size(); ++p) {
+            const auto cit = inst.conn.find(model.pins[p]);
+            // The model itself holds non-controlling values only for its
+            // fixed pins, so an unconnected switching pin is a netlist
+            // error.
+            require(cit != inst.conn.end(),
+                    "WaveformSta: instance " + inst.name +
+                        " leaves model pin " + model.pins[p] +
+                        " unconnected");
+            const auto nit = nets.find(cit->second);
+            require(nit != nets.end(),
+                    "WaveformSta: net evaluated out of order: " +
+                        cit->second);
+            fx.pin_sources[p]->set_spec(SourceSpec::pwl(nit->second));
+        }
+
+        if (fx.used) {
+            // Drop the frozen pivot order so a reused fixture solves bit-
+            // identically to a freshly built one: the LU re-pivots from
+            // this stage's own first Jacobian instead of inheriting the
+            // order from whatever stage this worker ran before.
+            fx.circuit.workspace().invalidate_factorization();
+        }
+        fx.used = true;
 
         spice::TranOptions topt;
         topt.tstop = options.tstop;
         topt.dt = options.dt;
-        const spice::TranResult result = spice::solve_tran(circuit, topt);
-        return result.node_waveform(out_node);
+        const spice::TranResult result = spice::solve_tran(fx.circuit, topt);
+        return result.node_waveform(fx.out_node);
     };
 
     // Group the topological order into dependency levels: a stage's level
@@ -115,14 +181,32 @@ std::unordered_map<std::string, wave::Waveform> WaveformSta::run(
         levels[level].push_back(idx);
     }
 
+    // Per-worker fixture caches persist across levels (worker w always uses
+    // caches[w]); stages are claimed dynamically, which is safe because a
+    // reused fixture produces bit-identical results to a fresh build.
+    const std::size_t max_workers =
+        ThreadPool::on_worker_thread() ? 1 : resolve_threads(options.threads);
+    std::vector<std::unordered_map<std::string, StageFixture>> caches(
+        std::max<std::size_t>(1, max_workers));
+
     for (const std::vector<std::size_t>& level : levels) {
         std::vector<wave::Waveform> outs(level.size());
-        parallel_for(
-            level.size(),
-            [&](std::size_t i) {
-                outs[i] = run_stage(netlist_->instances()[level[i]]);
-            },
-            options.threads);
+        const std::size_t n_workers = std::min(max_workers, level.size());
+        if (n_workers <= 1) {
+            for (std::size_t i = 0; i < level.size(); ++i)
+                outs[i] =
+                    run_stage(netlist_->instances()[level[i]], caches[0]);
+        } else {
+            std::atomic<std::size_t> next{0};
+            parallel_workers(n_workers, [&](std::size_t w) {
+                for (std::size_t i =
+                         next.fetch_add(1, std::memory_order_relaxed);
+                     i < level.size();
+                     i = next.fetch_add(1, std::memory_order_relaxed))
+                    outs[i] = run_stage(netlist_->instances()[level[i]],
+                                        caches[w]);
+            });
+        }
         for (std::size_t i = 0; i < level.size(); ++i) {
             const Instance& inst = netlist_->instances()[level[i]];
             nets[inst.conn.at("OUT")] = std::move(outs[i]);

@@ -1,0 +1,381 @@
+// Batch-first device evaluation tests:
+//  * the fast softplus/logistic pair agrees with the libm reference to
+//    tight tolerance over the whole argument range,
+//  * batched SoA EKV evaluation with the reference kernel reproduces the
+//    scalar Mosfet::evaluate_current bit-for-bit (ulp-scale) over
+//    randomized operating points in every region,
+//  * the fast kernel stays within a physically negligible tolerance of the
+//    scalar reference on the same points,
+//  * solve_dc_sweep (blocked multi-RHS quasi-Newton) matches per-point
+//    solve_dc on a fully forced characterization fixture and on a generic
+//    circuit with free nodes,
+//  * shortcut characterization is bitwise deterministic across thread
+//    counts.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "cells/library.h"
+#include "common/numeric.h"
+#include "core/characterizer.h"
+#include "spice/circuit.h"
+#include "spice/dc_solver.h"
+#include "spice/device_batch.h"
+#include "tech/tech130.h"
+
+namespace mcsm {
+namespace {
+
+using spice::Circuit;
+using spice::MosCurrent;
+using spice::Mosfet;
+using spice::SourceSpec;
+
+// Distance in representable doubles (same-sign finite inputs; equal bits
+// return 0). Used for the "ulp-scale" SoA-vs-scalar assertion.
+std::int64_t ulp_diff(double a, double b) {
+    if (a == b) return 0;
+    auto ordered = [](double x) {
+        const auto bits = std::bit_cast<std::int64_t>(x);
+        return bits < 0 ? std::numeric_limits<std::int64_t>::min() - bits
+                        : bits;
+    };
+    const std::int64_t da = ordered(a);
+    const std::int64_t db = ordered(b);
+    return da > db ? da - db : db - da;
+}
+
+TEST(FastEkv, SoftplusLogisticPairMatchesReference) {
+    std::mt19937 rng(20260728);
+    std::uniform_real_distribution<double> wide(-80.0, 80.0);
+    std::uniform_real_distribution<double> core(-12.0, 12.0);
+    std::uniform_real_distribution<double> seam(7.9, 8.1);
+
+    auto check = [](double x) {
+        const SpSig f = softplus_logistic_fast(x);
+        const SpSig r = softplus_logistic_ref(x);
+        if (r.sp < 1e-300) {
+            // Deep-underflow tail (the fast path clamps its exponential
+            // argument at 708 to stay in the normal range): both values
+            // are zero for any physical purpose.
+            EXPECT_LT(f.sp, 1e-290) << "x=" << x;
+            EXPECT_LT(f.sig, 1e-290) << "x=" << x;
+            return;
+        }
+        EXPECT_NEAR(f.sp, r.sp, 5e-11 * std::fabs(r.sp)) << "x=" << x;
+        EXPECT_NEAR(f.sig, r.sig, 5e-12 * std::max(r.sig, 1e-300))
+            << "x=" << x;
+    };
+
+    for (int i = 0; i < 4000; ++i) check(wide(rng));
+    for (int i = 0; i < 4000; ++i) check(core(rng));
+    // The piecewise seams and the reference's own switch points.
+    for (int i = 0; i < 500; ++i) {
+        const double s = seam(rng);
+        check(s);
+        check(-s);
+    }
+    for (double x : {-745.0, -300.0, -30.0, -8.0, 0.0, 8.0, 30.0, 700.0})
+        check(x);
+}
+
+// A circuit holding NMOS and PMOS devices of varied geometry between the
+// first few nodes, prepared so the workspace exposes its MosfetBatch.
+struct BatchBench {
+    Circuit circuit;
+    tech::Technology tech = tech::make_tech130();
+    std::vector<const Mosfet*> mosfets;
+    int n_nodes = 0;
+
+    BatchBench() {
+        const int vdd = circuit.node("vdd");
+        circuit.add_vsource("VDD", vdd, Circuit::kGround,
+                            SourceSpec::dc(tech.vdd));
+        // Built with += to dodge GCC 12 -Wrestrict false positives on
+        // `const char* + std::string&&` (see test_sta_scale.cpp).
+        for (int k = 0; k < 6; ++k) {
+            std::string n = "n";
+            n += std::to_string(k);
+            circuit.node(n);
+        }
+        std::mt19937 rng(7);
+        std::uniform_int_distribution<int> pick(0, 6);
+        std::uniform_real_distribution<double> wmul(0.5, 4.0);
+        for (int k = 0; k < 24; ++k) {
+            const bool nmos = k % 2 == 0;
+            const auto& p = nmos ? tech.nmos : tech.pmos;
+            const double w = (nmos ? tech.wn_unit : tech.wp_unit) * wmul(rng);
+            std::string name = "M";
+            name += std::to_string(k);
+            circuit.add_mosfet(name, pick(rng), pick(rng), pick(rng),
+                               nmos ? Circuit::kGround : vdd, p, w, tech.lmin);
+        }
+        circuit.prepare();
+        for (const auto& dev : circuit.devices())
+            if (const auto* m = dynamic_cast<const Mosfet*>(dev.get()))
+                mosfets.push_back(m);
+        n_nodes = circuit.node_count();
+    }
+
+    // Random node voltages spanning every device region: below-ground and
+    // above-rail margins included (the characterizer sweeps there).
+    std::vector<double> random_x(std::mt19937& rng) const {
+        std::uniform_real_distribution<double> v(-0.4, tech.vdd + 0.4);
+        std::vector<double> x(static_cast<std::size_t>(n_nodes) +
+                                  static_cast<std::size_t>(
+                                      circuit.branch_total()),
+                              0.0);
+        for (int n = 1; n < n_nodes; ++n)
+            x[static_cast<std::size_t>(n)] = v(rng);
+        return x;
+    }
+};
+
+TEST(MosfetBatch, SoAReferenceKernelMatchesScalarAtUlpScale) {
+    BatchBench bench;
+    const spice::MosfetBatch& batch =
+        bench.circuit.workspace().mosfet_batch();
+    ASSERT_EQ(batch.size(), bench.mosfets.size());
+
+    std::mt19937 rng(20260728);
+    std::vector<MosCurrent> out(batch.size());
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::vector<double> x = bench.random_x(rng);
+        batch.evaluate(x, out.data(), /*fast=*/false);
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            const Mosfet& m = *bench.mosfets[i];
+            const MosCurrent ref = m.evaluate_current(
+                x[static_cast<std::size_t>(m.drain())],
+                x[static_cast<std::size_t>(m.gate())],
+                x[static_cast<std::size_t>(m.source())],
+                x[static_cast<std::size_t>(m.bulk())]);
+            EXPECT_LE(ulp_diff(out[i].ids, ref.ids), 2) << "device " << i;
+            EXPECT_LE(ulp_diff(out[i].gm, ref.gm), 2) << "device " << i;
+            EXPECT_LE(ulp_diff(out[i].gds, ref.gds), 2) << "device " << i;
+            EXPECT_LE(ulp_diff(out[i].gms, ref.gms), 2) << "device " << i;
+            EXPECT_LE(ulp_diff(out[i].gmb, ref.gmb), 2) << "device " << i;
+        }
+    }
+}
+
+TEST(MosfetBatch, FastKernelTightToScalarInAllRegions) {
+    BatchBench bench;
+    const spice::MosfetBatch& batch =
+        bench.circuit.workspace().mosfet_batch();
+    std::mt19937 rng(42);
+    std::vector<MosCurrent> out(batch.size());
+
+    // Every current/conductance within 1e-9 relative with an attoamp-scale
+    // absolute floor: far below device tolerances, Newton vtol, and every
+    // golden-waveform gate.
+    auto expect_close = [](double got, double want, const char* what,
+                     std::size_t i) {
+        EXPECT_NEAR(got, want, 1e-9 * std::fabs(want) + 1e-18)
+            << what << " device " << i;
+    };
+    auto check_x = [&](const std::vector<double>& x) {
+        batch.evaluate(x, out.data(), /*fast=*/true);
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            const Mosfet& m = *bench.mosfets[i];
+            const MosCurrent ref = m.evaluate_current(
+                x[static_cast<std::size_t>(m.drain())],
+                x[static_cast<std::size_t>(m.gate())],
+                x[static_cast<std::size_t>(m.source())],
+                x[static_cast<std::size_t>(m.bulk())]);
+            expect_close(out[i].ids, ref.ids, "ids", i);
+            expect_close(out[i].gm, ref.gm, "gm", i);
+            expect_close(out[i].gds, ref.gds, "gds", i);
+            expect_close(out[i].gms, ref.gms, "gms", i);
+            expect_close(out[i].gmb, ref.gmb, "gmb", i);
+        }
+    };
+
+    // Randomized points (subthreshold, linear, saturation, reversed d/s and
+    // the sweep margins all occur across 24 devices x shared nodes).
+    for (int trial = 0; trial < 200; ++trial) check_x(bench.random_x(rng));
+    // Deterministic corners: rails and mid-rail.
+    for (double va : {0.0, 0.6, 1.2}) {
+        for (double vb : {0.0, 0.05, 1.2}) {
+            std::vector<double> x(static_cast<std::size_t>(bench.n_nodes) +
+                                      static_cast<std::size_t>(
+                                          bench.circuit.branch_total()),
+                                  0.0);
+            for (int n = 1; n < bench.n_nodes; ++n)
+                x[static_cast<std::size_t>(n)] = (n % 2 != 0) ? va : vb;
+            check_x(x);
+        }
+    }
+}
+
+// NOR2 characterization-style fixture: every node forced, so the blocked
+// sweep's shared-factorization rounds are exact.
+TEST(DcSweep, BlockedMatchesPerPointOnForcedFixture) {
+    const tech::Technology t = tech::make_tech130();
+    const cells::CellLibrary lib(t);
+    auto build = [&]() {
+        Circuit c;
+        const int vdd = c.node("vdd");
+        const int a = c.node("a");
+        const int b = c.node("b");
+        const int out = c.node("out");
+        c.add_vsource("VDD", vdd, Circuit::kGround, SourceSpec::dc(t.vdd));
+        c.add_vsource("VA", a, Circuit::kGround, SourceSpec::dc(0.0));
+        c.add_vsource("VB", b, Circuit::kGround, SourceSpec::dc(0.0));
+        c.add_vsource("VOUT", out, Circuit::kGround, SourceSpec::dc(0.0));
+        const cells::CellType& nor = lib.get("NOR2");
+        std::unordered_map<std::string, int> conn{{cells::kVdd, vdd},
+                                                  {cells::kGnd, 0},
+                                                  {"A", a},
+                                                  {"B", b},
+                                                  {cells::kOut, out}};
+        // Force the internal stack node too (as the MCSM fixture does): a
+        // floating stack node's DC value is only pinned to within leakage
+        // indeterminacy, which is no basis for a voltage comparison.
+        for (const std::string& formal : nor.internal_nodes()) {
+            const int n = c.node("int_" + formal);
+            conn[formal] = n;
+            c.add_vsource("VN_" + formal, n, Circuit::kGround,
+                          SourceSpec::dc(0.6));
+        }
+        nor.instantiate(c, "DUT", conn);
+        return c;
+    };
+
+    // Grid of (va, vb, vout) including the characterization margins.
+    std::vector<double> grid{-0.2, 0.0, 0.3, 0.6, 0.9, 1.2, 1.4};
+    std::vector<double> values;
+    for (double va : grid)
+        for (double vb : grid)
+            for (double vout : grid) {
+                values.push_back(va);
+                values.push_back(vb);
+                values.push_back(vout);
+            }
+    const std::size_t n_points = values.size() / 3;
+
+    // Per-point reference.
+    Circuit ref = build();
+    ref.prepare();
+    std::vector<std::vector<double>> want;
+    spice::DcResult dc;
+    for (std::size_t p = 0; p < n_points; ++p) {
+        ref.vsource("VA").set_spec(SourceSpec::dc(values[p * 3 + 0]));
+        ref.vsource("VB").set_spec(SourceSpec::dc(values[p * 3 + 1]));
+        ref.vsource("VOUT").set_spec(SourceSpec::dc(values[p * 3 + 2]));
+        dc = spice::solve_dc(ref, {}, dc.x.empty() ? nullptr : &dc.x);
+        want.push_back(dc.x);
+    }
+
+    Circuit blk = build();
+    blk.prepare();
+    std::vector<spice::VSource*> swept{&blk.vsource("VA"),
+                                       &blk.vsource("VB"),
+                                       &blk.vsource("VOUT")};
+    std::size_t seen = 0;
+    spice::solve_dc_sweep(
+        blk, swept, values, n_points, {}, nullptr,
+        [&](std::size_t p, const std::vector<double>& x) {
+            ASSERT_EQ(p, seen++);
+            ASSERT_EQ(x.size(), want[p].size());
+            for (std::size_t i = 0; i < x.size(); ++i)
+                EXPECT_NEAR(x[i], want[p][i],
+                            1e-6 * std::max(1.0, std::fabs(want[p][i])))
+                    << "point " << p << " unknown " << i;
+        });
+    EXPECT_EQ(seen, n_points);
+}
+
+// Generic circuit with free nodes: the shared-matrix rounds are a
+// quasi-Newton iteration here; converged points must still land on the
+// true solution, and stragglers must fall back cleanly.
+TEST(DcSweep, BlockedMatchesPerPointWithFreeNodes) {
+    const tech::Technology t = tech::make_tech130();
+    auto build = [&]() {
+        Circuit c;
+        const int vdd = c.node("vdd");
+        const int in = c.node("in");
+        const int out = c.node("out");  // free node
+        const int mid = c.node("mid");  // free node
+        c.add_vsource("VDD", vdd, Circuit::kGround, SourceSpec::dc(t.vdd));
+        c.add_vsource("VIN", in, Circuit::kGround, SourceSpec::dc(0.0));
+        c.add_mosfet("MN", out, in, Circuit::kGround, Circuit::kGround,
+                     t.nmos, t.wn_unit, t.lmin);
+        c.add_mosfet("MP", out, in, vdd, vdd, t.pmos, t.wp_unit, t.lmin);
+        c.add_resistor("RL", out, mid, 5e3);
+        c.add_resistor("RG", mid, Circuit::kGround, 50e3);
+        return c;
+    };
+
+    std::vector<double> values;
+    for (double v = -0.1; v <= 1.31; v += 0.05) values.push_back(v);
+    const std::size_t n_points = values.size();
+
+    Circuit ref = build();
+    ref.prepare();
+    std::vector<std::vector<double>> want;
+    spice::DcResult dc;
+    for (std::size_t p = 0; p < n_points; ++p) {
+        ref.vsource("VIN").set_spec(SourceSpec::dc(values[p]));
+        dc = spice::solve_dc(ref, {}, dc.x.empty() ? nullptr : &dc.x);
+        want.push_back(dc.x);
+    }
+
+    Circuit blk = build();
+    blk.prepare();
+    std::vector<spice::VSource*> swept{&blk.vsource("VIN")};
+    spice::DcSweepOptions sopt;
+    sopt.block = 8;
+    std::size_t seen = 0;
+    spice::solve_dc_sweep(
+        blk, swept, values, n_points, sopt, nullptr,
+        [&](std::size_t p, const std::vector<double>& x) {
+            ++seen;
+            for (std::size_t i = 0; i < x.size(); ++i)
+                EXPECT_NEAR(x[i], want[p][i],
+                            1e-6 * std::max(1.0, std::fabs(want[p][i])))
+                    << "point " << p << " unknown " << i;
+        });
+    EXPECT_EQ(seen, n_points);
+}
+
+TEST(Characterizer, ShortcutSweepBitwiseAcrossThreadCounts) {
+    const tech::Technology t = tech::make_tech130();
+    const cells::CellLibrary lib(t);
+    const core::Characterizer chr(lib);
+
+    core::CharOptions opt;
+    opt.grid_points = 5;
+    opt.transient_caps = false;
+    opt.threads = 1;
+    const core::CsmModel serial =
+        chr.characterize("NOR2", core::ModelKind::kMcsm, {"A", "B"}, opt);
+    opt.threads = 3;
+    const core::CsmModel parallel =
+        chr.characterize("NOR2", core::ModelKind::kMcsm, {"A", "B"}, opt);
+
+    auto same = [](const lut::NdTable& a, const lut::NdTable& b) {
+        ASSERT_EQ(a.value_count(), b.value_count());
+        for (std::size_t i = 0; i < a.value_count(); ++i)
+            EXPECT_EQ(a.values()[i], b.values()[i]) << a.name() << "[" << i
+                                                    << "]";
+    };
+    same(serial.i_out, parallel.i_out);
+    same(serial.c_out, parallel.c_out);
+    ASSERT_EQ(serial.i_internal.size(), parallel.i_internal.size());
+    for (std::size_t j = 0; j < serial.i_internal.size(); ++j)
+        same(serial.i_internal[j], parallel.i_internal[j]);
+    ASSERT_EQ(serial.c_miller.size(), parallel.c_miller.size());
+    for (std::size_t p = 0; p < serial.c_miller.size(); ++p)
+        same(serial.c_miller[p], parallel.c_miller[p]);
+    ASSERT_EQ(serial.c_in.size(), parallel.c_in.size());
+    for (std::size_t p = 0; p < serial.c_in.size(); ++p)
+        same(serial.c_in[p], parallel.c_in[p]);
+}
+
+}  // namespace
+}  // namespace mcsm

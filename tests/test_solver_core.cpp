@@ -394,7 +394,15 @@ TEST(SolverWorkspace, NewtonCycleIsAllocationFreeAfterPrepare) {
     tran_ctx.state = &state;
     tran_ctx.step_id = 1;
 
+    // Both assembly flavors: the batched evaluate-and-stamp entry point the
+    // solvers use (SoA MOSFET pass + virtual remainder) and the legacy
+    // manual device loop.
     auto cycle = [&](const spice::SimContext& ctx) {
+        spice::Stamper& st = ws.assemble(ctx);
+        st.add_gmin_everywhere(1e-12);
+        (void)ws.solve();
+    };
+    auto cycle_manual = [&](const spice::SimContext& ctx) {
         spice::Stamper& st = ws.begin_assembly();
         for (const auto& dev : c.devices()) dev->stamp(st, ctx);
         st.add_gmin_everywhere(1e-12);
@@ -402,12 +410,30 @@ TEST(SolverWorkspace, NewtonCycleIsAllocationFreeAfterPrepare) {
     };
     cycle(dc_ctx);   // warm the solve buffers
     cycle(tran_ctx); // and the transient companion caches
+    cycle_manual(dc_ctx);
+
+    // Blocked multi-RHS solves on the frozen factorization, preallocated
+    // like the DC sweep solver's round buffers.
+    const std::size_t n_u = ws.system_size();
+    constexpr std::size_t kRhs = 8;
+    std::vector<double> b_block(n_u * kRhs);
+    std::vector<double> x_block(n_u * kRhs);
+    std::vector<double> u(n_u, 0.0);
+    std::vector<double> r(n_u, 0.0);
+    for (std::size_t i = 0; i < b_block.size(); ++i)
+        b_block[i] = 1e-6 * static_cast<double>(i % 17);
+    ws.factor();
+    ws.solve_block(b_block.data(), x_block.data(), kRhs);  // warm
 
     const std::size_t before = AllocCounter::count();
     for (int it = 0; it < 50; ++it) {
         cycle(dc_ctx);
         tran_ctx.step_id = 2 + it;  // force cap-cache refreshes too
         cycle(tran_ctx);
+        cycle_manual(dc_ctx);
+        ws.residual(u, r);
+        ws.factor();
+        ws.solve_block(b_block.data(), x_block.data(), kRhs);
     }
     const std::size_t after = AllocCounter::count();
     EXPECT_EQ(after - before, 0u)

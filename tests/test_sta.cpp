@@ -142,6 +142,66 @@ TEST_F(StaFixture, WaveformStaMatchesGoldenFlat) {
     EXPECT_NEAR(*m50, *g50, 6e-12);
 }
 
+TEST_F(StaFixture, WaveformStaBitwiseDeterministicAcrossThreads) {
+    // A netlist with repeated (cell, fanout-signature) stages, so the
+    // per-worker fixture cache actually reuses circuits — within levels and
+    // across them. Reused fixtures drop their frozen LU pivot order, so
+    // every stage must come out bit-identical no matter how many workers
+    // run or which worker served which stage.
+    const core::Characterizer chr(lib_);
+    core::CharOptions fast;
+    fast.transient_caps = false;
+    fast.grid_points = 7;
+    const core::CsmModel inv =
+        chr.characterize("INV_X1", core::ModelKind::kSis, {"A"}, fast);
+    const core::CsmModel nor =
+        chr.characterize("NOR2", core::ModelKind::kMcsm, {"A", "B"}, fast);
+
+    GateNetlist nl;
+    nl.add_primary_input(
+        "in", wave::piecewise_edges(tech_.vdd, {{0.4e-9, 90e-12, 0.0}}));
+    constexpr int kFan = 4;
+    for (int k = 0; k < kFan; ++k) {
+        const std::string a = "a" + std::to_string(k);
+        const std::string b = "b" + std::to_string(k);
+        nl.add_instance({"u" + std::to_string(k), "INV_X1",
+                         {{"A", "in"}, {"OUT", a}}});
+        nl.add_instance({"v" + std::to_string(k), "INV_X1",
+                         {{"A", a}, {"OUT", b}}});
+        nl.set_wire_cap(a, 1e-15);
+        nl.set_wire_cap(b, 1.5e-15);
+    }
+    for (int k = 0; k < kFan; ++k) {
+        const std::string c = "c" + std::to_string(k);
+        nl.add_instance({"w" + std::to_string(k), "NOR2",
+                         {{"A", "b" + std::to_string(k)},
+                          {"B", "b" + std::to_string((k + 1) % kFan)},
+                          {"OUT", c}}});
+        nl.set_wire_cap(c, 2e-15);
+    }
+
+    WaveformSta sta(nl, {{"INV_X1", &inv}, {"NOR2", &nor}});
+    WaveStaOptions wopt;
+    wopt.tstop = 2.5e-9;
+    wopt.dt = 2e-12;
+
+    wopt.threads = 1;
+    const auto serial = sta.run(wopt);
+    for (std::size_t threads : {2u, 5u}) {
+        wopt.threads = threads;
+        const auto par = sta.run(wopt);
+        ASSERT_EQ(par.size(), serial.size());
+        for (const auto& [net, w] : serial) {
+            const auto it = par.find(net);
+            ASSERT_NE(it, par.end()) << net;
+            ASSERT_EQ(it->second.size(), w.size()) << net;
+            for (std::size_t s = 0; s < w.size(); ++s)
+                ASSERT_EQ(it->second.value(s), w.value(s))
+                    << net << " sample " << s << " threads " << threads;
+        }
+    }
+}
+
 TEST_F(StaFixture, NldmUnderestimatesMisDelayCsmDoesNot) {
     // The paper's motivation: when both inputs of a stacked gate switch
     // together, SIS NLDM (which characterizes each arc with the other input

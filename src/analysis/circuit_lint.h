@@ -1,0 +1,62 @@
+// Pre-flight circuit linter: audits a spice::Circuit BEFORE any solve, so
+// malformed netlists are rejected with named nodes/devices and fix hints
+// instead of surfacing as Newton non-convergence, a singular LU pivot, or --
+// worst -- a silently wrong waveform held up by the gmin shunt. This is the
+// admission gate user-supplied decks pass through on their way into the
+// solver (ROADMAP items 1 and 3).
+//
+// Rules (severity / id):
+//   error   circuit.dangling-terminal       terminal node id out of range
+//   error   circuit.floating-node           node with no device terminal
+//   warning circuit.dangling-node           node with a single terminal
+//   error   circuit.no-dc-path              node unreachable from ground
+//                                           through DC-conducting devices
+//   error   circuit.vsource-loop            loop of ideal voltage sources
+//   error   circuit.shorted-vsource         V source with both terminals on
+//                                           one node
+//   error   circuit.nonpositive-resistance  R <= 0 (or non-finite)
+//   error   circuit.negative-capacitance    C < 0 (or non-finite)
+//   warning circuit.zero-capacitance        C == 0 (no effect)
+//   warning circuit.shorted-passive         R/C with both terminals on one
+//                                           node
+//   warning circuit.disconnected-subgraph   devices in a component with no
+//                                           path (of any kind) to ground
+//   error   circuit.structural-singularity  the MNA pattern (without the
+//                                           gmin crutch) has no full
+//                                           transversal: every numeric
+//                                           factorization must fail,
+//                                           reported with the offending
+//                                           rows/columns by name
+//
+// The structural check runs maximum bipartite matching (analysis/structural)
+// on the same MNA sparsity pattern Circuit::prepare() discovers for the
+// SolverWorkspace -- minus the gmin diagonal, which exists precisely to
+// paper over the empty rows this rule is meant to find.
+#ifndef MCSM_ANALYSIS_CIRCUIT_LINT_H
+#define MCSM_ANALYSIS_CIRCUIT_LINT_H
+
+#include "analysis/diagnostics.h"
+
+namespace mcsm::spice {
+class Circuit;
+}
+
+namespace mcsm::analysis {
+
+struct CircuitLintOptions {
+    // Run the bipartite-matching structural-singularity detector (skipped
+    // automatically when dangling terminals make the pattern unbuildable).
+    bool structural = true;
+    // Demote no-dc-path to a warning (explicit-integrator workloads solve
+    // node-by-node and tolerate capacitively-anchored nodes).
+    bool dc_path_is_error = true;
+};
+
+// Lints `circuit`, binding device indices first (Circuit::prepare()) so the
+// report matches what the solver would see. Does not solve anything.
+LintReport lint_circuit(spice::Circuit& circuit,
+                        const CircuitLintOptions& options = {});
+
+}  // namespace mcsm::analysis
+
+#endif  // MCSM_ANALYSIS_CIRCUIT_LINT_H

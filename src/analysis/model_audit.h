@@ -1,0 +1,59 @@
+// Static auditor for model-side data: lookup tables, characterized CSM
+// models, and serve-layer arc surfaces -- at rest (store files) or in
+// memory. Catches the data defects that otherwise surface as NaN-poisoned
+// transients or silently wrong served delays: non-finite payload values,
+// broken axes, voltage grids that do not cover the rail range, and
+// unphysical header parameters.
+//
+// Rules (severity / id):
+//   error   table.empty               rank-0 / valueless table
+//   error   table.nonfinite-value     NaN/Inf payload value
+//   error   table.axis-nonfinite      NaN/Inf axis knot
+//   error   table.axis-nonmonotone    knots not strictly increasing
+//   error   model.inconsistent-shape  table ranks/axes vs pins/internals
+//   error   model.physical-range      vdd/dv_margin/temp out of range
+//   error   model.knot-coverage       voltage axis does not cover [0, vdd]
+//   error   model.duplicate-pin       pin/internal name repeated
+//   warning model.negative-capacitance  Co/Cin table dips below zero
+//   error   surface.nonpositive-slew  slew table value <= 0
+//   error   surface.bad-parameters    dt/settle not finite and positive
+//   error   store.unreadable          file failed to load (corrupt,
+//                                     truncated, wrong kind, bad checksum)
+//   info    store.scanned             directory summary
+//
+// ModelRepository runs audit_model on every load when
+// RepositoryOptions::lint_on_load is set (the default), and the
+// examples/mcsm_lint CLI runs audit_path over store directories.
+#ifndef MCSM_ANALYSIS_MODEL_AUDIT_H
+#define MCSM_ANALYSIS_MODEL_AUDIT_H
+
+#include <string>
+
+#include "analysis/diagnostics.h"
+#include "core/model.h"
+#include "lut/ndtable.h"
+#include "serve/model_store.h"
+
+namespace mcsm::analysis {
+
+// Audits one table. `context` names it in messages ("Io", "NOR2.Io", ...);
+// empty uses table.name(). `vdd` > 0 additionally requires every axis to
+// cover the voltage range [0, vdd] (pass 0 for non-voltage tables).
+LintReport audit_table(const lut::NdTable& table, const std::string& context,
+                       double vdd = 0.0);
+
+LintReport audit_model(const core::CsmModel& model);
+
+LintReport audit_surface(const serve::ArcSurfaceData& surface);
+
+// Audits one store file by extension (.csm.bin / .csm / .surf.bin); a file
+// that fails to load yields a store.unreadable error instead of throwing.
+LintReport audit_file(const std::string& path);
+
+// Audits `path`: a store file, or a directory scanned (non-recursively)
+// for store files. Unknown paths yield a store.unreadable error.
+LintReport audit_path(const std::string& path);
+
+}  // namespace mcsm::analysis
+
+#endif  // MCSM_ANALYSIS_MODEL_AUDIT_H

@@ -1,0 +1,123 @@
+#include "analysis/structural.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/error.h"
+
+namespace mcsm::analysis {
+
+namespace {
+
+constexpr int kInf = std::numeric_limits<int>::max();
+
+// Hopcroft-Karp over rows (left) and cols (right). Standard formulation:
+// repeat { BFS layers the graph from every free row; DFS augments along
+// vertex-disjoint shortest paths } until no augmenting path remains.
+class HopcroftKarp {
+public:
+    HopcroftKarp(std::size_t n, std::span<const std::pair<int, int>> entries)
+        : n_(n),
+          adj_(n),
+          row_match_(n, -1),
+          col_match_(n, -1),
+          dist_(n, kInf) {
+        for (const auto& [r, c] : entries) {
+            require(r >= 0 && c >= 0 && static_cast<std::size_t>(r) < n &&
+                        static_cast<std::size_t>(c) < n,
+                    "structural_analysis: entry out of range");
+            adj_[static_cast<std::size_t>(r)].push_back(c);
+        }
+        // Dedup per row: duplicate stamp entries are common (DC + transient
+        // passes touch the same slots) and would only slow the search.
+        for (std::vector<int>& cols : adj_) {
+            std::sort(cols.begin(), cols.end());
+            cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+        }
+    }
+
+    std::size_t run() {
+        std::size_t matched = 0;
+        while (bfs()) {
+            for (std::size_t r = 0; r < n_; ++r)
+                if (row_match_[r] < 0 && dfs(static_cast<int>(r))) ++matched;
+        }
+        return matched;
+    }
+
+    const std::vector<int>& row_match() const { return row_match_; }
+    const std::vector<int>& col_match() const { return col_match_; }
+
+private:
+    bool bfs() {
+        std::queue<int> q;
+        for (std::size_t r = 0; r < n_; ++r) {
+            if (row_match_[r] < 0) {
+                dist_[r] = 0;
+                q.push(static_cast<int>(r));
+            } else {
+                dist_[r] = kInf;
+            }
+        }
+        bool found_free_col = false;
+        while (!q.empty()) {
+            const int r = q.front();
+            q.pop();
+            for (const int c : adj_[static_cast<std::size_t>(r)]) {
+                const int r2 = col_match_[static_cast<std::size_t>(c)];
+                if (r2 < 0) {
+                    found_free_col = true;
+                } else if (dist_[static_cast<std::size_t>(r2)] == kInf) {
+                    dist_[static_cast<std::size_t>(r2)] =
+                        dist_[static_cast<std::size_t>(r)] + 1;
+                    q.push(r2);
+                }
+            }
+        }
+        return found_free_col;
+    }
+
+    bool dfs(int r) {
+        for (const int c : adj_[static_cast<std::size_t>(r)]) {
+            const int r2 = col_match_[static_cast<std::size_t>(c)];
+            if (r2 < 0 || (dist_[static_cast<std::size_t>(r2)] ==
+                               dist_[static_cast<std::size_t>(r)] + 1 &&
+                           dfs(r2))) {
+                row_match_[static_cast<std::size_t>(r)] = c;
+                col_match_[static_cast<std::size_t>(c)] = r;
+                return true;
+            }
+        }
+        dist_[static_cast<std::size_t>(r)] = kInf;
+        return false;
+    }
+
+    std::size_t n_;
+    std::vector<std::vector<int>> adj_;
+    std::vector<int> row_match_;
+    std::vector<int> col_match_;
+    std::vector<int> dist_;
+};
+
+}  // namespace
+
+StructuralResult structural_analysis(
+    std::size_t n, std::span<const std::pair<int, int>> entries) {
+    StructuralResult result;
+    result.size = n;
+    if (n == 0) return result;
+
+    HopcroftKarp hk(n, entries);
+    result.matching_size = hk.run();
+    result.row_match = hk.row_match();
+    for (std::size_t r = 0; r < result.size; ++r)
+        if (result.row_match[r] < 0)
+            result.unmatched_rows.push_back(static_cast<int>(r));
+    for (std::size_t c = 0; c < result.size; ++c)
+        if (hk.col_match()[c] < 0)
+            result.unmatched_cols.push_back(static_cast<int>(c));
+    return result;
+}
+
+}  // namespace mcsm::analysis

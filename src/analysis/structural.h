@@ -1,0 +1,48 @@
+// Structural (pattern-only) singularity analysis of a sparse matrix.
+//
+// A linear system is structurally nonsingular when some assignment of its
+// structurally-nonzero entries forms a full transversal -- equivalently,
+// when the bipartite graph rows x cols with an edge per stored entry has a
+// perfect matching. If the maximum matching is deficient, EVERY numeric
+// factorization must hit a zero pivot, regardless of device values: the
+// deficiency names defective equations (rows) and unknowns (cols) exactly,
+// which is far more actionable than SparseLu's eventual "singular matrix at
+// pivot k". Maximum matching runs Hopcroft-Karp in O(E * sqrt(V)) over the
+// CSR pattern -- microseconds at netlist scale.
+#ifndef MCSM_ANALYSIS_STRUCTURAL_H
+#define MCSM_ANALYSIS_STRUCTURAL_H
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace mcsm::analysis {
+
+struct StructuralResult {
+    std::size_t size = 0;           // system dimension n
+    std::size_t matching_size = 0;  // maximum transversal size (<= n)
+    std::vector<int> unmatched_rows;
+    std::vector<int> unmatched_cols;
+    // row_match[r] = matched column (-1 when unmatched); n entries.
+    std::vector<int> row_match;
+
+    bool structurally_singular() const { return matching_size < size; }
+    // Rank deficiency lower bound implied by the pattern.
+    std::size_t deficiency() const { return size - matching_size; }
+};
+
+// Maximum bipartite matching over the raw (row, col) entry list of an
+// n x n pattern (duplicates are fine; values are irrelevant -- an entry a
+// device merely *touches* counts as an edge, matching the solver's
+// treatment of its fixed sparsity pattern). Takes the entry list rather
+// than a built SparseMatrix deliberately: SparseMatrix::build inserts the
+// full diagonal for pivot slots, which would hide exactly the empty rows
+// this analysis exists to find. Feed it spice::collect_mna_entries(...,
+// include_gmin=false).
+StructuralResult structural_analysis(
+    std::size_t n, std::span<const std::pair<int, int>> entries);
+
+}  // namespace mcsm::analysis
+
+#endif  // MCSM_ANALYSIS_STRUCTURAL_H

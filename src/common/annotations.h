@@ -1,0 +1,85 @@
+// Portable Clang thread-safety annotations plus the annotated mutex types
+// the analysis needs to be useful.
+//
+// Clang's -Wthread-safety proves lock discipline at compile time: members
+// declared MCSM_GUARDED_BY(m) may only be touched while m is held, and
+// functions declared MCSM_REQUIRES(m) may only be called with m held. The
+// attributes only exist under Clang; every macro expands to nothing on other
+// compilers, so GCC builds are unaffected. The CI static-analysis job builds
+// with clang -Wthread-safety -Werror, which turns any violation into a
+// build failure.
+//
+// std::mutex on libstdc++ carries no capability attributes, so the analysis
+// cannot follow it. Mutex below wraps std::mutex with annotated
+// lock()/unlock()/try_lock(), and MutexLock is the annotated RAII guard.
+// Code that must hand a lock to a condition variable uses
+// std::unique_lock<Mutex> (Mutex satisfies BasicLockable) together with
+// std::condition_variable_any; the analysis cannot see through
+// std::unique_lock, so such wait loops carry
+// MCSM_NO_THREAD_SAFETY_ANALYSIS with a comment.
+#ifndef MCSM_COMMON_ANNOTATIONS_H
+#define MCSM_COMMON_ANNOTATIONS_H
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define MCSM_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef MCSM_THREAD_ANNOTATION
+#define MCSM_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+#define MCSM_CAPABILITY(x) MCSM_THREAD_ANNOTATION(capability(x))
+#define MCSM_SCOPED_CAPABILITY MCSM_THREAD_ANNOTATION(scoped_lockable)
+#define MCSM_GUARDED_BY(x) MCSM_THREAD_ANNOTATION(guarded_by(x))
+#define MCSM_PT_GUARDED_BY(x) MCSM_THREAD_ANNOTATION(pt_guarded_by(x))
+#define MCSM_REQUIRES(...) \
+    MCSM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define MCSM_ACQUIRE(...) \
+    MCSM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define MCSM_TRY_ACQUIRE(...) \
+    MCSM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define MCSM_RELEASE(...) \
+    MCSM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define MCSM_EXCLUDES(...) MCSM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define MCSM_RETURN_CAPABILITY(x) MCSM_THREAD_ANNOTATION(lock_returned(x))
+#define MCSM_NO_THREAD_SAFETY_ANALYSIS \
+    MCSM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace mcsm {
+
+// std::mutex with capability annotations so -Wthread-safety can track it.
+// Satisfies Lockable, so std::unique_lock<Mutex> and
+// std::condition_variable_any work unchanged.
+class MCSM_CAPABILITY("mutex") Mutex {
+public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() MCSM_ACQUIRE() { m_.lock(); }
+    void unlock() MCSM_RELEASE() { m_.unlock(); }
+    bool try_lock() MCSM_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+private:
+    std::mutex m_;
+};
+
+// Annotated lock_guard equivalent for plain critical sections.
+class MCSM_SCOPED_CAPABILITY MutexLock {
+public:
+    explicit MutexLock(Mutex& m) MCSM_ACQUIRE(m) : m_(m) { m_.lock(); }
+    ~MutexLock() MCSM_RELEASE() { m_.unlock(); }
+
+    MutexLock(const MutexLock&) = delete;
+    MutexLock& operator=(const MutexLock&) = delete;
+
+private:
+    Mutex& m_;
+};
+
+}  // namespace mcsm
+
+#endif  // MCSM_COMMON_ANNOTATIONS_H

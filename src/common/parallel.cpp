@@ -30,7 +30,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stopping_ = true;
     }
     work_cv_.notify_all();
@@ -39,26 +39,30 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> job) {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         queue_.push_back(std::move(job));
         ++in_flight_;
     }
     work_cv_.notify_one();
 }
 
-void ThreadPool::wait_idle() {
-    std::unique_lock<std::mutex> lock(mutex_);
+// Condition-variable wait: the lock travels through std::unique_lock, which
+// the thread-safety analysis cannot follow, so the guarded-member accesses
+// in the predicate are exempted here (and only here).
+void ThreadPool::wait_idle() MCSM_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<Mutex> lock(mutex_);
     idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
 bool ThreadPool::on_worker_thread() { return t_on_worker; }
 
-void ThreadPool::worker_loop() {
+// Same std::unique_lock exemption as wait_idle().
+void ThreadPool::worker_loop() MCSM_NO_THREAD_SAFETY_ANALYSIS {
     t_on_worker = true;
     for (;;) {
         std::function<void()> job;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
+            std::unique_lock<Mutex> lock(mutex_);
             work_cv_.wait(lock,
                           [this] { return stopping_ || !queue_.empty(); });
             if (queue_.empty()) return;  // stopping
@@ -67,7 +71,7 @@ void ThreadPool::worker_loop() {
         }
         job();
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             if (--in_flight_ == 0) idle_cv_.notify_all();
         }
     }

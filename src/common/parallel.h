@@ -17,9 +17,10 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.h"
 
 namespace mcsm {
 
@@ -35,24 +36,25 @@ public:
 
     // Enqueues a job; jobs must not throw past their own boundary (use
     // parallel_for / parallel_workers for exception propagation).
-    void submit(std::function<void()> job);
+    void submit(std::function<void()> job) MCSM_EXCLUDES(mutex_);
 
     // Blocks until every submitted job has finished.
-    void wait_idle();
+    void wait_idle() MCSM_EXCLUDES(mutex_);
 
     // True when the calling thread is one of this (or any) pool's workers.
     static bool on_worker_thread();
 
 private:
-    void worker_loop();
+    void worker_loop() MCSM_EXCLUDES(mutex_);
 
     std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;
-    std::mutex mutex_;
-    std::condition_variable work_cv_;
-    std::condition_variable idle_cv_;
-    std::size_t in_flight_ = 0;
-    bool stopping_ = false;
+    Mutex mutex_;
+    std::deque<std::function<void()>> queue_ MCSM_GUARDED_BY(mutex_);
+    // condition_variable_any: waits take std::unique_lock<Mutex> directly.
+    std::condition_variable_any work_cv_;
+    std::condition_variable_any idle_cv_;
+    std::size_t in_flight_ MCSM_GUARDED_BY(mutex_) = 0;
+    bool stopping_ MCSM_GUARDED_BY(mutex_) = false;
 };
 
 // Worker-thread count: std::thread::hardware_concurrency(), overridden by

@@ -17,9 +17,10 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
+
+#include "common/annotations.h"
 
 namespace mcsm {
 
@@ -37,7 +38,7 @@ public:
         std::shared_ptr<Entry> entry;
         std::shared_future<Ptr> existing;
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             const auto it = entries_.find(id);
             if (it != entries_.end()) {
                 existing = it->second->future;
@@ -56,7 +57,7 @@ public:
             return value;
         } catch (...) {
             {
-                std::lock_guard<std::mutex> lock(mutex_);
+                MutexLock lock(mutex_);
                 const auto it = entries_.find(id);
                 // Only evict our own attempt; a concurrent put() may have
                 // installed a valid value under this key meanwhile.
@@ -72,7 +73,7 @@ public:
     void put(const std::string& id, Ptr value) {
         std::promise<Ptr> ready;
         ready.set_value(std::move(value));
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         entries_[id] =
             std::make_shared<Entry>(Entry{ready.get_future().share()});
     }
@@ -80,13 +81,13 @@ public:
     // True when `id` holds a completed (successful or not-yet-evicted)
     // production; false for absent or still-in-flight keys.
     bool ready(const std::string& id) const {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         const auto it = entries_.find(id);
         return it != entries_.end() && is_ready(it->second->future);
     }
 
     std::size_t ready_count() const {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         std::size_t n = 0;
         for (const auto& [id, entry] : entries_)
             if (is_ready(entry->future)) ++n;
@@ -103,8 +104,9 @@ private:
                std::future_status::ready;
     }
 
-    mutable std::mutex mutex_;
-    std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;
+    mutable Mutex mutex_;
+    std::unordered_map<std::string, std::shared_ptr<Entry>> entries_
+        MCSM_GUARDED_BY(mutex_);
 };
 
 }  // namespace mcsm

@@ -32,6 +32,13 @@ CsmCellDevice::CsmCellDevice(std::string name, const CsmModel& model,
     caps_cache_.ca.resize(input_caps_ ? model.pin_count() : 0);
 }
 
+std::vector<int> CsmCellDevice::terminals() const {
+    std::vector<int> t(pins_);
+    t.insert(t.end(), internals_.begin(), internals_.end());
+    t.push_back(out_);
+    return t;
+}
+
 int CsmCellDevice::state_count() const {
     // Trapezoidal branch currents: one per Miller cap, one for Co, one per
     // CN, one per pin->internal Miller, and one per input cap when stamped.

@@ -31,6 +31,7 @@ public:
                   int out_node, bool stamp_input_caps = false);
 
     int state_count() const override;
+    std::vector<int> terminals() const override;
     void stamp(spice::Stamper& st, const spice::SimContext& ctx) const override;
     void commit(const spice::SimContext& ctx,
                 std::span<double> state_next) const override;
@@ -79,6 +80,7 @@ public:
                  double scale = 1.0);
 
     int state_count() const override { return 1; }
+    std::vector<int> terminals() const override { return {node_}; }
     void stamp(spice::Stamper& st, const spice::SimContext& ctx) const override;
     void commit(const spice::SimContext& ctx,
                 std::span<double> state_next) const override;

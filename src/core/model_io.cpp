@@ -1,5 +1,6 @@
 #include "core/model_io.h"
 
+#include <cmath>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -83,15 +84,22 @@ CsmModel read_model(std::istream& is) {
     require(static_cast<bool>(is >> word) && word == "vdd" &&
                 read_double(is, m.vdd),
             "read_model: missing vdd");
+    require(std::isfinite(m.vdd) && m.vdd > 0.0,
+            "read_model: vdd = " + std::to_string(m.vdd) +
+                " (must be finite and > 0)");
     require(static_cast<bool>(is >> word) && word == "dv" &&
                 read_double(is, m.dv_margin),
             "read_model: missing dv");
+    require(std::isfinite(m.dv_margin) && m.dv_margin >= 0.0,
+            "read_model: dv = " + std::to_string(m.dv_margin) +
+                " (must be finite and >= 0)");
 
     // `temp` was added after the format shipped; legacy files jump straight
     // to `pins` and keep the nominal default.
     require(static_cast<bool>(is >> word), "read_model: truncated header");
     if (word == "temp") {
-        require(read_double(is, m.temp_c), "read_model: bad temp");
+        require(read_double(is, m.temp_c) && std::isfinite(m.temp_c),
+                "read_model: bad temp");
         require(static_cast<bool>(is >> word), "read_model: missing pins");
     }
 
@@ -106,10 +114,14 @@ CsmModel read_model(std::istream& is) {
             "read_model: missing fixed");
     m.fixed_pins.resize(n);
     m.fixed_values.resize(n);
-    for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t i = 0; i < n; ++i) {
         require(static_cast<bool>(is >> m.fixed_pins[i]) &&
                     read_double(is, m.fixed_values[i]),
                 "read_model: truncated fixed pins");
+        require(std::isfinite(m.fixed_values[i]),
+                "read_model: fixed pin '" + m.fixed_pins[i] +
+                    "' held at a non-finite voltage");
+    }
 
     require(static_cast<bool>(is >> word >> n) && word == "internals",
             "read_model: missing internals");

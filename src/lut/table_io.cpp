@@ -1,5 +1,6 @@
 #include "lut/table_io.h"
 
+#include <cmath>
 #include <istream>
 #include <ostream>
 
@@ -15,6 +16,23 @@ namespace {
 bool read_double(std::istream& is, double& out) {
     std::string token;
     return static_cast<bool>(is >> token) && parse_exact_double(token, out);
+}
+
+// Rejects axes that would break interpolation before the Axis constructor
+// sees them, with a message naming the table/axis/knot so a corrupt store
+// file can be triaged from the exception alone.
+void check_axis_knots(const std::string& table_name,
+                      const std::string& axis_name,
+                      const std::vector<double>& knots) {
+    const std::string where = "read_table: table '" + table_name +
+                              "' axis '" + axis_name + "' ";
+    for (std::size_t i = 0; i < knots.size(); ++i) {
+        require(std::isfinite(knots[i]),
+                where + "knot " + std::to_string(i) + " is not finite");
+        require(i == 0 || knots[i] > knots[i - 1],
+                where + "is not strictly increasing at knot " +
+                    std::to_string(i));
+    }
 }
 
 }  // namespace
@@ -61,6 +79,7 @@ NdTable read_table(std::istream& is) {
         std::vector<double> knots(n);
         for (double& k : knots)
             require(read_double(is, k), "read_table: truncated axis");
+        check_axis_knots(name, axis_name, knots);
         axes.emplace_back(std::move(axis_name), std::move(knots));
     }
 
@@ -72,8 +91,12 @@ NdTable read_table(std::istream& is) {
     require(table.value_count() == count,
             "read_table: value count does not match axes");
     std::vector<double> vals(count);
-    for (double& v : vals)
-        require(read_double(is, v), "read_table: truncated values");
+    for (std::size_t i = 0; i < count; ++i) {
+        require(read_double(is, vals[i]), "read_table: truncated values");
+        require(std::isfinite(vals[i]),
+                "read_table: table '" + table.name() + "' value " +
+                    std::to_string(i) + " is not finite");
+    }
 
     // Write values back through the grid visitor to keep the layout private.
     std::size_t i = 0;

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <bit>
+#include <cmath>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -197,12 +198,24 @@ lut::NdTable get_table(ByteReader& r) {
     axes.reserve(rank);
     for (std::uint32_t d = 0; d < rank; ++d) {
         std::string axis_name = r.str();
-        axes.emplace_back(std::move(axis_name), r.f64_vec());
+        std::vector<double> knots = r.f64_vec();
+        for (std::size_t i = 0; i < knots.size(); ++i) {
+            require(std::isfinite(knots[i]) &&
+                        (i == 0 || knots[i] > knots[i - 1]),
+                    "model_store: table '" + name + "' axis '" + axis_name +
+                        "' has a non-finite or non-increasing knot at index " +
+                        std::to_string(i) + " (corrupt payload)");
+        }
+        axes.emplace_back(std::move(axis_name), std::move(knots));
     }
     lut::NdTable table(std::move(axes), std::move(name));
     const std::vector<double> vals = r.f64_vec();
     require(vals.size() == table.value_count(),
             "model_store: value count does not match axes");
+    for (std::size_t i = 0; i < vals.size(); ++i)
+        require(std::isfinite(vals[i]),
+                "model_store: table '" + table.name() + "' value " +
+                    std::to_string(i) + " is not finite (corrupt payload)");
     std::size_t i = 0;
     table.for_each_grid_point([&](std::span<const std::size_t>,
                                   std::span<const double>, double& slot) {
@@ -284,6 +297,13 @@ core::CsmModel read_model_binary(std::istream& is) {
     m.vdd = r.f64();
     m.dv_margin = r.f64();
     if (env.version >= 2) m.temp_c = r.f64();
+    require(std::isfinite(m.vdd) && m.vdd > 0.0,
+            "model_store: vdd = " + std::to_string(m.vdd) +
+                " (must be finite and > 0)");
+    require(std::isfinite(m.dv_margin) && m.dv_margin >= 0.0,
+            "model_store: dv_margin = " + std::to_string(m.dv_margin) +
+                " (must be finite and >= 0)");
+    require(std::isfinite(m.temp_c), "model_store: non-finite temp_c");
     m.pins = get_str_vec(r);
     m.fixed_pins = get_str_vec(r);
     m.fixed_values = r.f64_vec();
@@ -328,7 +348,8 @@ ArcSurfaceData read_surface_binary(std::istream& is) {
     s.delay = get_table(r);
     s.slew = get_table(r);
     require(r.exhausted(), "model_store: trailing bytes after surface");
-    require(!s.arc_id.empty() && s.dt > 0.0 && s.settle > 0.0,
+    require(!s.arc_id.empty() && std::isfinite(s.dt) && s.dt > 0.0 &&
+                std::isfinite(s.settle) && s.settle > 0.0,
             "model_store: implausible surface parameters");
     require(s.delay.rank() == s.slew.rank(),
             "model_store: surface delay/slew rank mismatch");

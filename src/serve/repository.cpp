@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <utility>
 
+#include "analysis/model_audit.h"
 #include "common/error.h"
 #include "core/model_io.h"
 #include "serve/model_store.h"
@@ -61,8 +62,17 @@ std::string ModelRepository::binary_path(const ModelKey& key) const {
 
 std::shared_ptr<const core::CsmModel> ModelRepository::get(
     const ModelKey& key) {
-    return cache_.get_or_produce(
-        key.to_string(), [&] { return load_or_characterize(key); });
+    return cache_.get_or_produce(key.to_string(), [&] {
+        ModelPtr model = load_or_characterize(key);
+        // Pre-flight audit on every production (store load, legacy
+        // migration, or fresh characterization): a defective model is
+        // rejected here, before anything is served from it, and the
+        // failure is never cached (single-flight failure contract).
+        if (options_.lint_on_load)
+            analysis::audit_model(*model).require_clean(
+                "ModelRepository[" + key.to_string() + "]");
+        return model;
+    });
 }
 
 ModelRepository::ModelPtr ModelRepository::load_or_characterize(
@@ -105,7 +115,7 @@ const cells::CellLibrary& ModelRepository::library_for(const Corner& corner) {
             "ModelRepository: no cell library attached for characterization");
     if (corner.nominal()) return *lib_;
     const std::string tag = corner.tag();
-    std::lock_guard<std::mutex> lock(corner_mutex_);
+    MutexLock lock(corner_mutex_);
     auto it = corner_libs_.find(tag);
     if (it == corner_libs_.end()) {
         it = corner_libs_
@@ -120,6 +130,9 @@ const cells::CellLibrary& ModelRepository::library_for(const Corner& corner) {
 
 void ModelRepository::put(const ModelKey& key, core::CsmModel model) {
     model.check_consistent();
+    if (options_.lint_on_load)
+        analysis::audit_model(model).require_clean(
+            "ModelRepository::put[" + key.to_string() + "]");
     auto ptr = std::make_shared<const core::CsmModel>(std::move(model));
     cache_.put(key.to_string(), ptr);
     if (!options_.dir.empty() && options_.write_back) {

@@ -22,11 +22,11 @@
 #include <cstddef>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "cells/library.h"
+#include "common/annotations.h"
 #include "common/single_flight.h"
 #include "core/characterizer.h"
 #include "core/model.h"
@@ -70,6 +70,12 @@ struct RepositoryOptions {
     std::string dir;
     // Persist freshly characterized models into `dir`.
     bool write_back = true;
+    // Run analysis::audit_model on every model production (store load,
+    // legacy-text migration, characterize-on-miss, put()) and throw
+    // ModelError carrying the lint report when it finds errors -- the
+    // pre-flight admission gate of the serve layer. Failed audits are
+    // never cached, so a repaired store file is retried on the next get().
+    bool lint_on_load = true;
     // Options for the characterize-on-miss fallback (1- and 2-pin arcs).
     core::CharOptions char_options;
     // Characterization options for arcs with >= 3 switching pins. A 3-pin
@@ -139,8 +145,9 @@ private:
         explicit CornerLibrary(tech::Technology t)
             : tech(std::move(t)), lib(tech) {}
     };
-    std::mutex corner_mutex_;
-    std::map<std::string, std::unique_ptr<CornerLibrary>> corner_libs_;
+    Mutex corner_mutex_;
+    std::map<std::string, std::unique_ptr<CornerLibrary>> corner_libs_
+        MCSM_GUARDED_BY(corner_mutex_);
 
     SingleFlightCache<core::CsmModel> cache_;
     std::atomic<std::size_t> characterize_count_{0};

@@ -26,6 +26,11 @@ public:
     // Number of branch-current unknowns this device adds (voltage sources: 1).
     virtual int branch_count() const { return 0; }
 
+    // Circuit nodes this device connects to, in declaration order (repeats
+    // allowed). Cold-path introspection for the pre-flight circuit linter
+    // (analysis/circuit_lint); not used while solving.
+    virtual std::vector<int> terminals() const { return {}; }
+
     // Number of doubles of per-device state persisted across time steps
     // (e.g. capacitor companion currents for trapezoidal integration).
     virtual int state_count() const { return 0; }

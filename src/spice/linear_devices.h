@@ -16,8 +16,11 @@ public:
     Resistor(std::string name, int a, int b, double resistance);
 
     void stamp(Stamper& st, const SimContext& ctx) const override;
+    std::vector<int> terminals() const override { return {a_, b_}; }
 
     double resistance() const { return resistance_; }
+    int node_a() const { return a_; }
+    int node_b() const { return b_; }
 
 private:
     int a_;
@@ -33,8 +36,11 @@ public:
     void stamp(Stamper& st, const SimContext& ctx) const override;
     void commit(const SimContext& ctx,
                 std::span<double> state_next) const override;
+    std::vector<int> terminals() const override { return {a_, b_}; }
 
     double capacitance() const { return capacitance_; }
+    int node_a() const { return a_; }
+    int node_b() const { return b_; }
 
 private:
     int a_;
@@ -50,6 +56,7 @@ public:
     int branch_count() const override { return 1; }
     void stamp(Stamper& st, const SimContext& ctx) const override;
     void collect_breakpoints(std::vector<double>& out) const override;
+    std::vector<int> terminals() const override { return {p_, m_}; }
 
     // Replaces the drive (used by characterization sweeps).
     void set_spec(SourceSpec spec) { spec_ = std::move(spec); }
@@ -72,8 +79,11 @@ public:
 
     void stamp(Stamper& st, const SimContext& ctx) const override;
     void collect_breakpoints(std::vector<double>& out) const override;
+    std::vector<int> terminals() const override { return {p_, m_}; }
 
     void set_spec(SourceSpec spec) { spec_ = std::move(spec); }
+    int positive_node() const { return p_; }
+    int negative_node() const { return m_; }
 
 private:
     int p_;

@@ -39,6 +39,7 @@ public:
            double as = -1.0, double pd = -1.0, double ps = -1.0);
 
     int state_count() const override { return 5; }  // cgs, cgd, cgb, cdb, csb
+    std::vector<int> terminals() const override { return {d_, g_, s_, b_}; }
 
     void stamp(Stamper& st, const SimContext& ctx) const override;
     void commit(const SimContext& ctx,

@@ -8,14 +8,11 @@
 
 namespace mcsm::spice {
 
-namespace {
-
-// Discovers the MNA sparsity pattern from the device incidence: one
-// pattern-mode stamp pass in DC and one in transient (companion models for
-// capacitors only stamp in transient), plus the gmin diagonal. Values are
-// ignored; the entries a device touches are fixed by its node/branch
-// bindings, so a zero-bias pass covers every operating point.
-SparseMatrix build_pattern_matrix(const Circuit& circuit) {
+// Values are ignored during pattern collection; the entries a device
+// touches are fixed by its node/branch bindings, so a zero-bias pass covers
+// every operating point.
+std::vector<std::pair<int, int>> collect_mna_entries(const Circuit& circuit,
+                                                     bool include_gmin) {
     const int n_nodes = circuit.node_count();
     const int n_branches = circuit.branch_total();
     std::vector<std::pair<int, int>> entries;
@@ -40,12 +37,21 @@ SparseMatrix build_pattern_matrix(const Circuit& circuit) {
     tran.state = &state;
     for (const auto& dev : circuit.devices()) dev->stamp(pat, tran);
 
-    pat.add_gmin_everywhere(1.0);
+    if (include_gmin) pat.add_gmin_everywhere(1.0);
+    return entries;
+}
 
+SparseMatrix collect_mna_pattern(const Circuit& circuit, bool include_gmin) {
+    std::vector<std::pair<int, int>> entries =
+        collect_mna_entries(circuit, include_gmin);
     SparseMatrix m;
-    m.build(pat.system_size(), std::move(entries));
+    m.build(static_cast<std::size_t>(circuit.node_count() - 1 +
+                                     circuit.branch_total()),
+            std::move(entries));
     return m;
 }
+
+namespace {
 
 Stamper make_stamper(const Circuit& circuit, SolverBackend backend,
                      SparseMatrix* sparse) {
@@ -70,8 +76,9 @@ SolverBackend default_solver_backend() {
 
 SolverWorkspace::SolverWorkspace(const Circuit& circuit, SolverBackend backend)
     : backend_(backend),
-      matrix_(backend == SolverBackend::kSparse ? build_pattern_matrix(circuit)
-                                                : SparseMatrix{}),
+      matrix_(backend == SolverBackend::kSparse
+                  ? collect_mna_pattern(circuit, /*include_gmin=*/true)
+                  : SparseMatrix{}),
       stamper_(make_stamper(circuit, backend, &matrix_)) {
     const std::size_t n = stamper_.system_size();
     sol_.assign(n, 0.0);

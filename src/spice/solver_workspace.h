@@ -17,6 +17,7 @@
 
 #include <cstddef>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/dense_matrix.h"
@@ -38,6 +39,22 @@ enum class SolverBackend {
 // Process-wide default: kSparse, or kDense when the MCSM_DENSE_SOLVER
 // environment variable is set to a non-zero value.
 SolverBackend default_solver_backend();
+
+// Discovers the MNA sparsity pattern of an index-bound circuit (one
+// pattern-mode stamp pass in DC and one in transient, so companion-model
+// entries are included). `include_gmin` adds the gmin shunt diagonal the
+// solvers stamp: the workspace wants it (the solved matrix has it), the
+// structural-singularity detector in analysis/circuit_lint does not (gmin
+// would mask every empty node row it exists to find).
+//
+// collect_mna_entries returns the raw (row, col) stamp list, possibly with
+// duplicates and WITHOUT the unconditional diagonal SparseMatrix::build
+// inserts for pivot slots -- the form the structural detector needs (an
+// equation with no device entry must show up as an empty row).
+// collect_mna_pattern builds the solver-facing SparseMatrix from it.
+std::vector<std::pair<int, int>> collect_mna_entries(const Circuit& circuit,
+                                                     bool include_gmin);
+SparseMatrix collect_mna_pattern(const Circuit& circuit, bool include_gmin);
 
 class SolverWorkspace {
 public:

@@ -1,0 +1,598 @@
+// Static-analysis subsystem tests: a corpus of deliberately defective
+// circuits and models, each asserting that exactly the right rule fires
+// (and, on the healthy corpus -- every library cell plus reference RC
+// decks -- that nothing fires at all: the linter is only useful if it has
+// zero false positives on circuits the repo itself simulates). Also covers
+// the structural-singularity matcher on hand-built patterns, the hardened
+// store/text load paths, and the repository's lint_on_load admission gate.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <span>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "analysis/circuit_lint.h"
+#include "analysis/model_audit.h"
+#include "analysis/structural.h"
+#include "cells/library.h"
+#include "common/error.h"
+#include "core/model_io.h"
+#include "lut/table_io.h"
+#include "serve/model_store.h"
+#include "serve/repository.h"
+#include "spice/circuit.h"
+#include "spice/source_spec.h"
+#include "tech/tech130.h"
+
+namespace mcsm::analysis {
+namespace {
+
+namespace fs = std::filesystem;
+
+using spice::Circuit;
+using spice::SourceSpec;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::string what_of(const std::function<void()>& f) {
+    try {
+        f();
+    } catch (const ModelError& e) {
+        return e.what();
+    }
+    return {};
+}
+
+// --- structural matcher on hand-built patterns ---------------------------
+
+using Entries = std::vector<std::pair<int, int>>;
+
+TEST(Structural, FullDiagonalIsNonsingular) {
+    const Entries e = {{0, 0}, {1, 1}, {2, 2}};
+    const StructuralResult r = structural_analysis(3, e);
+    EXPECT_FALSE(r.structurally_singular());
+    EXPECT_EQ(r.matching_size, 3u);
+    EXPECT_TRUE(r.unmatched_rows.empty());
+    EXPECT_TRUE(r.unmatched_cols.empty());
+}
+
+TEST(Structural, PermutationPatternIsNonsingular) {
+    const Entries e = {{0, 1}, {1, 2}, {2, 0}};
+    const StructuralResult r = structural_analysis(3, e);
+    EXPECT_FALSE(r.structurally_singular());
+    EXPECT_EQ(r.row_match[0], 1);
+    EXPECT_EQ(r.row_match[1], 2);
+    EXPECT_EQ(r.row_match[2], 0);
+}
+
+TEST(Structural, EmptyRowIsDetected) {
+    // Row 2 has no entry: deficiency exactly 1 whatever the other rows do.
+    const Entries e = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+    const StructuralResult r = structural_analysis(3, e);
+    EXPECT_TRUE(r.structurally_singular());
+    EXPECT_EQ(r.deficiency(), 1u);
+    ASSERT_EQ(r.unmatched_rows.size(), 1u);
+    EXPECT_EQ(r.unmatched_rows[0], 2);
+    ASSERT_EQ(r.unmatched_cols.size(), 1u);
+    EXPECT_EQ(r.unmatched_cols[0], 2);
+}
+
+TEST(Structural, TwoRowsFightingOverOneColumn) {
+    const Entries e = {{0, 0}, {1, 0}};
+    const StructuralResult r = structural_analysis(2, e);
+    EXPECT_TRUE(r.structurally_singular());
+    EXPECT_EQ(r.matching_size, 1u);
+    EXPECT_EQ(r.deficiency(), 1u);
+}
+
+TEST(Structural, DuplicateEntriesAreHarmless) {
+    const Entries e = {{0, 0}, {0, 0}, {0, 0}, {1, 1}};
+    const StructuralResult r = structural_analysis(2, e);
+    EXPECT_FALSE(r.structurally_singular());
+}
+
+TEST(Structural, EmptySystemIsNonsingular) {
+    const StructuralResult r = structural_analysis(0, Entries{});
+    EXPECT_FALSE(r.structurally_singular());
+}
+
+// --- circuit linter: seeded defects --------------------------------------
+
+TEST(CircuitLint, CleanRcDividerIsSilent) {
+    Circuit c;
+    const int in = c.node("in");
+    const int mid = c.node("mid");
+    c.add_vsource("Vin", in, Circuit::kGround, SourceSpec::dc(1.2));
+    c.add_resistor("R1", in, mid, 1e3);
+    c.add_resistor("R2", mid, Circuit::kGround, 1e3);
+    c.add_capacitor("C1", mid, Circuit::kGround, 1e-15);
+    const LintReport report = lint_circuit(c);
+    EXPECT_TRUE(report.empty()) << report.format();
+}
+
+TEST(CircuitLint, FloatingNodeFires) {
+    Circuit c;
+    const int in = c.node("in");
+    const int out = c.node("out");
+    c.node("nowhere");
+    c.add_vsource("Vin", in, Circuit::kGround, SourceSpec::dc(1.0));
+    c.add_resistor("R1", in, out, 1e3);
+    c.add_resistor("R2", out, Circuit::kGround, 1e3);
+    const LintReport report = lint_circuit(c);
+    ASSERT_TRUE(report.fired("circuit.floating-node")) << report.format();
+    const Diagnostic* d = report.by_rule("circuit.floating-node")[0];
+    ASSERT_EQ(d->nodes.size(), 1u);
+    EXPECT_EQ(d->nodes[0], "nowhere");
+    // A floating node is an empty MNA row: the structural detector agrees.
+    EXPECT_TRUE(report.fired("circuit.structural-singularity"));
+    EXPECT_EQ(report.error_count(), 2u) << report.format();
+}
+
+TEST(CircuitLint, CapacitivelySuspendedNodeHasNoDcPath) {
+    Circuit c;
+    const int in = c.node("in");
+    const int n1 = c.node("n1");
+    c.add_vsource("Vin", in, Circuit::kGround, SourceSpec::dc(1.0));
+    c.add_capacitor("C1", in, n1, 1e-15);
+    c.add_capacitor("C2", n1, Circuit::kGround, 1e-15);
+    const LintReport report = lint_circuit(c);
+    EXPECT_TRUE(report.fired("circuit.no-dc-path")) << report.format();
+    EXPECT_EQ(report.error_count(), 1u) << report.format();
+    // The caps give n1 a transient diagonal: structurally fine.
+    EXPECT_FALSE(report.fired("circuit.structural-singularity"))
+        << report.format();
+
+    // Explicit-integrator workloads can demote the rule to a warning.
+    CircuitLintOptions lenient;
+    lenient.dc_path_is_error = false;
+    const LintReport relaxed = lint_circuit(c, lenient);
+    EXPECT_EQ(relaxed.error_count(), 0u) << relaxed.format();
+    EXPECT_TRUE(relaxed.fired("circuit.no-dc-path"));
+}
+
+TEST(CircuitLint, ParallelVsourcesLoopAndSingularity) {
+    Circuit c;
+    const int a = c.node("a");
+    c.add_vsource("V1", a, Circuit::kGround, SourceSpec::dc(1.0));
+    c.add_vsource("V2", a, Circuit::kGround, SourceSpec::dc(1.1));
+    c.add_resistor("R1", a, Circuit::kGround, 1e3);
+    const LintReport report = lint_circuit(c);
+    // Both the graph rule and the matrix rule must converge on this bug.
+    EXPECT_TRUE(report.fired("circuit.vsource-loop")) << report.format();
+    ASSERT_TRUE(report.fired("circuit.structural-singularity"))
+        << report.format();
+    // The deficient unknown is one of the two branch currents.
+    const Diagnostic* d = report.by_rule("circuit.structural-singularity")[0];
+    EXPECT_NE(d->message.find("i(V"), std::string::npos) << d->message;
+}
+
+TEST(CircuitLint, IsourceOnlyNodeIsStructurallySingular) {
+    Circuit c;
+    const int n1 = c.node("n1");
+    const int drv = c.node("drv");
+    c.add_vsource("Vref", drv, Circuit::kGround, SourceSpec::dc(1.0));
+    c.add_resistor("Rref", drv, Circuit::kGround, 1e3);
+    c.add_isource("I1", n1, Circuit::kGround, SourceSpec::dc(1e-6));
+    const LintReport report = lint_circuit(c);
+    ASSERT_TRUE(report.fired("circuit.structural-singularity"))
+        << report.format();
+    const Diagnostic* d = report.by_rule("circuit.structural-singularity")[0];
+    // Reported by name, before any factorization ran.
+    EXPECT_NE(d->message.find("v(n1)"), std::string::npos) << d->message;
+    EXPECT_TRUE(report.fired("circuit.no-dc-path"));
+}
+
+TEST(CircuitLint, NonFiniteElementValues) {
+    Circuit c;
+    const int a = c.node("a");
+    c.add_vsource("Vin", a, Circuit::kGround, SourceSpec::dc(1.0));
+    c.add_resistor("Rinf", a, Circuit::kGround, kInf);
+    c.add_capacitor("Cinf", a, Circuit::kGround, kInf);
+    c.add_capacitor("Czero", a, Circuit::kGround, 0.0);
+    const LintReport report = lint_circuit(c);
+    EXPECT_TRUE(report.fired("circuit.nonpositive-resistance"))
+        << report.format();
+    EXPECT_TRUE(report.fired("circuit.negative-capacitance"));
+    EXPECT_TRUE(report.fired("circuit.zero-capacitance"));
+}
+
+TEST(CircuitLint, NegativeValuesAreRejectedAtConstruction) {
+    // The device constructors are the first line of defense: negative
+    // values never reach the linter (non-finite ones do -- see above).
+    Circuit c;
+    const int a = c.node("a");
+    EXPECT_THROW(c.add_resistor("Rneg", a, Circuit::kGround, -50.0),
+                 ModelError);
+    EXPECT_THROW(c.add_capacitor("Cneg", a, Circuit::kGround, -1e-15),
+                 ModelError);
+}
+
+TEST(CircuitLint, ShortedDevices) {
+    Circuit c;
+    const int a = c.node("a");
+    c.add_vsource("Vin", a, Circuit::kGround, SourceSpec::dc(1.0));
+    c.add_resistor("Rload", a, Circuit::kGround, 1e3);
+    c.add_resistor("Rshort", a, a, 1e3);
+    c.add_vsource("Vshort", a, a, SourceSpec::dc(0.0));
+    CircuitLintOptions opt;
+    opt.structural = false;  // a self-looped V branch row is singular too;
+                             // here we isolate the graph rules
+    const LintReport report = lint_circuit(c, opt);
+    EXPECT_TRUE(report.fired("circuit.shorted-passive")) << report.format();
+    EXPECT_TRUE(report.fired("circuit.shorted-vsource"));
+}
+
+TEST(CircuitLint, DisconnectedSubgraphWarns) {
+    Circuit c;
+    const int a = c.node("a");
+    const int i1 = c.node("i1");
+    const int i2 = c.node("i2");
+    c.add_vsource("Vin", a, Circuit::kGround, SourceSpec::dc(1.0));
+    c.add_resistor("Rload", a, Circuit::kGround, 1e3);
+    c.add_vsource("Visland", i1, i2, SourceSpec::dc(1.0));
+    c.add_resistor("Risland", i1, i2, 1e3);
+    const LintReport report = lint_circuit(c);
+    ASSERT_TRUE(report.fired("circuit.disconnected-subgraph"))
+        << report.format();
+    const Diagnostic* d = report.by_rule("circuit.disconnected-subgraph")[0];
+    EXPECT_EQ(d->nodes.size(), 2u);
+    EXPECT_TRUE(report.fired("circuit.no-dc-path"));
+}
+
+TEST(CircuitLint, DanglingTerminalSkipsGraphStages) {
+    Circuit c;
+    const int a = c.node("a");
+    c.add_vsource("Vin", a, Circuit::kGround, SourceSpec::dc(1.0));
+    c.add_resistor("Rbad", a, 99, 1e3);  // node 99 was never created
+    const LintReport report = lint_circuit(c);
+    ASSERT_TRUE(report.fired("circuit.dangling-terminal")) << report.format();
+    const Diagnostic* d = report.by_rule("circuit.dangling-terminal")[0];
+    ASSERT_EQ(d->devices.size(), 1u);
+    EXPECT_EQ(d->devices[0], "Rbad");
+    // Connectivity/structural stages cannot run on out-of-range ids; the
+    // report must still come back (no crash, no throw).
+    EXPECT_FALSE(report.fired("circuit.structural-singularity"));
+}
+
+TEST(CircuitLint, EmptyCircuitWarns) {
+    Circuit c;
+    const LintReport report = lint_circuit(c);
+    EXPECT_TRUE(report.fired("circuit.empty"));
+    EXPECT_EQ(report.error_count(), 0u);
+}
+
+// Every transistor-level cell the repo ships, instantiated exactly as the
+// characterizer drives it, must lint clean: the gate earns its place in
+// front of the solvers only with a zero false-positive rate here.
+TEST(CircuitLint, AllLibraryCellsLintClean) {
+    const tech::Technology tech = tech::make_tech130();
+    const cells::CellLibrary lib(tech);
+    for (const std::string& name : lib.names()) {
+        const cells::CellType& cell = lib.get(name);
+        Circuit c;
+        const int vdd = c.node("vdd");
+        c.add_vsource("VDD", vdd, Circuit::kGround, SourceSpec::dc(tech.vdd));
+        std::unordered_map<std::string, int> conn;
+        conn[cells::kVdd] = vdd;
+        conn[cells::kGnd] = Circuit::kGround;
+        const int out = c.node("out");
+        conn[cells::kOut] = out;
+        for (const cells::PinInfo& pin : cell.inputs()) {
+            const int n = c.node("in_" + pin.name);
+            conn[pin.name] = n;
+            c.add_vsource("V" + pin.name, n, Circuit::kGround,
+                          SourceSpec::dc(0.0));
+        }
+        cell.instantiate(c, "X0", conn);
+        // The unloaded output is a legitimate characterization setup: add
+        // the load cap the benches use so the deck is fully representative.
+        c.add_capacitor("Cload", out, Circuit::kGround, 5e-15);
+        const LintReport report = lint_circuit(c);
+        EXPECT_TRUE(report.empty())
+            << "cell " << name << ":\n"
+            << report.format();
+    }
+}
+
+// --- model audit ---------------------------------------------------------
+
+// Minimal shape-consistent SIS model with rail-covering axes; the knobs
+// let each test seed exactly one defect.
+core::CsmModel make_sis_model(double vdd = 1.2) {
+    core::CsmModel m;
+    m.kind = core::ModelKind::kSis;
+    m.cell_name = "TEST_INV";
+    m.vdd = vdd;
+    m.dv_margin = 0.12;
+    m.pins = {"A"};
+    const std::vector<double> knots = {-0.12, 0.0, 0.6, 1.2, 1.32};
+    const lut::Axis va("A", knots);
+    const lut::Axis vo("out", knots);
+    m.i_out = lut::NdTable({va, vo}, "Io");
+    m.c_miller = {lut::NdTable({va, vo}, "Cm_A")};
+    m.c_out = lut::NdTable({va, vo}, "Co");
+    m.c_in = {lut::NdTable({va}, "Cin_A")};
+    return m;
+}
+
+TEST(ModelAudit, CleanModelPasses) {
+    const LintReport report = audit_model(make_sis_model());
+    EXPECT_TRUE(report.empty()) << report.format();
+}
+
+TEST(ModelAudit, NanPayloadFires) {
+    core::CsmModel m = make_sis_model();
+    m.i_out.set_grid_value(std::vector<std::size_t>{2, 2}, std::nan(""));
+    const LintReport report = audit_model(m);
+    ASSERT_TRUE(report.fired("table.nonfinite-value")) << report.format();
+    const Diagnostic* d = report.by_rule("table.nonfinite-value")[0];
+    EXPECT_NE(d->message.find("Io"), std::string::npos);
+}
+
+TEST(ModelAudit, RequireCleanThrowsWithContext) {
+    core::CsmModel m = make_sis_model();
+    m.i_out.set_grid_value(std::vector<std::size_t>{0, 0}, kInf);
+    const LintReport report = audit_model(m);
+    const std::string what =
+        what_of([&] { report.require_clean("UnitTest[TEST_INV]"); });
+    EXPECT_NE(what.find("UnitTest[TEST_INV]"), std::string::npos) << what;
+    EXPECT_NE(what.find("table.nonfinite-value"), std::string::npos) << what;
+}
+
+TEST(ModelAudit, KnotCoverageFires) {
+    core::CsmModel m = make_sis_model();
+    // Output axis stops at 0.9 V: the 1.2 V rail is outside the grid.
+    m.i_out = lut::NdTable(
+        {lut::Axis("A", {-0.12, 0.0, 0.6, 1.2, 1.32}),
+         lut::Axis("out", {0.0, 0.45, 0.9})},
+        "Io");
+    const LintReport report = audit_model(m);
+    EXPECT_TRUE(report.fired("model.knot-coverage")) << report.format();
+}
+
+TEST(ModelAudit, PhysicalRangeFires) {
+    core::CsmModel bad_vdd = make_sis_model();
+    bad_vdd.vdd = -1.0;
+    EXPECT_TRUE(audit_model(bad_vdd).fired("model.physical-range"));
+
+    core::CsmModel bad_temp = make_sis_model();
+    bad_temp.temp_c = 1000.0;
+    EXPECT_TRUE(audit_model(bad_temp).fired("model.physical-range"));
+}
+
+TEST(ModelAudit, DuplicatePinFires) {
+    core::CsmModel m = make_sis_model();
+    m.fixed_pins = {"A"};  // already a switching pin
+    m.fixed_values = {0.0};
+    EXPECT_TRUE(audit_model(m).fired("model.duplicate-pin"));
+}
+
+TEST(ModelAudit, InconsistentShapeShortCircuits) {
+    core::CsmModel m = make_sis_model();
+    m.c_in.clear();  // rank bookkeeping now disagrees with pins
+    const LintReport report = audit_model(m);
+    ASSERT_TRUE(report.fired("model.inconsistent-shape")) << report.format();
+    // Shape errors end the audit: no table iteration over a broken layout.
+    EXPECT_EQ(report.size(), 1u);
+}
+
+TEST(ModelAudit, NegativeCapacitanceWarns) {
+    core::CsmModel m = make_sis_model();
+    m.c_out.set_grid_value(std::vector<std::size_t>{1, 1}, -1e-15);
+    const LintReport report = audit_model(m);
+    EXPECT_TRUE(report.fired("model.negative-capacitance"))
+        << report.format();
+    EXPECT_EQ(report.error_count(), 0u);  // warning, not rejection
+}
+
+// --- surface audit -------------------------------------------------------
+
+serve::ArcSurfaceData make_surface() {
+    serve::ArcSurfaceData s;
+    s.arc_id = "INV.SIS.A";
+    s.dt = 1e-12;
+    s.settle = 1e-9;
+    const lut::Axis slew("slew_in", {1e-12, 1e-11, 1e-10});
+    const lut::Axis load("cload", {1e-15, 5e-15, 2e-14});
+    s.delay = lut::NdTable({slew, load}, "delay");
+    s.slew = lut::NdTable({slew, load}, "slew");
+    s.slew.fill([](std::span<const double>) { return 2e-11; });
+    s.delay.fill([](std::span<const double>) { return -3e-12; });
+    return s;
+}
+
+TEST(SurfaceAudit, CleanSurfacePasses) {
+    // Note the negative delay values: legitimate (pin-0-referenced).
+    const LintReport report = audit_surface(make_surface());
+    EXPECT_TRUE(report.empty()) << report.format();
+}
+
+TEST(SurfaceAudit, NonpositiveSlewFires) {
+    serve::ArcSurfaceData s = make_surface();
+    s.slew.set_grid_value(std::vector<std::size_t>{1, 1}, 0.0);
+    EXPECT_TRUE(audit_surface(s).fired("surface.nonpositive-slew"));
+}
+
+TEST(SurfaceAudit, BadParametersFire) {
+    serve::ArcSurfaceData s = make_surface();
+    s.dt = 0.0;
+    EXPECT_TRUE(audit_surface(s).fired("surface.bad-parameters"));
+}
+
+// --- store-file audits ---------------------------------------------------
+
+class TempDir {
+public:
+    TempDir() {
+        static std::atomic<unsigned> counter{0};
+        dir_ = fs::temp_directory_path() /
+               ("mcsm_analysis_test_" + std::to_string(::getpid()) + "_" +
+                std::to_string(counter++));
+        fs::create_directories(dir_);
+    }
+    ~TempDir() {
+        std::error_code ec;
+        fs::remove_all(dir_, ec);
+    }
+    std::string path(const std::string& name) const {
+        return (dir_ / name).string();
+    }
+    std::string root() const { return dir_.string(); }
+
+private:
+    fs::path dir_;
+};
+
+TEST(StoreAudit, TruncatedFileIsReportedNotThrown) {
+    TempDir tmp;
+    const std::string path = tmp.path("X.SIS.A.csm.bin");
+    serve::save_model_binary(path, make_sis_model());
+    // Chop the file mid-payload.
+    std::string bytes;
+    {
+        std::ifstream is(path, std::ios::binary);
+        std::stringstream ss;
+        ss << is.rdbuf();
+        bytes = ss.str();
+    }
+    {
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        os.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+    }
+    const LintReport report = audit_file(path);
+    ASSERT_TRUE(report.fired("store.unreadable")) << report.format();
+    EXPECT_NE(report.by_rule("store.unreadable")[0]->message.find(path),
+              std::string::npos);
+}
+
+TEST(StoreAudit, DirectoryScanMixesCleanAndBroken) {
+    TempDir tmp;
+    serve::save_model_binary(tmp.path("GOOD.SIS.A.csm.bin"), make_sis_model());
+    {
+        std::ofstream os(tmp.path("BAD.SIS.A.csm.bin"), std::ios::binary);
+        os << "not a store file";
+    }
+    const LintReport report = audit_path(tmp.root());
+    EXPECT_TRUE(report.fired("store.scanned")) << report.format();
+    EXPECT_EQ(report.error_count(), 1u) << report.format();
+    EXPECT_TRUE(report.fired("store.unreadable"));
+}
+
+TEST(StoreAudit, MissingPathIsAnError) {
+    EXPECT_TRUE(audit_path("/nonexistent/mcsm/store")
+                    .fired("store.unreadable"));
+}
+
+// --- hardened load paths -------------------------------------------------
+
+TEST(LoadHardening, TextTableRejectsNanValue) {
+    std::istringstream is(
+        "table T 1\naxis x 2 0.0 1.0\nvalues 2 nan 1.0\nend\n");
+    const std::string what = what_of([&] { lut::read_table(is); });
+    EXPECT_NE(what.find("not finite"), std::string::npos) << what;
+}
+
+TEST(LoadHardening, TextTableRejectsNonMonotoneAxis) {
+    std::istringstream is(
+        "table T 1\naxis x 2 1.0 0.0\nvalues 2 0.0 0.0\nend\n");
+    const std::string what = what_of([&] { lut::read_table(is); });
+    EXPECT_NE(what.find("strictly increasing"), std::string::npos) << what;
+}
+
+TEST(LoadHardening, TextTableRejectsNanKnot) {
+    std::istringstream is(
+        "table T 1\naxis x 2 nan 1.0\nvalues 2 0.0 0.0\nend\n");
+    const std::string what = what_of([&] { lut::read_table(is); });
+    EXPECT_NE(what.find("not finite"), std::string::npos) << what;
+}
+
+TEST(LoadHardening, TextModelRejectsBadHeader) {
+    core::CsmModel m = make_sis_model();
+    m.vdd = -1.0;  // write_model only checks shape, so this serializes
+    std::ostringstream os;
+    core::write_model(os, m);
+    std::istringstream is(os.str());
+    const std::string what = what_of([&] { core::read_model(is); });
+    EXPECT_NE(what.find("vdd"), std::string::npos) << what;
+}
+
+TEST(LoadHardening, BinaryModelRejectsNanPayload) {
+    core::CsmModel m = make_sis_model();
+    m.i_out.set_grid_value(std::vector<std::size_t>{1, 1}, std::nan(""));
+    std::ostringstream os;
+    serve::write_model_binary(os, m);
+    std::istringstream is(os.str());
+    const std::string what = what_of([&] { serve::read_model_binary(is); });
+    EXPECT_NE(what.find("not finite"), std::string::npos) << what;
+}
+
+TEST(LoadHardening, BinaryModelRejectsBadVdd) {
+    core::CsmModel m = make_sis_model();
+    m.vdd = kInf;
+    std::ostringstream os;
+    serve::write_model_binary(os, m);
+    std::istringstream is(os.str());
+    const std::string what = what_of([&] { serve::read_model_binary(is); });
+    EXPECT_NE(what.find("vdd"), std::string::npos) << what;
+}
+
+// --- repository admission gate -------------------------------------------
+
+TEST(RepositoryLint, DefectiveStoreModelIsRejectedOnLoad) {
+    TempDir tmp;
+    // Parses fine (finite, monotone) but audits dirty: the output axis
+    // misses the rail, so only lint_on_load can catch it.
+    core::CsmModel m = make_sis_model();
+    m.i_out = lut::NdTable(
+        {lut::Axis("A", {-0.12, 0.0, 0.6, 1.2, 1.32}),
+         lut::Axis("out", {0.0, 0.45, 0.9})},
+        "Io");
+    const serve::ModelKey key = serve::ModelKey::arc("TEST_INV", {"A"});
+
+    serve::RepositoryOptions opt;
+    opt.dir = tmp.root();
+    serve::ModelRepository writer(nullptr, opt);
+    // put() runs the same gate: the defective model must not enter.
+    EXPECT_THROW(writer.put(key, m), ModelError);
+
+    opt.lint_on_load = false;
+    serve::ModelRepository lax_writer(nullptr, opt);
+    lax_writer.put(key, m);  // gate off: persists to the store dir
+
+    opt.lint_on_load = true;
+    serve::ModelRepository reader(nullptr, opt);
+    const std::string what = what_of([&] { reader.get(key); });
+    EXPECT_NE(what.find("ModelRepository[TEST_INV.SIS.A]"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("model.knot-coverage"), std::string::npos) << what;
+    EXPECT_FALSE(reader.cached(key));  // failed audits are never cached
+
+    opt.lint_on_load = false;
+    serve::ModelRepository lax_reader(nullptr, opt);
+    EXPECT_EQ(lax_reader.get(key)->cell_name, "TEST_INV");
+}
+
+TEST(RepositoryLint, CleanModelPassesTheGate) {
+    TempDir tmp;
+    serve::RepositoryOptions opt;
+    opt.dir = tmp.root();
+    serve::ModelRepository repo(nullptr, opt);
+    const serve::ModelKey key = serve::ModelKey::arc("TEST_INV", {"A"});
+    repo.put(key, make_sis_model());
+    EXPECT_EQ(repo.get(key)->cell_name, "TEST_INV");
+    EXPECT_TRUE(repo.options().lint_on_load);  // on by default
+}
+
+}  // namespace
+}  // namespace mcsm::analysis

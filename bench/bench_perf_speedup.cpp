@@ -210,6 +210,15 @@ void write_bench_perf_json() {
     stages.push_back({"characterize_nor2_mcsm_g7",
                       characterize_ms(ctx, SolverBackend::kDense, 1),
                       characterize_ms(ctx, SolverBackend::kSparse, 0)});
+    // Transient fast path: dense fixed-grid baseline (the seed solver
+    // configuration) vs LTE-adaptive stepping + Jacobian reuse on the
+    // sparse workspace.
+    double reuse_rate = 0.0;
+    stages.push_back({"transient_adaptive_48",
+                      golden_transient_ms(ctx, 48, SolverBackend::kDense),
+                      bench::time_chain_transient_fast_ms(
+                          ctx.lib(), 48, /*reuse_jacobian=*/true,
+                          &reuse_rate)});
 
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
@@ -228,7 +237,8 @@ void write_bench_perf_json() {
                      s.baseline_ms / s.current_ms,
                      i + 1 < stages.size() ? "," : "");
     }
-    std::fprintf(f, "  }\n}\n");
+    std::fprintf(f,
+                 "  },\n  \"jacobian_reuse_rate\": %.4f\n}\n", reuse_rate);
     std::fclose(f);
     std::printf("# wrote %s\n", path.c_str());
     for (const Stage& s : stages)
@@ -236,6 +246,7 @@ void write_bench_perf_json() {
                     "speedup %5.2fx\n",
                     s.name.c_str(), s.baseline_ms, s.current_ms,
                     s.baseline_ms / s.current_ms);
+    std::printf("#   jacobian_reuse_rate          %.2f\n", reuse_rate);
 }
 
 }  // namespace

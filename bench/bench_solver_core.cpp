@@ -19,6 +19,7 @@
 #include "common/parallel.h"
 #include "spice/dc_solver.h"
 #include "spice/tran_solver.h"
+#include "wave/metrics.h"
 
 // Allocation instrumentation (see common/alloc_counter.h): counts every
 // operator new in this binary.
@@ -89,11 +90,13 @@ int main() {
     // --- full transient --------------------------------------------------
     wave::Waveform w_dense;
     wave::Waveform w_sparse;
+    double sparse_fixed_48_ms = 0.0;
     for (int stages : {12, 48}) {
         const double d = bench::time_chain_transient_ms(
             ctx.lib(), stages, SolverBackend::kDense, &w_dense);
         const double s = bench::time_chain_transient_ms(
             ctx.lib(), stages, SolverBackend::kSparse, &w_sparse);
+        if (stages == 48) sparse_fixed_48_ms = s;
         std::printf("transient_%-2d cells    %8s %8.1fms %8.1fms %8.2fx\n",
                     stages, "", d, s, d / s);
     }
@@ -105,6 +108,49 @@ int main() {
     check.check(max_dv < 1e-6,
                 "dense/sparse transient waveforms agree (max dv " +
                     std::to_string(max_dv) + " V)");
+
+    // --- adaptive transient fast path ------------------------------------
+    // LTE-adaptive stepping + Jacobian reuse vs the fixed sparse grid on
+    // the 48-cell chain; correctness is the far-end 50% crossing time, not
+    // a pointwise voltage delta (edges amplify a few-fs time shift into
+    // tens of mV).
+    {
+        const double vdd = ctx.vdd();
+        wave::Waveform w_adapt;
+        double reuse_rate = 0.0;
+        const double no_reuse = bench::time_chain_transient_fast_ms(
+            ctx.lib(), 48, /*reuse_jacobian=*/false);
+        const double fast = bench::time_chain_transient_fast_ms(
+            ctx.lib(), 48, /*reuse_jacobian=*/true, &reuse_rate, &w_adapt);
+        std::printf("\n%-28s %10s %10s %9s\n", "stage", "fixed", "adaptive",
+                    "speedup");
+        std::printf("transient_adaptive_48 cells %8.1fms %8.1fms %8.2fx  "
+                    "(no-reuse %.1fms, reuse rate %.0f%%)\n",
+                    sparse_fixed_48_ms, fast, sparse_fixed_48_ms / fast,
+                    no_reuse, 100.0 * reuse_rate);
+        check.check(fast < sparse_fixed_48_ms,
+                    "adaptive+reuse transient beats the fixed sparse grid");
+        // The tuned fast path prefers a fresh factorization while the LTE
+        // controller is actively resizing steps (refactors are cheap at
+        // this matrix size) and freezes the LU on settled stretches, so
+        // the reuse rate is a floor, not a target.
+        check.check(reuse_rate > 0.15,
+                    "Jacobian reuse engages on settled stretches (rate " +
+                        std::to_string(reuse_rate) + ")");
+        // The 48-cell far end rides the chain's last rising edge.
+        const auto t50_fixed = wave::crossing(w_sparse, vdd, 0.5, true);
+        const auto t50_adapt = wave::crossing(w_adapt, vdd, 0.5, true);
+        check.check(t50_fixed.has_value() && t50_adapt.has_value(),
+                    "both far-end waveforms cross 50%");
+        if (t50_fixed && t50_adapt) {
+            const double dt50 = std::fabs(*t50_adapt - *t50_fixed);
+            const double budget = std::max(0.01 * *t50_fixed, 2e-12);
+            check.check(dt50 < budget,
+                        "adaptive far-end 50% crossing within max(1%, 2 ps) "
+                        "of the fixed grid (delta " +
+                            std::to_string(dt50 * 1e12) + " ps)");
+        }
+    }
 
     // --- characterization ------------------------------------------------
     {

@@ -315,6 +315,39 @@ double time_chain_transient_ms(const cells::CellLibrary& lib, int stages,
     return best;
 }
 
+double time_chain_transient_fast_ms(const cells::CellLibrary& lib, int stages,
+                                    bool reuse_jacobian, double* reuse_rate,
+                                    wave::Waveform* far_out) {
+    using Clock = std::chrono::steady_clock;
+    spice::TranOptions topt = spice::fast_tran_options(2.5e-9, 2e-12);
+    topt.reuse_jacobian = reuse_jacobian;
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+        spice::Circuit c = make_chain_circuit(lib, stages);
+        c.set_solver_backend(spice::SolverBackend::kSparse);
+        const auto t0 = Clock::now();
+        const spice::TranResult res = spice::solve_tran(c, topt);
+        best = std::min(best,
+                        std::chrono::duration<double, std::milli>(
+                            Clock::now() - t0)
+                            .count());
+        if (reuse_rate != nullptr) {
+            const spice::TranStats& st = res.stats();
+            *reuse_rate =
+                st.steps_accepted > 0
+                    ? static_cast<double>(st.jacobian_reuse_steps) /
+                          static_cast<double>(st.steps_accepted)
+                    : 0.0;
+        }
+        if (far_out != nullptr) {
+            std::string far_net = "n";
+            far_net += std::to_string(stages);
+            *far_out = res.node_waveform(c.node_id(far_net));
+        }
+    }
+    return best;
+}
+
 double time_characterize_nor2_ms(const cells::CellLibrary& lib,
                                  const core::CharOptions& opt) {
     using Clock = std::chrono::steady_clock;

@@ -111,6 +111,16 @@ double time_chain_transient_ms(const cells::CellLibrary& lib, int stages,
                                spice::SolverBackend backend,
                                wave::Waveform* far_out = nullptr);
 
+// Best-of-3 wall clock of the chain transient on the sparse backend with
+// the fast path (LTE-adaptive dt, optional Jacobian reuse), milliseconds.
+// Same window as time_chain_transient_ms (2.5 ns / 2 ps record grid).
+// When reuse_rate is non-null it receives jacobian_reuse_steps /
+// steps_accepted of the last rep; far_out works as above.
+double time_chain_transient_fast_ms(const cells::CellLibrary& lib, int stages,
+                                    bool reuse_jacobian,
+                                    double* reuse_rate = nullptr,
+                                    wave::Waveform* far_out = nullptr);
+
 // Best-of-2 wall clock of a NOR2 MCSM characterization with `opt`,
 // milliseconds (the caller sets grid/threads/backend on opt).
 double time_characterize_nor2_ms(const cells::CellLibrary& lib,

@@ -263,8 +263,17 @@ void extract_caps_transient(CsmModel& model, const cells::CellLibrary& lib,
                 .set_spec(SourceSpec::pwl(
                     wave::saturated_ramp(t0, ramp_time, lo, hi)));
             spice::TranOptions topt;
-            topt.tstop = t0 + ramp_time + 20e-12;
-            topt.dt = opt.dt;
+            if (opt.adaptive_tran) {
+                topt = spice::fast_tran_options(t0 + ramp_time + 20e-12,
+                                                opt.dt);
+                // Current samples feed finite-difference cap extraction:
+                // keep the record grid dense enough that interpolating
+                // between accepted steps stays below the averaging noise.
+                topt.dt_max = 8.0 * opt.dt;
+            } else {
+                topt.tstop = t0 + ramp_time + 20e-12;
+                topt.dt = opt.dt;
+            }
             const spice::TranResult res =
                 spice::solve_tran(cfx.circuit, topt);
             const wave::Waveform i_out =
@@ -455,8 +464,14 @@ void extract_input_caps(CsmModel& model, const cells::CellLibrary& lib,
                     .set_spec(SourceSpec::pwl(
                         wave::saturated_ramp(t0, ramp_time, lo, hi)));
                 spice::TranOptions topt;
-                topt.tstop = t0 + ramp_time + 20e-12;
-                topt.dt = opt.dt;
+                if (opt.adaptive_tran) {
+                    topt = spice::fast_tran_options(
+                        t0 + ramp_time + 20e-12, opt.dt);
+                    topt.dt_max = 8.0 * opt.dt;
+                } else {
+                    topt.tstop = t0 + ramp_time + 20e-12;
+                    topt.dt = opt.dt;
+                }
                 const spice::TranResult res =
                     spice::solve_tran(fx.circuit, topt);
                 const wave::Waveform i_pin =

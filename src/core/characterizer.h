@@ -36,6 +36,10 @@ struct CharOptions {
     double cap_ramp = 150e-12;     // primary ramp duration (0-100%) [s]
     double cap_ramp2 = 300e-12;    // second slope averaged in [s]
     double dt = 1.5e-12;           // transient step for cap extraction [s]
+    // LTE-adaptive stepping + Jacobian reuse for the cap-extraction ramps
+    // (spice::fast_tran_options with a tightened dt ceiling); false forces
+    // the legacy fixed-dt grid.
+    bool adaptive_tran = true;
     std::size_t cin_points = 13;   // knots of the 1-D input-cap tables
     // Extract pin -> internal-node Miller caps (extension; the paper
     // neglects them). When false the tables are zero and CN absorbs all

@@ -259,12 +259,17 @@ TimingResult TimingService::eval_transient(const core::CsmModel& model,
     }
     core::ModelCell cell(model, inputs, load);
 
-    spice::TranOptions topt;
-    topt.dt = options_.dt;
     // The far cap charges through r_wire; give its time constant room to
     // settle inside the window.
-    topt.tstop = t_edge + max_skew + max_slew + options_.settle +
-                 5.0 * q.r_wire * q.c_far;
+    const double tstop = t_edge + max_skew + max_slew + options_.settle +
+                         5.0 * q.r_wire * q.c_far;
+    spice::TranOptions topt;
+    if (options_.adaptive_tran) {
+        topt = spice::fast_tran_options(tstop, options_.dt);
+    } else {
+        topt.dt = options_.dt;
+        topt.tstop = tstop;
+    }
     const spice::TranResult tran = cell.run(topt);
     const wave::Waveform out = tran.node_waveform(cell.out_node());
 

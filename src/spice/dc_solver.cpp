@@ -12,7 +12,8 @@ namespace {
 // The circuit's persistent workspace supplies the assembly storage and the
 // factorization; the iteration body performs no heap allocation.
 int newton_dc(Circuit& circuit, const DcOptions& options, double gmin,
-              std::vector<double>& x) {
+              std::vector<double>& x, int max_iterations = 0) {
+    if (max_iterations <= 0) max_iterations = options.max_iterations;
     const int n_nodes = circuit.node_count();
     SolverWorkspace& ws = circuit.workspace();
 
@@ -22,7 +23,7 @@ int newton_dc(Circuit& circuit, const DcOptions& options, double gmin,
     ctx.source_scale = options.source_scale;
     ctx.x = &x;
 
-    for (int it = 0; it < options.max_iterations; ++it) {
+    for (int it = 0; it < max_iterations; ++it) {
         Stamper& st = ws.assemble(ctx);
         st.add_gmin_everywhere(gmin);
 
@@ -80,8 +81,12 @@ DcResult solve_dc(Circuit& circuit, const DcOptions& options,
     result.x[0] = 0.0;
 
     // Fast path: try a direct solve at the final gmin (warm starts usually
-    // converge immediately).
-    int iters = newton_dc(circuit, options, options.gmin_final, result.x);
+    // converge immediately). Cold starts may cap the probe's iteration
+    // budget -- a failure here only costs time, never the solution.
+    const int probe_budget =
+        initial == nullptr ? options.cold_probe_iterations : 0;
+    int iters =
+        newton_dc(circuit, options, options.gmin_final, result.x, probe_budget);
     if (iters >= 0) {
         result.iterations = iters;
         return result;

@@ -15,6 +15,12 @@ namespace mcsm::spice {
 struct DcOptions {
     double gmin_final = 1e-12;   // shunt left in place at the solution [S]
     int max_iterations = 400;    // NR iterations per gmin stage
+    // Iteration budget for the cold-start direct attempt (no warm start)
+    // before falling back to gmin stepping; 0 = use max_iterations. A circuit
+    // that converges directly from zero does so in a few dozen iterations,
+    // so fast-path callers cap the probe instead of burning the full budget
+    // proving divergence.
+    int cold_probe_iterations = 0;
     double vtol = 1e-9;          // node-voltage convergence tolerance [V]
     double max_update = 0.3;     // damping clamp on NR voltage updates [V]
     double time = 0.0;           // evaluation time for waveform sources

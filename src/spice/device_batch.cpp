@@ -1,5 +1,9 @@
 #include "spice/device_batch.h"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
 #include "common/error.h"
 
 namespace mcsm::spice {
@@ -47,9 +51,15 @@ void MosfetBatch::build(const std::vector<const Mosfet*>& mosfets,
     cap_slots_.resize(count_ * 20);
     cap_rhs_.resize(count_ * 10);
     cap_state_.resize(count_ * 5);
+    cap_c_.assign(count_ * 5, 0.0);
     cap_geq_.assign(count_ * 5, 0.0);
     cap_isrc_.assign(count_ * 5, 0.0);
     cap_step_id_ = -1;
+    cap_dt_ = 0.0;
+    cap_be_ = false;
+    chan_run_id_ = -1;
+    chan_v_.assign(count_ * 4, std::numeric_limits<double>::quiet_NaN());
+    chan_lin_.assign(count_ * 5, 0.0);
 
     for (std::size_t i = 0; i < count_; ++i) {
         const Mosfet& m = *mosfets[i];
@@ -103,30 +113,69 @@ void MosfetBatch::build(const std::vector<const Mosfet*>& mosfets,
 template <typename SpSigFn>
 void MosfetBatch::stamp_channel(SparseMatrix& matrix,
                                 std::vector<double>& rhs,
-                                const std::vector<double>& x,
+                                const SimContext& ctx,
                                 SpSigFn&& sp_sig) const {
+    const std::vector<double>& x = *ctx.x;
     double* vals = matrix.values().data();
+    const double tol = ctx.stale_dv;
+    const bool gate = tol > 0.0 && ctx.run_id >= 0;
+    if (gate && chan_run_id_ != ctx.run_id) {
+        // New solve_tran run: drop every cached eval point so nothing from
+        // a previous scenario on this (pooled) circuit can be revalidated.
+        // NaN sentinels fail every |v - cached| <= tol test.
+        std::fill(chan_v_.begin(), chan_v_.end(),
+                  std::numeric_limits<double>::quiet_NaN());
+        chan_run_id_ = ctx.run_id;
+    }
     for (std::size_t i = 0; i < count_; ++i) {
         const double vd = x[static_cast<std::size_t>(nd_[i])];
         const double vg = x[static_cast<std::size_t>(ng_[i])];
         const double vs = x[static_cast<std::size_t>(ns_[i])];
         const double vb = x[static_cast<std::size_t>(nb_[i])];
 
-        const MosCurrent cur =
-            ekv_current(coeffs_at(i), vd, vg, vs, vb, sp_sig);
+        double* cv = &chan_v_[i * 4];
+        double* cl = &chan_lin_[i * 5];
+        double gm, gds, gms, gmb, i_affine;
+        if (gate && std::fabs(vd - cv[0]) <= tol &&
+            std::fabs(vg - cv[1]) <= tol && std::fabs(vs - cv[2]) <= tol &&
+            std::fabs(vb - cv[3]) <= tol) {
+            gm = cl[0];
+            gds = cl[1];
+            gms = cl[2];
+            gmb = cl[3];
+            i_affine = cl[4];
+        } else {
+            const MosCurrent cur =
+                ekv_current(coeffs_at(i), vd, vg, vs, vb, sp_sig);
+            gm = cur.gm;
+            gds = cur.gds;
+            gms = cur.gms;
+            gmb = cur.gmb;
+            i_affine = cur.ids -
+                       (gm * vg + gds * vd + gms * vs + gmb * vb);
+            if (gate) {
+                cv[0] = vd;
+                cv[1] = vg;
+                cv[2] = vs;
+                cv[3] = vb;
+                cl[0] = gm;
+                cl[1] = gds;
+                cl[2] = gms;
+                cl[3] = gmb;
+                cl[4] = i_affine;
+            }
+        }
 
         const int* ms = &mat_slots_[i * 8];
-        if (ms[0] >= 0) vals[ms[0]] += cur.gm;
-        if (ms[1] >= 0) vals[ms[1]] += cur.gds;
-        if (ms[2] >= 0) vals[ms[2]] += cur.gms;
-        if (ms[3] >= 0) vals[ms[3]] += cur.gmb;
-        if (ms[4] >= 0) vals[ms[4]] -= cur.gm;
-        if (ms[5] >= 0) vals[ms[5]] -= cur.gds;
-        if (ms[6] >= 0) vals[ms[6]] -= cur.gms;
-        if (ms[7] >= 0) vals[ms[7]] -= cur.gmb;
+        if (ms[0] >= 0) vals[ms[0]] += gm;
+        if (ms[1] >= 0) vals[ms[1]] += gds;
+        if (ms[2] >= 0) vals[ms[2]] += gms;
+        if (ms[3] >= 0) vals[ms[3]] += gmb;
+        if (ms[4] >= 0) vals[ms[4]] -= gm;
+        if (ms[5] >= 0) vals[ms[5]] -= gds;
+        if (ms[6] >= 0) vals[ms[6]] -= gms;
+        if (ms[7] >= 0) vals[ms[7]] -= gmb;
 
-        const double i_affine = cur.ids - (cur.gm * vg + cur.gds * vd +
-                                           cur.gms * vs + cur.gmb * vb);
         if (rhs_d_[i] >= 0)
             rhs[static_cast<std::size_t>(rhs_d_[i])] -= i_affine;
         if (rhs_s_[i] >= 0)
@@ -138,45 +187,55 @@ void MosfetBatch::refresh_caps(const SimContext& ctx) const {
     const std::vector<double>& x_prev = *ctx.x_prev;
     const std::vector<double>& state = *ctx.state;
     const std::size_t n_caps = count_ * 5;
-    for (std::size_t i = 0; i < count_; ++i) {
-        // Per-device cache shared with commit(): one scalar caps evaluation
-        // per device per step.
-        const MosCaps& caps = devices_[i]->caps_at_step(ctx);
-        const std::size_t p = i * 5;
-        cap_geq_[p + 0] = caps.cgs;
-        cap_geq_[p + 1] = caps.cgd;
-        cap_geq_[p + 2] = caps.cgb;
-        cap_geq_[p + 3] = caps.cdb;
-        cap_geq_[p + 4] = caps.csb;
+    if (ctx.step_id < 0 || ctx.step_id != cap_step_id_) {
+        // Raw-capacitance level: depends only on the accepted base solution,
+        // so retries of the same step (same step_id, new dt) skip it. The
+        // per-device cache is shared with commit(): one scalar caps
+        // evaluation per device per accepted base.
+        for (std::size_t i = 0; i < count_; ++i) {
+            const MosCaps& caps = devices_[i]->caps_at_step(ctx);
+            const std::size_t p = i * 5;
+            cap_c_[p + 0] = caps.cgs;
+            cap_c_[p + 1] = caps.cgd;
+            cap_c_[p + 2] = caps.cgb;
+            cap_c_[p + 3] = caps.cdb;
+            cap_c_[p + 4] = caps.csb;
+        }
+        cap_step_id_ = ctx.step_id;
     }
-    // Companion linearization (see spice/cap_companion.h): geq and the
-    // equivalent current source are fixed for the whole step.
+    // Companion linearization (see spice/cap_companion.h): geq/isrc bake in
+    // the step size and integrator, so this scaling pass re-runs whenever
+    // either changes (adaptive retry at a shrunk dt, breakpoint BE step).
     const bool be = ctx.integrator == Integrator::kBackwardEuler;
     const double gscale = (be ? 1.0 : 2.0) / ctx.dt;
     for (std::size_t p = 0; p < n_caps; ++p) {
         const double v_prev =
             x_prev[static_cast<std::size_t>(cap_a_[p])] -
             x_prev[static_cast<std::size_t>(cap_b_[p])];
-        const double geq = cap_geq_[p] * gscale;
+        const double geq = cap_c_[p] * gscale;
         const double i_prev =
             be ? 0.0 : state[static_cast<std::size_t>(cap_state_[p])];
         cap_geq_[p] = geq;
         cap_isrc_[p] = -geq * v_prev - i_prev;
     }
-    cap_step_id_ = ctx.step_id;
+    cap_dt_ = ctx.dt;
+    cap_be_ = be;
 }
 
 void MosfetBatch::evaluate_and_stamp(SparseMatrix& matrix,
                                      std::vector<double>& rhs,
                                      const SimContext& ctx) const {
 #ifdef MCSM_NO_FAST_EKV
-    stamp_channel(matrix, rhs, *ctx.x, mcsm::softplus_logistic_ref);
+    stamp_channel(matrix, rhs, ctx, mcsm::softplus_logistic_ref);
 #else
-    stamp_channel(matrix, rhs, *ctx.x, mcsm::softplus_logistic_fast);
+    stamp_channel(matrix, rhs, ctx, mcsm::softplus_logistic_fast);
 #endif
 
     if (!ctx.is_tran() || ctx.dt <= 0.0) return;
-    if (ctx.step_id < 0 || ctx.step_id != cap_step_id_) refresh_caps(ctx);
+    if (ctx.step_id < 0 || ctx.step_id != cap_step_id_ ||
+        ctx.dt != cap_dt_ ||
+        (ctx.integrator == Integrator::kBackwardEuler) != cap_be_)
+        refresh_caps(ctx);
 
     double* vals = matrix.values().data();
     const std::size_t n_caps = count_ * 5;
@@ -190,6 +249,160 @@ void MosfetBatch::evaluate_and_stamp(SparseMatrix& matrix,
         if (cs[3] >= 0) vals[cs[3]] -= geq;
         const int ra = cap_rhs_[p * 2 + 0];
         const int rb = cap_rhs_[p * 2 + 1];
+        if (ra >= 0) rhs[static_cast<std::size_t>(ra)] -= isrc;
+        if (rb >= 0) rhs[static_cast<std::size_t>(rb)] += isrc;
+    }
+}
+
+void LinearBatch::build(const std::vector<const Resistor*>& resistors,
+                        const std::vector<const Capacitor*>& capacitors,
+                        const std::vector<const VSource*>& vsources,
+                        const std::vector<const ISource*>& isources,
+                        const SparseMatrix& pattern, int n_nodes) {
+    // Slot of (row, col) in unknown space; rows/cols must exist (the
+    // pattern pass stamped the same incidence).
+    const auto slot_u = [&pattern](int r, int c) {
+        const int slot = pattern.slot_index(static_cast<std::size_t>(r),
+                                            static_cast<std::size_t>(c));
+        require(slot >= 0,
+                "LinearBatch: stamp destination missing from the pattern");
+        return slot;
+    };
+    const auto pair_slots = [&](int a, int b, int* s) {
+        const int au = unknown_of(a);
+        const int bu = unknown_of(b);
+        s[0] = au >= 0 ? slot_u(au, au) : -1;
+        s[1] = bu >= 0 ? slot_u(bu, bu) : -1;
+        s[2] = au >= 0 && bu >= 0 ? slot_u(au, bu) : -1;
+        s[3] = au >= 0 && bu >= 0 ? slot_u(bu, au) : -1;
+    };
+
+    n_r_ = resistors.size();
+    r_slots_.resize(n_r_ * 4);
+    r_g_.resize(n_r_);
+    for (std::size_t i = 0; i < n_r_; ++i) {
+        const Resistor& r = *resistors[i];
+        pair_slots(r.node_a(), r.node_b(), &r_slots_[i * 4]);
+        r_g_[i] = 1.0 / r.resistance();
+    }
+
+    n_c_ = capacitors.size();
+    c_slots_.resize(n_c_ * 4);
+    c_rhs_.resize(n_c_ * 2);
+    c_a_.resize(n_c_);
+    c_b_.resize(n_c_);
+    c_state_.resize(n_c_);
+    c_val_.resize(n_c_);
+    c_geq_.assign(n_c_, 0.0);
+    c_isrc_.assign(n_c_, 0.0);
+    cap_step_id_ = -1;
+    cap_dt_ = 0.0;
+    cap_be_ = false;
+    for (std::size_t i = 0; i < n_c_; ++i) {
+        const Capacitor& c = *capacitors[i];
+        pair_slots(c.node_a(), c.node_b(), &c_slots_[i * 4]);
+        c_rhs_[i * 2 + 0] = unknown_of(c.node_a());
+        c_rhs_[i * 2 + 1] = unknown_of(c.node_b());
+        c_a_[i] = c.node_a();
+        c_b_[i] = c.node_b();
+        c_state_[i] = c.state_base();
+        c_val_[i] = c.capacitance();
+    }
+
+    n_v_ = vsources.size();
+    v_dev_ = vsources;
+    v_slots_.resize(n_v_ * 4);
+    v_rhs_.resize(n_v_);
+    for (std::size_t i = 0; i < n_v_; ++i) {
+        const VSource& v = *vsources[i];
+        const int pu = unknown_of(v.positive_node());
+        const int mu = unknown_of(v.negative_node());
+        const int bu = n_nodes - 1 + v.branch_base();
+        int* s = &v_slots_[i * 4];
+        s[0] = pu >= 0 ? slot_u(pu, bu) : -1;
+        s[1] = pu >= 0 ? slot_u(bu, pu) : -1;
+        s[2] = mu >= 0 ? slot_u(mu, bu) : -1;
+        s[3] = mu >= 0 ? slot_u(bu, mu) : -1;
+        v_rhs_[i] = bu;
+    }
+
+    n_i_ = isources.size();
+    i_dev_ = isources;
+    i_rhs_.resize(n_i_ * 2);
+    for (std::size_t i = 0; i < n_i_; ++i) {
+        i_rhs_[i * 2 + 0] = unknown_of(isources[i]->positive_node());
+        i_rhs_[i * 2 + 1] = unknown_of(isources[i]->negative_node());
+    }
+}
+
+void LinearBatch::refresh_caps(const SimContext& ctx) const {
+    // Companion linearization (see spice/cap_companion.h): geq and the
+    // equivalent current source are fixed for the whole step.
+    const std::vector<double>& x_prev = *ctx.x_prev;
+    const std::vector<double>& state = *ctx.state;
+    const bool be = ctx.integrator == Integrator::kBackwardEuler;
+    const double gscale = (be ? 1.0 : 2.0) / ctx.dt;
+    for (std::size_t i = 0; i < n_c_; ++i) {
+        const double v_prev = x_prev[static_cast<std::size_t>(c_a_[i])] -
+                              x_prev[static_cast<std::size_t>(c_b_[i])];
+        const double geq = c_val_[i] * gscale;
+        const double i_prev =
+            be ? 0.0 : state[static_cast<std::size_t>(c_state_[i])];
+        c_geq_[i] = geq;
+        c_isrc_[i] = -geq * v_prev - i_prev;
+    }
+    cap_step_id_ = ctx.step_id;
+    cap_dt_ = ctx.dt;
+    cap_be_ = be;
+}
+
+void LinearBatch::stamp(SparseMatrix& matrix, std::vector<double>& rhs,
+                        const SimContext& ctx) const {
+    double* vals = matrix.values().data();
+
+    for (std::size_t i = 0; i < n_r_; ++i) {
+        const int* s = &r_slots_[i * 4];
+        const double g = r_g_[i];
+        if (s[0] >= 0) vals[s[0]] += g;
+        if (s[1] >= 0) vals[s[1]] += g;
+        if (s[2] >= 0) vals[s[2]] -= g;
+        if (s[3] >= 0) vals[s[3]] -= g;
+    }
+
+    for (std::size_t i = 0; i < n_v_; ++i) {
+        const int* s = &v_slots_[i * 4];
+        if (s[0] >= 0) vals[s[0]] += 1.0;
+        if (s[1] >= 0) vals[s[1]] += 1.0;
+        if (s[2] >= 0) vals[s[2]] -= 1.0;
+        if (s[3] >= 0) vals[s[3]] -= 1.0;
+        rhs[static_cast<std::size_t>(v_rhs_[i])] +=
+            ctx.source_scale * v_dev_[i]->spec().value(ctx.time);
+    }
+
+    for (std::size_t i = 0; i < n_i_; ++i) {
+        const double cur =
+            ctx.source_scale * i_dev_[i]->spec().value(ctx.time);
+        const int rp = i_rhs_[i * 2 + 0];
+        const int rm = i_rhs_[i * 2 + 1];
+        if (rp >= 0) rhs[static_cast<std::size_t>(rp)] -= cur;
+        if (rm >= 0) rhs[static_cast<std::size_t>(rm)] += cur;
+    }
+
+    if (!ctx.is_tran() || ctx.dt <= 0.0) return;  // caps open in DC
+    if (ctx.step_id < 0 || ctx.step_id != cap_step_id_ ||
+        ctx.dt != cap_dt_ ||
+        (ctx.integrator == Integrator::kBackwardEuler) != cap_be_)
+        refresh_caps(ctx);
+    for (std::size_t i = 0; i < n_c_; ++i) {
+        const double geq = c_geq_[i];
+        const double isrc = c_isrc_[i];
+        const int* s = &c_slots_[i * 4];
+        if (s[0] >= 0) vals[s[0]] += geq;
+        if (s[1] >= 0) vals[s[1]] += geq;
+        if (s[2] >= 0) vals[s[2]] -= geq;
+        if (s[3] >= 0) vals[s[3]] -= geq;
+        const int ra = c_rhs_[i * 2 + 0];
+        const int rb = c_rhs_[i * 2 + 1];
         if (ra >= 0) rhs[static_cast<std::size_t>(ra)] -= isrc;
         if (rb >= 0) rhs[static_cast<std::size_t>(rb)] += isrc;
     }

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/sparse_matrix.h"
+#include "spice/linear_devices.h"
 #include "spice/mosfet.h"
 
 namespace mcsm::spice {
@@ -71,7 +72,7 @@ private:
 
     template <typename SpSigFn>
     void stamp_channel(SparseMatrix& matrix, std::vector<double>& rhs,
-                       const std::vector<double>& x, SpSigFn&& sp_sig) const;
+                       const SimContext& ctx, SpSigFn&& sp_sig) const;
     // Recomputes the per-step companion-cap conductances/current sources
     // (keyed on SimContext::step_id like the per-device caches).
     void refresh_caps(const SimContext& ctx) const;
@@ -108,10 +109,98 @@ private:
     std::vector<int> cap_slots_;
     std::vector<int> cap_rhs_;
     std::vector<int> cap_state_;  // state index of the pair's i_prev
-    // Per-step linearization, shared by every Newton iteration of a step.
+    // Two-level per-step cache: the raw capacitances depend only on the
+    // previous accepted solution (keyed on step_id, shared by every attempt
+    // at the same step), while the companion geq/isrc additionally bake in
+    // the step size and integrator (re-scaled when either changes, e.g. on
+    // an adaptive retry with a smaller dt).
     mutable long long cap_step_id_ = -1;
+    mutable double cap_dt_ = 0.0;
+    mutable bool cap_be_ = false;
+    mutable std::vector<double> cap_c_;
     mutable std::vector<double> cap_geq_;
     mutable std::vector<double> cap_isrc_;
+
+    // Delta-gated channel cache (SimContext::stale_dv > 0 only): the
+    // eval-point terminal voltages (4 per device) and the tangent model
+    // gm, gds, gms, gmb, i_affine (5 per device) from the last evaluation.
+    // While no terminal moved more than stale_dv the cached tangent is
+    // re-stamped — a first-order Taylor model whose error is second order
+    // in the threshold — so on a gate chain only the handful of switching
+    // devices pay for EKV evaluation each Newton iteration. chan_run_id_
+    // scopes the cache to one solve_tran run (see SimContext::run_id).
+    mutable long long chan_run_id_ = -1;
+    mutable std::vector<double> chan_v_;
+    mutable std::vector<double> chan_lin_;
+};
+
+// The linear counterpart of MosfetBatch: resistors, capacitors and
+// independent V/I sources folded into SoA arrays with CSR slots resolved
+// once per topology, eliminating the per-device virtual dispatch that
+// dominates assembly at RC-network scale (pi loads, crosstalk nets).
+// Resistor conductances and the source incidence (+-1 voltage-branch
+// entries) are constants; source values are evaluated per assembly through
+// the stored device pointer, so set_spec() reprogramming (characterization
+// sweeps) is picked up; capacitor companion geq/isrc pairs are refreshed
+// once per transient step, keyed on SimContext::step_id like MosfetBatch.
+class LinearBatch {
+public:
+    LinearBatch() = default;
+
+    // Captures the devices and resolves every stamp destination against
+    // `pattern`. `n_nodes` is Circuit::node_count() (ground included),
+    // needed to map branch indices onto unknown rows.
+    void build(const std::vector<const Resistor*>& resistors,
+               const std::vector<const Capacitor*>& capacitors,
+               const std::vector<const VSource*>& vsources,
+               const std::vector<const ISource*>& isources,
+               const SparseMatrix& pattern, int n_nodes);
+
+    std::size_t size() const { return n_r_ + n_c_ + n_v_ + n_i_; }
+    bool empty() const { return size() == 0; }
+
+    // Scatters every device's stamps into `matrix`/`rhs` (rhs indexed by
+    // unknown row) for the assembly context `ctx`. Allocation-free.
+    void stamp(SparseMatrix& matrix, std::vector<double>& rhs,
+               const SimContext& ctx) const;
+
+private:
+    void refresh_caps(const SimContext& ctx) const;
+
+    // Resistors: 4 matrix slots (a,a) (b,b) (a,b) (b,a) per device.
+    std::size_t n_r_ = 0;
+    std::vector<int> r_slots_;
+    std::vector<double> r_g_;
+
+    // Capacitors: same 4 slots plus the 2 RHS rows, terminal node ids for
+    // the v_prev gather, the trapezoidal-current state index, and the
+    // per-step companion linearization.
+    std::size_t n_c_ = 0;
+    std::vector<int> c_slots_;
+    std::vector<int> c_rhs_;
+    std::vector<int> c_a_;
+    std::vector<int> c_b_;
+    std::vector<int> c_state_;
+    std::vector<double> c_val_;
+    // Companion cache keyed on (step_id, dt, integrator): the raw values in
+    // c_val_ are constant, but geq/isrc bake in the step size.
+    mutable long long cap_step_id_ = -1;
+    mutable double cap_dt_ = 0.0;
+    mutable bool cap_be_ = false;
+    mutable std::vector<double> c_geq_;
+    mutable std::vector<double> c_isrc_;
+
+    // Voltage sources: 4 incidence slots (p,br) (br,p) (m,br) (br,m) per
+    // device (+1 +1 -1 -1) and the branch RHS row.
+    std::size_t n_v_ = 0;
+    std::vector<const VSource*> v_dev_;
+    std::vector<int> v_slots_;
+    std::vector<int> v_rhs_;
+
+    // Current sources: the 2 RHS rows.
+    std::size_t n_i_ = 0;
+    std::vector<const ISource*> i_dev_;
+    std::vector<int> i_rhs_;
 };
 
 }  // namespace mcsm::spice

@@ -82,6 +82,8 @@ public:
     std::vector<int> terminals() const override { return {p_, m_}; }
 
     void set_spec(SourceSpec spec) { spec_ = std::move(spec); }
+    const SourceSpec& spec() const { return spec_; }
+
     int positive_node() const { return p_; }
     int negative_node() const { return m_; }
 

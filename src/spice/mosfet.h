@@ -98,6 +98,12 @@ private:
     double ps_;
     mutable long long caps_step_id_ = -1;
     mutable MosCaps caps_cache_;
+    // Terminal voltages caps_cache_ was evaluated at plus the solve_tran
+    // run that evaluated them, for the delta-gated revalidation
+    // (SimContext::stale_dv / run_id).
+    mutable double caps_vd_ = 0.0, caps_vg_ = 0.0, caps_vs_ = 0.0,
+                   caps_vb_ = 0.0;
+    mutable long long caps_run_id_ = -1;
 };
 
 }  // namespace mcsm::spice

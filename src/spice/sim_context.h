@@ -28,12 +28,22 @@ struct SimContext {
     Integrator integrator = Integrator::kTrapezoidal;
     // Scale factor applied to independent sources (DC source stepping).
     double source_scale = 1.0;
-    // Transient step identity: unique per (x_prev, step attempt) and shared
-    // by every Newton iteration and the commit of that attempt. Devices use
-    // it to cache their companion-model linearization (capacitances are
-    // evaluated at x_prev, which is constant within a step). Negative:
-    // caching disabled.
+    // Transient step identity: unique per accepted base solution (x_prev,
+    // state) and shared by every attempt at the step — Newton retries and
+    // adaptive-dt shrinks included — plus the commit of the accepted one.
+    // Devices key raw-capacitance caches on it (evaluated at x_prev, which
+    // is constant across attempts); anything that bakes in dt or the
+    // integrator must additionally key on those. Negative: caching disabled.
     long long step_id = -1;
+    // TranOptions::stale_dv for this assembly: when positive, devices may
+    // revalidate a previously-evaluated linearization — the channel tangent
+    // model and the capacitance evaluation — if none of their terminal
+    // voltages moved more than this [V]. The run id scopes that reuse to
+    // one solve_tran call, so a circuit reused across scenarios never
+    // carries linearization history between runs (determinism across
+    // scheduling orders).
+    double stale_dv = 0.0;
+    long long run_id = -1;
 
     const std::vector<double>* x = nullptr;
     const std::vector<double>* x_prev = nullptr;

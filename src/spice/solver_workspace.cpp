@@ -87,17 +87,44 @@ SolverWorkspace::SolverWorkspace(const Circuit& circuit, SolverBackend backend)
         rhs_scratch_.assign(n, 0.0);
     }
 
-    // Group devices for assemble(): MOSFETs into the SoA batch (sparse
-    // backend only), the rest onto the virtual path in original order.
+    // Group devices for assemble(): MOSFETs into the SoA batch and linear
+    // two-terminal devices into the LinearBatch (sparse backend only), the
+    // rest onto the virtual path in original order.
     std::vector<const Mosfet*> mosfets;
+    std::vector<const Resistor*> resistors;
+    std::vector<const Capacitor*> capacitors;
+    std::vector<const VSource*> vsources;
+    std::vector<const ISource*> isources;
     for (const auto& dev : circuit.devices()) {
-        const auto* m = dynamic_cast<const Mosfet*>(dev.get());
-        if (backend_ == SolverBackend::kSparse && m != nullptr)
-            mosfets.push_back(m);
-        else
-            scalar_devices_.push_back(dev.get());
+        if (backend_ == SolverBackend::kSparse) {
+            if (const auto* m = dynamic_cast<const Mosfet*>(dev.get())) {
+                mosfets.push_back(m);
+                continue;
+            }
+            if (const auto* r = dynamic_cast<const Resistor*>(dev.get())) {
+                resistors.push_back(r);
+                continue;
+            }
+            if (const auto* c = dynamic_cast<const Capacitor*>(dev.get())) {
+                capacitors.push_back(c);
+                continue;
+            }
+            if (const auto* v = dynamic_cast<const VSource*>(dev.get())) {
+                vsources.push_back(v);
+                continue;
+            }
+            if (const auto* i = dynamic_cast<const ISource*>(dev.get())) {
+                isources.push_back(i);
+                continue;
+            }
+        }
+        scalar_devices_.push_back(dev.get());
     }
     if (!mosfets.empty()) batch_.build(mosfets, matrix_);
+    if (!resistors.empty() || !capacitors.empty() || !vsources.empty() ||
+        !isources.empty())
+        linear_batch_.build(resistors, capacitors, vsources, isources,
+                            matrix_, circuit.node_count());
 }
 
 std::size_t SolverWorkspace::pattern_nnz() const {
@@ -114,6 +141,8 @@ Stamper& SolverWorkspace::assemble(const SimContext& ctx) {
     stamper_.clear();
     if (!batch_.empty())
         batch_.evaluate_and_stamp(matrix_, stamper_.rhs(), ctx);
+    if (!linear_batch_.empty())
+        linear_batch_.stamp(matrix_, stamper_.rhs(), ctx);
     for (const Device* dev : scalar_devices_) dev->stamp(stamper_, ctx);
     return stamper_;
 }

@@ -101,6 +101,11 @@ public:
 
     // The batched MOSFET evaluator (empty on the dense backend).
     const MosfetBatch& mosfet_batch() const { return batch_; }
+    // The batched linear stampers (empty on the dense backend).
+    const LinearBatch& linear_batch() const { return linear_batch_; }
+    // Read-only view of the assembled CSR storage (sparse backend); tests
+    // cross-check batched assembly against the virtual stamp path with it.
+    const SparseMatrix& csr_matrix() const { return matrix_; }
 
     // --- instrumentation ------------------------------------------------
     std::size_t solve_count() const { return solves_; }
@@ -120,11 +125,13 @@ private:
     std::vector<double> rhs_scratch_;
     std::vector<double> sol_;
     std::size_t solves_ = 0;
-    // Device grouping for assemble(): MOSFETs go through the SoA batch on
+    // Device grouping for assemble(): MOSFETs go through the SoA batch and
+    // resistors/capacitors/independent sources through the linear batch on
     // the sparse backend; everything else (and every device on the dense
     // backend, preserving its bit-compatible ordering) stays on the virtual
     // path.
     MosfetBatch batch_;
+    LinearBatch linear_batch_;
     std::vector<const Device*> scalar_devices_;
 };
 

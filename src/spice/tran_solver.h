@@ -1,6 +1,14 @@
-// Fixed-grid transient analysis with Newton-Raphson per step, trapezoidal or
-// backward-Euler integration, and automatic step subdivision on
-// non-convergence.
+// Transient analysis with Newton-Raphson per step, trapezoidal or
+// backward-Euler integration, and two step-control regimes:
+//  * kFixedGrid (default) -- the record grid is the time grid; steps only
+//    subdivide on Newton failure. Bit-compatible with the seed solver.
+//  * kAdaptiveLte -- a predictor-corrector local-truncation-error estimate
+//    grows and shrinks dt between source breakpoints (which stay exact).
+// Independently, `reuse_jacobian` freezes one sparse LU factorization across
+// consecutive accepted steps and runs delta-form Newton corrections against
+// it; the residual is always assembled at the current iterate, so
+// correctness never depends on the stale matrix (same contract as
+// solve_dc_sweep).
 #ifndef MCSM_SPICE_TRAN_SOLVER_H
 #define MCSM_SPICE_TRAN_SOLVER_H
 
@@ -15,6 +23,11 @@
 
 namespace mcsm::spice {
 
+enum class StepControl {
+    kFixedGrid,    // step on the dt grid (legacy; bit-compatible baseline)
+    kAdaptiveLte,  // LTE-controlled dt between breakpoints
+};
+
 struct TranOptions {
     double tstop = 1e-9;   // end time [s]
     double dt = 1e-12;     // recording/time-step grid [s]
@@ -24,8 +37,56 @@ struct TranOptions {
     double max_update = 0.4;   // NR damping clamp [V]
     double gmin = 1e-12;       // transient shunt [S]
     int max_subdivisions = 10; // binary step subdivision depth on NR failure
+
+    // --- step control (kAdaptiveLte only, except dt_min) ----------------
+    StepControl step_control = StepControl::kFixedGrid;
+    double dt_min = 0.0;    // smallest adaptive step; 0 selects dt / 1024
+    double dt_max = 0.0;    // largest adaptive step; 0 selects 32 * dt
+    // Per-step LTE budget over node voltages (branch currents are excluded:
+    // trapezoidal source currents carry a marginally-stable ringing mode
+    // that a polynomial predictor cannot track).
+    double lte_rel = 2e-3;    // relative budget
+    double lte_abs_v = 5e-5;  // absolute floor [V]
+    double grow_max = 2.0;    // max per-accepted-step dt growth factor
+
+    // --- Jacobian reuse (sparse backend; silently off on dense) ---------
+    bool reuse_jacobian = false;
+    double itol = 1e-9;  // residual acceptance on KCL rows [A] when the
+                         // accepting iteration ran against a stale LU
+    // Devices may keep their cached linearization — the channel tangent
+    // model and the step-frozen capacitance evaluation — when no terminal
+    // voltage moved more than this [V] since it was last evaluated (0 =
+    // re-evaluate everywhere, the bit-compatible default). Channel reuse
+    // re-stamps the cached *tangent*, so its model error is second order
+    // in the threshold; cap reuse is first order, which bounds how large
+    // the knob should be. On a gate chain only the switching cells pay for
+    // device evaluation; settled cells revalidate for free. Assembly,
+    // commit, and LTE control all see the same (slightly stale, still
+    // charge-consistent) linearization.
+    double stale_dv = 0.0;
+
     // Operating-point options for the t=0 solve.
     DcOptions dc;
+};
+
+// Validates every TranOptions field, throwing ModelError with a descriptive
+// message on the first violation. solve_tran calls this up front.
+void validate_tran_options(const TranOptions& options);
+
+// The tuned fast-path configuration shared by the characterizer, the serve
+// layer's exact queries, and the benches: LTE-adaptive stepping plus
+// Jacobian reuse on top of the caller's (tstop, dt) window.
+TranOptions fast_tran_options(double tstop, double dt);
+
+// Stepping-loop counters exposed through TranResult::stats().
+struct TranStats {
+    long long steps_accepted = 0;
+    long long steps_rejected = 0;  // LTE rejections + Newton failures
+    long long newton_iters = 0;    // linear solves across all attempts
+    long long lu_refactors = 0;    // factorizations (reuse mode only)
+    // Accepted steps whose Newton loop ran entirely against a frozen
+    // factorization from an earlier step.
+    long long jacobian_reuse_steps = 0;
 };
 
 class TranResult {
@@ -56,6 +117,9 @@ public:
 
     double final_node_voltage(int node_id) const;
 
+    const TranStats& stats() const { return stats_; }
+    void set_stats(const TranStats& stats) { stats_ = stats; }
+
 private:
     std::vector<std::string> node_names_;
     std::unordered_map<std::string, int> node_index_;
@@ -63,6 +127,7 @@ private:
     std::vector<double> times_;
     std::vector<std::vector<double>> node_v_;   // [node][sample]
     std::vector<std::vector<double>> branch_i_; // [branch][sample]
+    TranStats stats_;
 };
 
 // Runs a transient from the DC operating point at t=0 to options.tstop.

@@ -142,27 +142,53 @@ using spice::SolverBackend;
 // "current" is the persistent sparse workspace with parallel sweeps.
 // The measurements themselves live in bench_util so bench_solver_core's
 // report and this JSON stay in lockstep.
+//
+// Every stage reports min-of-N (the gate/headline number, robust to
+// scheduler noise) and mean-of-N (the spread indicator). Micro-stages
+// whose timer already returns a per-op average over thousands of reps
+// report that average for both.
 struct Stage {
     std::string name;
-    double baseline_ms;
-    double current_ms;
+    bench::BenchTiming baseline;
+    bench::BenchTiming current;
 };
 
-double newton_cycle_ms(Context& ctx, int stages, SolverBackend backend) {
-    return bench::time_newton_cycle_us(ctx.lib(), stages, backend) * 1e-3;
+bench::BenchTiming avg_as_timing(double ms) {
+    bench::BenchTiming t;
+    t.min_ms = ms;
+    t.mean_ms = ms;
+    t.reps = 1;
+    return t;
 }
 
-double golden_transient_ms(Context& ctx, int stages, SolverBackend backend) {
-    return bench::time_chain_transient_ms(ctx.lib(), stages, backend);
+bench::BenchTiming newton_cycle_ms(Context& ctx, int stages,
+                                   SolverBackend backend) {
+    return avg_as_timing(
+        bench::time_newton_cycle_us(ctx.lib(), stages, backend) * 1e-3);
 }
 
-double characterize_ms(Context& ctx, SolverBackend backend,
-                       std::size_t threads) {
+bench::BenchTiming golden_transient_ms(Context& ctx, int stages,
+                                       SolverBackend backend) {
+    bench::BenchTiming t;
+    bench::time_chain_transient_ms(ctx.lib(), stages, backend, nullptr, &t);
+    return t;
+}
+
+bench::BenchTiming dc_sweep_ms(Context& ctx, SolverBackend backend) {
+    bench::BenchTiming t;
+    bench::time_dc_sweep_ms(ctx.lib(), backend, &t);
+    return t;
+}
+
+bench::BenchTiming characterize_ms(Context& ctx, SolverBackend backend,
+                                   std::size_t threads) {
     core::CharOptions opt = ctx.char_options(7);
     opt.transient_caps = false;
     opt.backend = backend;
     opt.threads = threads;
-    return bench::time_characterize_nor2_ms(ctx.lib(), opt);
+    bench::BenchTiming t;
+    bench::time_characterize_nor2_ms(ctx.lib(), opt, &t);
+    return t;
 }
 
 void write_bench_perf_json() {
@@ -182,25 +208,32 @@ void write_bench_perf_json() {
     // Device-evaluation pass alone (assembly, no solve): the virtual
     // per-device scalar loop vs the batched SoA evaluate-and-stamp, both
     // writing the same CSR workspace.
-    stages.push_back({"device_eval_12cell",
-                      bench::time_device_eval_us(ctx.lib(), 12, false) * 1e-3,
-                      bench::time_device_eval_us(ctx.lib(), 12, true) * 1e-3});
-    stages.push_back({"device_eval_48cell",
-                      bench::time_device_eval_us(ctx.lib(), 48, false) * 1e-3,
-                      bench::time_device_eval_us(ctx.lib(), 48, true) * 1e-3});
+    stages.push_back(
+        {"device_eval_12cell",
+         avg_as_timing(bench::time_device_eval_us(ctx.lib(), 12, false) *
+                       1e-3),
+         avg_as_timing(bench::time_device_eval_us(ctx.lib(), 12, true) *
+                       1e-3)});
+    stages.push_back(
+        {"device_eval_48cell",
+         avg_as_timing(bench::time_device_eval_us(ctx.lib(), 48, false) *
+                       1e-3),
+         avg_as_timing(bench::time_device_eval_us(ctx.lib(), 48, true) *
+                       1e-3)});
     // 32 solutions of the factored chain system: per-solution refactor +
     // single-RHS solve (the point-by-point Newton pattern) vs one refactor
     // + one blocked multi-RHS substitution.
     stages.push_back(
         {"multi_rhs_32_12cell",
-         bench::time_multi_rhs_us(ctx.lib(), 12, 32, false) * 1e-3,
-         bench::time_multi_rhs_us(ctx.lib(), 12, 32, true) * 1e-3});
+         avg_as_timing(bench::time_multi_rhs_us(ctx.lib(), 12, 32, false) *
+                       1e-3),
+         avg_as_timing(bench::time_multi_rhs_us(ctx.lib(), 12, 32, true) *
+                       1e-3)});
     // Characterization-style DC bias sweep (all modeled nodes forced,
     // 6^4 grid): dense point-by-point baseline vs sparse blocked sweep.
     stages.push_back({"dc_sweep_nor2_1296pt",
-                      bench::time_dc_sweep_ms(ctx.lib(), SolverBackend::kDense),
-                      bench::time_dc_sweep_ms(ctx.lib(),
-                                              SolverBackend::kSparse)});
+                      dc_sweep_ms(ctx, SolverBackend::kDense),
+                      dc_sweep_ms(ctx, SolverBackend::kSparse)});
     stages.push_back({"transient_12cell",
                       golden_transient_ms(ctx, 12, SolverBackend::kDense),
                       golden_transient_ms(ctx, 12, SolverBackend::kSparse)});
@@ -214,11 +247,13 @@ void write_bench_perf_json() {
     // configuration) vs LTE-adaptive stepping + Jacobian reuse on the
     // sparse workspace.
     double reuse_rate = 0.0;
+    bench::BenchTiming adaptive;
+    bench::time_chain_transient_fast_ms(ctx.lib(), 48,
+                                        /*reuse_jacobian=*/true, &reuse_rate,
+                                        nullptr, &adaptive);
     stages.push_back({"transient_adaptive_48",
                       golden_transient_ms(ctx, 48, SolverBackend::kDense),
-                      bench::time_chain_transient_fast_ms(
-                          ctx.lib(), 48, /*reuse_jacobian=*/true,
-                          &reuse_rate)});
+                      adaptive});
 
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
@@ -226,15 +261,20 @@ void write_bench_perf_json() {
                      path.c_str());
         return;
     }
+    // baseline_ms/current_ms stay min-of-N (the numbers the CI trend and
+    // speedup gates key on); the *_mean_ms companions expose run-to-run
+    // spread without moving the gate.
     std::fprintf(f, "{\n  \"threads\": %zu,\n  \"stages\": {\n",
                  hardware_threads());
     for (std::size_t i = 0; i < stages.size(); ++i) {
         const Stage& s = stages[i];
         std::fprintf(f,
                      "    \"%s\": {\"baseline_ms\": %.4f, "
-                     "\"current_ms\": %.4f, \"speedup\": %.3f}%s\n",
-                     s.name.c_str(), s.baseline_ms, s.current_ms,
-                     s.baseline_ms / s.current_ms,
+                     "\"current_ms\": %.4f, \"baseline_mean_ms\": %.4f, "
+                     "\"current_mean_ms\": %.4f, \"speedup\": %.3f}%s\n",
+                     s.name.c_str(), s.baseline.min_ms, s.current.min_ms,
+                     s.baseline.mean_ms, s.current.mean_ms,
+                     s.baseline.min_ms / s.current.min_ms,
                      i + 1 < stages.size() ? "," : "");
     }
     std::fprintf(f,
@@ -243,9 +283,10 @@ void write_bench_perf_json() {
     std::printf("# wrote %s\n", path.c_str());
     for (const Stage& s : stages)
         std::printf("#   %-28s baseline %8.3f ms   current %8.3f ms   "
-                    "speedup %5.2fx\n",
-                    s.name.c_str(), s.baseline_ms, s.current_ms,
-                    s.baseline_ms / s.current_ms);
+                    "speedup %5.2fx   (means %8.3f / %8.3f)\n",
+                    s.name.c_str(), s.baseline.min_ms, s.current.min_ms,
+                    s.baseline.min_ms / s.current.min_ms, s.baseline.mean_ms,
+                    s.current.mean_ms);
     std::printf("#   jacobian_reuse_rate          %.2f\n", reuse_rate);
 }
 

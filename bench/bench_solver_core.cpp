@@ -17,6 +17,7 @@
 
 #include "bench_util.h"
 #include "common/parallel.h"
+#include "obs/metrics.h"
 #include "spice/dc_solver.h"
 #include "spice/tran_solver.h"
 #include "wave/metrics.h"
@@ -198,6 +199,48 @@ int main() {
         check.check(allocs == 0,
                     "batched Newton assembly+solve and multi-RHS cycle is "
                     "allocation-free");
+    }
+
+    // --- observability overhead ------------------------------------------
+    // The Newton cycle runs through SolverWorkspace::assemble()/solve(),
+    // which carry the obs hooks (a relaxed counter add per call plus the
+    // disabled-DetailSpan check). A/B with the runtime kill switch on the
+    // identical binary; the <2% bound is the tentpole's overhead budget.
+    // The two sides are measured in interleaved pairs (so a load burst --
+    // e.g. a parallel ctest run -- hits both equally rather than biasing
+    // one block), each side takes its min-of-5, and a noisy verdict gets
+    // two remeasurements before it may fail the gate.
+    if (obs::compiled_in()) {
+        auto cycle_us = [&](bool enabled) {
+            obs::set_enabled(enabled);
+            return bench::time_newton_cycle_us(ctx.lib(), 48,
+                                               SolverBackend::kSparse);
+        };
+        (void)cycle_us(true);  // warm caches and counter registry
+        double off_us = 0.0;
+        double on_us = 0.0;
+        bool ok = false;
+        for (int attempt = 0; attempt < 3 && !ok; ++attempt) {
+            off_us = 1e300;
+            on_us = 1e300;
+            for (int r = 0; r < 5; ++r) {
+                off_us = std::min(off_us, cycle_us(false));
+                on_us = std::min(on_us, cycle_us(true));
+            }
+            ok = on_us <= off_us * 1.02;
+        }
+        obs::set_enabled(true);
+        const double overhead =
+            off_us > 0.0 ? (on_us - off_us) / off_us : 0.0;
+        std::printf("\nobs overhead newton_cycle_48: off %.2fus on %.2fus "
+                    "(%+.2f%%)\n",
+                    off_us, on_us, 100.0 * overhead);
+        check.check(ok,
+                    "metrics overhead < 2% on the newton cycle (measured " +
+                        std::to_string(100.0 * overhead) + "%)");
+    } else {
+        std::printf("\nobs overhead newton_cycle_48: skipped "
+                    "(MCSM_OBS=OFF, hooks compiled out)\n");
     }
 
     return check.exit_code();

@@ -72,6 +72,25 @@ const core::CsmModel& Context::nor_sis_a() {
     return *nor_sis_a_;
 }
 
+BenchTiming time_reps_ms(int reps, const std::function<void()>& body) {
+    using Clock = std::chrono::steady_clock;
+    BenchTiming t;
+    t.reps = reps;
+    t.min_ms = 1e300;
+    for (int rep = 0; rep < reps; ++rep) {
+        const auto t0 = Clock::now();
+        body();
+        const double ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                .count();
+        t.min_ms = std::min(t.min_ms, ms);
+        t.mean_ms += ms;
+    }
+    t.mean_ms /= static_cast<double>(reps > 0 ? reps : 1);
+    if (reps == 0) t.min_ms = 0.0;
+    return t;
+}
+
 void Checker::check(bool ok, const std::string& message) {
     std::printf("[%s] %s\n", ok ? "PASS" : "FAIL", message.c_str());
     if (!ok) failed_ = true;
@@ -214,8 +233,7 @@ double time_multi_rhs_us(const cells::CellLibrary& lib, int stages,
 }
 
 double time_dc_sweep_ms(const cells::CellLibrary& lib,
-                        spice::SolverBackend backend) {
-    using Clock = std::chrono::steady_clock;
+                        spice::SolverBackend backend, BenchTiming* timing) {
     using spice::Circuit;
     using spice::SourceSpec;
     const double vdd_v = lib.tech().vdd;
@@ -272,65 +290,72 @@ double time_dc_sweep_ms(const cells::CellLibrary& lib,
     }
     const std::size_t n_points = values.size() / dim;
 
-    double best = 1e300;
-    for (int rep = 0; rep < 2; ++rep) {
+    const BenchTiming t = time_reps_ms(2, [&] {
         double sink = 0.0;
-        const auto t0 = Clock::now();
         spice::solve_dc_sweep(
             c, swept, values, n_points, {}, nullptr,
             [&](std::size_t, const std::vector<double>& x) {
                 sink += x.back();
             });
-        best = std::min(best, std::chrono::duration<double, std::milli>(
-                                  Clock::now() - t0)
-                                  .count());
         if (sink == 1e300) std::printf("#");  // keep the sweep observable
-    }
-    return best;
+    });
+    if (timing != nullptr) *timing = t;
+    return t.min_ms;
 }
 
 double time_chain_transient_ms(const cells::CellLibrary& lib, int stages,
                                spice::SolverBackend backend,
-                               wave::Waveform* far_out) {
-    using Clock = std::chrono::steady_clock;
+                               wave::Waveform* far_out, BenchTiming* timing) {
     spice::TranOptions topt;
     topt.tstop = 2.5e-9;
     topt.dt = 2e-12;
-    double best = 1e300;
-    for (int rep = 0; rep < 3; ++rep) {
+    // Circuit construction stays outside the timed window (it is setup, not
+    // solver work); only the solve_tran call itself is measured per rep.
+    using Clock = std::chrono::steady_clock;
+    BenchTiming t;
+    t.reps = 3;
+    t.min_ms = 1e300;
+    for (int rep = 0; rep < t.reps; ++rep) {
         spice::Circuit c = make_chain_circuit(lib, stages);
         c.set_solver_backend(backend);
         const auto t0 = Clock::now();
         const spice::TranResult res = spice::solve_tran(c, topt);
-        best = std::min(best,
-                        std::chrono::duration<double, std::milli>(
-                            Clock::now() - t0)
-                            .count());
+        const double ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                .count();
+        t.min_ms = std::min(t.min_ms, ms);
+        t.mean_ms += ms;
         if (far_out != nullptr) {
             std::string far_net = "n";
             far_net += std::to_string(stages);
             *far_out = res.node_waveform(c.node_id(far_net));
         }
     }
-    return best;
+    t.mean_ms /= static_cast<double>(t.reps);
+    if (timing != nullptr) *timing = t;
+    return t.min_ms;
 }
 
 double time_chain_transient_fast_ms(const cells::CellLibrary& lib, int stages,
                                     bool reuse_jacobian, double* reuse_rate,
-                                    wave::Waveform* far_out) {
+                                    wave::Waveform* far_out,
+                                    BenchTiming* timing) {
     using Clock = std::chrono::steady_clock;
     spice::TranOptions topt = spice::fast_tran_options(2.5e-9, 2e-12);
     topt.reuse_jacobian = reuse_jacobian;
-    double best = 1e300;
-    for (int rep = 0; rep < 3; ++rep) {
+    BenchTiming t;
+    t.reps = 3;
+    t.min_ms = 1e300;
+    for (int rep = 0; rep < t.reps; ++rep) {
         spice::Circuit c = make_chain_circuit(lib, stages);
         c.set_solver_backend(spice::SolverBackend::kSparse);
         const auto t0 = Clock::now();
         const spice::TranResult res = spice::solve_tran(c, topt);
-        best = std::min(best,
-                        std::chrono::duration<double, std::milli>(
-                            Clock::now() - t0)
-                            .count());
+        const double ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                .count();
+        t.min_ms = std::min(t.min_ms, ms);
+        t.mean_ms += ms;
         if (reuse_rate != nullptr) {
             const spice::TranStats& st = res.stats();
             *reuse_rate =
@@ -345,24 +370,22 @@ double time_chain_transient_fast_ms(const cells::CellLibrary& lib, int stages,
             *far_out = res.node_waveform(c.node_id(far_net));
         }
     }
-    return best;
+    t.mean_ms /= static_cast<double>(t.reps);
+    if (timing != nullptr) *timing = t;
+    return t.min_ms;
 }
 
 double time_characterize_nor2_ms(const cells::CellLibrary& lib,
-                                 const core::CharOptions& opt) {
-    using Clock = std::chrono::steady_clock;
+                                 const core::CharOptions& opt,
+                                 BenchTiming* timing) {
     const core::Characterizer chr(lib);
-    double best = 1e300;
-    for (int rep = 0; rep < 2; ++rep) {
-        const auto t0 = Clock::now();
+    const BenchTiming t = time_reps_ms(2, [&] {
         const core::CsmModel model = chr.characterize(
             "NOR2", core::ModelKind::kMcsm, {"A", "B"}, opt);
-        best = std::min(best,
-                        std::chrono::duration<double, std::milli>(
-                            Clock::now() - t0)
-                            .count());
-    }
-    return best;
+        (void)model;
+    });
+    if (timing != nullptr) *timing = t;
+    return t.min_ms;
 }
 
 }  // namespace mcsm::bench

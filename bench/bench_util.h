@@ -10,6 +10,7 @@
 #ifndef MCSM_BENCH_BENCH_UTIL_H
 #define MCSM_BENCH_BENCH_UTIL_H
 
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -78,6 +79,21 @@ spice::Circuit make_chain_circuit(const cells::CellLibrary& lib, int stages);
 // --- solver-stage wall-clock timers -----------------------------------
 // Shared by bench_solver_core and bench_perf_speedup's BENCH_perf.json so
 // the two reports measure the same thing.
+//
+// Every timer here runs on std::chrono::steady_clock (monotonic: NTP steps
+// and wall-time adjustments can never skew a measurement) and aggregates
+// repetitions through time_reps_ms, which reports min-of-N alongside the
+// mean: the JSON gates compare the noise-resistant minimum, the mean makes
+// run-to-run spread visible in the artifacts.
+
+struct BenchTiming {
+    double min_ms = 0.0;   // best-of-N: the gate number
+    double mean_ms = 0.0;  // average over N: the noise indicator
+    int reps = 0;
+};
+
+// Runs `body` `reps` times on steady_clock and aggregates.
+BenchTiming time_reps_ms(int reps, const std::function<void()>& body);
 
 // Per-cycle cost of the Newton inner loop (assemble + factor + solve) on
 // the flattened chain, microseconds.
@@ -103,13 +119,16 @@ double time_multi_rhs_us(const cells::CellLibrary& lib, int stages,
 // takes the retained point-by-point path; the sparse backend runs the
 // blocked solve_dc_sweep.
 double time_dc_sweep_ms(const cells::CellLibrary& lib,
-                        spice::SolverBackend backend);
+                        spice::SolverBackend backend,
+                        BenchTiming* timing = nullptr);
 
 // Best-of-3 wall clock of the full chain transient, milliseconds. When
-// far_out is non-null it receives the far-end output waveform.
+// far_out is non-null it receives the far-end output waveform; `timing`,
+// when non-null, receives the full min/mean aggregate.
 double time_chain_transient_ms(const cells::CellLibrary& lib, int stages,
                                spice::SolverBackend backend,
-                               wave::Waveform* far_out = nullptr);
+                               wave::Waveform* far_out = nullptr,
+                               BenchTiming* timing = nullptr);
 
 // Best-of-3 wall clock of the chain transient on the sparse backend with
 // the fast path (LTE-adaptive dt, optional Jacobian reuse), milliseconds.
@@ -119,12 +138,14 @@ double time_chain_transient_ms(const cells::CellLibrary& lib, int stages,
 double time_chain_transient_fast_ms(const cells::CellLibrary& lib, int stages,
                                     bool reuse_jacobian,
                                     double* reuse_rate = nullptr,
-                                    wave::Waveform* far_out = nullptr);
+                                    wave::Waveform* far_out = nullptr,
+                                    BenchTiming* timing = nullptr);
 
 // Best-of-2 wall clock of a NOR2 MCSM characterization with `opt`,
 // milliseconds (the caller sets grid/threads/backend on opt).
 double time_characterize_nor2_ms(const cells::CellLibrary& lib,
-                                 const core::CharOptions& opt);
+                                 const core::CharOptions& opt,
+                                 BenchTiming* timing = nullptr);
 
 }  // namespace mcsm::bench
 

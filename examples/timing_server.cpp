@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "cells/library.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/repository.h"
 #include "serve/timing_service.h"
 #include "tech/tech130.h"
@@ -24,10 +26,17 @@ namespace {
 constexpr const char* kUsage = R"(timing_server -- batched CSM timing queries over the serve stack
 
 Usage:
-  timing_server --demo          built-in sweep (also the CTest smoke run)
+  timing_server --demo          built-in sweep (also the CTest smoke run);
+                                prints an observability snapshot at exit
   timing_server <batch-file>    one query per line, batch flushed at EOF
   timing_server -               same, reading stdin; a line "flush"
-                                executes the pending batch immediately
+                                executes the pending batch immediately and
+                                a line "stats" prints the current
+                                observability snapshot to stderr
+  timing_server --stats         (combinable with any mode) print the
+                                observability snapshot -- cache hit/miss
+                                counters and per-query latency percentiles
+                                -- to stderr at exit
   timing_server --help          this text
 
 Query line (whitespace-separated; '#' starts a comment):
@@ -67,6 +76,14 @@ Environment:
                     disk.
   MCSM_SURFACE_DIR  arc-surface store directory: cold surface builds are
                     persisted and reloaded by later runs.
+  MCSM_TRACE=<path>         capture a Chrome trace-event JSON of the run
+                            (load in Perfetto / chrome://tracing); spans
+                            cover batches, queries, characterizations and
+                            SPICE solves.
+  MCSM_TRACE_DETAIL=1       with MCSM_TRACE: also emit per-Newton-phase
+                            spans (assemble/factor/solve) -- much larger.
+  MCSM_OBS_JSON=<path>      write the observability snapshot (counters,
+                            gauges, latency histograms) as JSON at exit.
 )";
 
 // Whole-token double parse: trailing junk ("1.1,temp=85" fed to stod)
@@ -228,11 +245,25 @@ std::vector<serve::TimingQuery> demo_batch() {
 }  // namespace
 
 int main(int argc, char** argv) {
-    if (argc > 1 && std::string(argv[1]) == "--help") {
-        std::fputs(kUsage, stdout);
-        return 0;
+    bool demo = false;
+    bool stats = false;
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help") {
+            std::fputs(kUsage, stdout);
+            return 0;
+        } else if (arg == "--demo") {
+            demo = true;
+        } else if (arg == "--stats") {
+            stats = true;
+        } else {
+            positional.push_back(arg);
+        }
     }
-    const bool demo = argc > 1 && std::string(argv[1]) == "--demo";
+    // The demo doubles as the smoke/CI run; always leave its obs snapshot
+    // in the log so cache behavior regressions are visible there.
+    if (demo) stats = true;
 
     const tech::Technology tech = tech::make_tech130();
     const cells::CellLibrary lib(tech);
@@ -285,11 +316,11 @@ int main(int argc, char** argv) {
         run(batch);
     } else {
         std::ifstream file;
-        if (argc > 1 && std::string(argv[1]) != "-") {
-            file.open(argv[1]);
+        if (!positional.empty() && positional[0] != "-") {
+            file.open(positional[0]);
             if (!file) {
                 std::fprintf(stderr, "timing_server: cannot open %s\n",
-                             argv[1]);
+                             positional[0].c_str());
                 return 1;
             }
         }
@@ -298,6 +329,10 @@ int main(int argc, char** argv) {
         while (std::getline(in, line)) {
             if (line == "flush") {
                 run(batch);
+                continue;
+            }
+            if (line == "stats") {
+                std::fputs(obs::snapshot().format_human().c_str(), stderr);
                 continue;
             }
             serve::TimingQuery q;
@@ -320,5 +355,13 @@ int main(int argc, char** argv) {
                  busy_ms > 0.0 ? 1e3 * static_cast<double>(served) / busy_ms
                                : 0.0,
                  service.surface_count());
+    if (stats) std::fputs(obs::snapshot().format_human().c_str(), stderr);
+    if (const char* json_path = std::getenv("MCSM_OBS_JSON")) {
+        if (obs::write_snapshot_json(json_path))
+            std::fprintf(stderr, "# wrote obs snapshot %s\n", json_path);
+        else
+            std::fprintf(stderr, "# cannot write obs snapshot %s\n",
+                         json_path);
+    }
     return 0;
 }

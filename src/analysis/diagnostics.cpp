@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace mcsm::analysis {
 
@@ -42,12 +43,32 @@ std::string Diagnostic::format() const {
     return os.str();
 }
 
+namespace {
+
+// Every diagnostic, wherever it is raised (circuit linter, model/surface
+// auditor, store checks), also bumps the process-wide lint.* counters so a
+// snapshot shows whether any audit complained since startup.
+void count_diagnostic(Severity severity) {
+    static obs::Counter& errors = obs::counter("lint.errors");
+    static obs::Counter& warnings = obs::counter("lint.warnings");
+    static obs::Counter& infos = obs::counter("lint.infos");
+    switch (severity) {
+        case Severity::kError: errors.add(); break;
+        case Severity::kWarning: warnings.add(); break;
+        case Severity::kInfo: infos.add(); break;
+    }
+}
+
+}  // namespace
+
 void LintReport::add(Diagnostic diagnostic) {
+    count_diagnostic(diagnostic.severity);
     diags_.push_back(std::move(diagnostic));
 }
 
 Diagnostic& LintReport::add(Severity severity, std::string rule,
                             std::string message) {
+    count_diagnostic(severity);
     Diagnostic d;
     d.severity = severity;
     d.rule = std::move(rule);

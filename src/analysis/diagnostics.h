@@ -3,6 +3,9 @@
 // rule that fired, the severity, the circuit/model objects involved and a
 // fix hint, so callers can gate admission on error_count() and surface the
 // report verbatim to users (the mcsm_lint CLI prints it as a table).
+// Every diagnostic added to a report also bumps the process-wide
+// lint.errors / lint.warnings / lint.infos obs counters (see obs/metrics.h),
+// so a long-running server's snapshot records whether any audit complained.
 #ifndef MCSM_ANALYSIS_DIAGNOSTICS_H
 #define MCSM_ANALYSIS_DIAGNOSTICS_H
 

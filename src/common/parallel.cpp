@@ -6,6 +6,8 @@
 #include <exception>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace mcsm {
 
 namespace {
@@ -38,11 +40,13 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> job) {
+    static obs::Gauge& queue_depth = obs::gauge("pool.queue_depth");
     {
         MutexLock lock(mutex_);
         queue_.push_back(std::move(job));
         ++in_flight_;
     }
+    queue_depth.add(1);
     work_cv_.notify_one();
 }
 
@@ -59,6 +63,13 @@ bool ThreadPool::on_worker_thread() { return t_on_worker; }
 // Same std::unique_lock exemption as wait_idle().
 void ThreadPool::worker_loop() MCSM_NO_THREAD_SAFETY_ANALYSIS {
     t_on_worker = true;
+    // pool.busy_ns / pool.tasks together give per-worker utilization
+    // (busy_ns / workers / wall time); pool.task_ns is the task-size
+    // distribution the micro-batching work wants to watch.
+    static obs::Gauge& queue_depth = obs::gauge("pool.queue_depth");
+    static obs::Counter& tasks = obs::counter("pool.tasks");
+    static obs::Counter& busy_ns = obs::counter("pool.busy_ns");
+    static obs::Histogram& task_ns = obs::histogram("pool.task_ns");
     for (;;) {
         std::function<void()> job;
         {
@@ -69,7 +80,13 @@ void ThreadPool::worker_loop() MCSM_NO_THREAD_SAFETY_ANALYSIS {
             job = std::move(queue_.front());
             queue_.pop_front();
         }
+        queue_depth.add(-1);
+        const std::uint64_t t0 = obs::now_ns();
         job();
+        const auto elapsed = static_cast<long long>(obs::now_ns() - t0);
+        tasks.add();
+        busy_ns.add(elapsed);
+        task_ns.observe(static_cast<double>(elapsed));
         {
             MutexLock lock(mutex_);
             if (--in_flight_ == 0) idle_cv_.notify_all();

@@ -24,6 +24,14 @@
 
 namespace mcsm {
 
+// How a get_or_produce() call was served; callers use it to bump their
+// cache hit/miss/single-flight-wait observability counters.
+enum class CacheOutcome {
+    kHit,   // value was already produced
+    kMiss,  // this thread ran produce()
+    kWait,  // another thread's in-flight production was awaited
+};
+
 template <typename Value>
 class SingleFlightCache {
 public:
@@ -31,9 +39,11 @@ public:
 
     // Returns the value for `id`, invoking produce() on this thread when
     // the key is absent. Throws whatever produce() throws (also rethrown
-    // to concurrent waiters of this attempt).
+    // to concurrent waiters of this attempt). `outcome`, when non-null, is
+    // set before any blocking wait or production starts.
     Ptr get_or_produce(const std::string& id,
-                       const std::function<Ptr()>& produce) {
+                       const std::function<Ptr()>& produce,
+                       CacheOutcome* outcome = nullptr) {
         std::promise<Ptr> promise;
         std::shared_ptr<Entry> entry;
         std::shared_future<Ptr> existing;
@@ -42,10 +52,14 @@ public:
             const auto it = entries_.find(id);
             if (it != entries_.end()) {
                 existing = it->second->future;
+                if (outcome != nullptr)
+                    *outcome = is_ready(existing) ? CacheOutcome::kHit
+                                                  : CacheOutcome::kWait;
             } else {
                 entry = std::make_shared<Entry>(
                     Entry{promise.get_future().share()});
                 entries_.emplace(id, entry);
+                if (outcome != nullptr) *outcome = CacheOutcome::kMiss;
             }
         }
         // get() outside the lock: the future may still be in flight and

@@ -8,6 +8,8 @@
 #include "common/error.h"
 #include "common/numeric.h"
 #include "common/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "spice/dc_solver.h"
 #include "spice/tran_solver.h"
 #include "wave/edges.h"
@@ -274,6 +276,9 @@ void extract_caps_transient(CsmModel& model, const cells::CellLibrary& lib,
                 topt.tstop = t0 + ramp_time + 20e-12;
                 topt.dt = opt.dt;
             }
+            // Per-knot transient span: cold 6-D surface builds spend their
+            // time here, so each ramp shows up individually in a trace.
+            const obs::Span ramp_span("char.cap_ramp");
             const spice::TranResult res =
                 spice::solve_tran(cfx.circuit, topt);
             const wave::Waveform i_out =
@@ -472,6 +477,7 @@ void extract_input_caps(CsmModel& model, const cells::CellLibrary& lib,
                     topt.tstop = t0 + ramp_time + 20e-12;
                     topt.dt = opt.dt;
                 }
+                const obs::Span ramp_span("char.cin_ramp");
                 const spice::TranResult res =
                     spice::solve_tran(fx.circuit, topt);
                 const wave::Waveform i_pin =
@@ -515,6 +521,8 @@ CsmModel Characterizer::characterize(
     const std::string& cell_name, ModelKind kind,
     const std::vector<std::string>& switching_pins,
     const CharOptions& options) const {
+    const obs::Span span("char.characterize", cell_name);
+    obs::counter("char.characterizations").add();
     const CellType& cell = lib_->get(cell_name);
     const double vdd = lib_->tech().vdd;
     const double dv = options.dv > 0.0 ? options.dv : lib_->tech().dv_margin;
@@ -639,6 +647,7 @@ CsmModel Characterizer::characterize(
     // cold warm-start chain with a fresh pivot order, so the tables come
     // out bitwise identical for any worker count or claim order.
     auto sweep_slice = [&](SweepBench& b, std::size_t i0) {
+        const obs::Span slice_span("char.dc_slice");
         Fixture& bfx = *b.fx;
         std::vector<spice::VSource*> swept;
         swept.reserve(dim);

@@ -7,6 +7,8 @@
 #include "analysis/model_audit.h"
 #include "common/error.h"
 #include "core/model_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/model_store.h"
 
 namespace mcsm::serve {
@@ -62,17 +64,30 @@ std::string ModelRepository::binary_path(const ModelKey& key) const {
 
 std::shared_ptr<const core::CsmModel> ModelRepository::get(
     const ModelKey& key) {
-    return cache_.get_or_produce(key.to_string(), [&] {
-        ModelPtr model = load_or_characterize(key);
-        // Pre-flight audit on every production (store load, legacy
-        // migration, or fresh characterization): a defective model is
-        // rejected here, before anything is served from it, and the
-        // failure is never cached (single-flight failure contract).
-        if (options_.lint_on_load)
-            analysis::audit_model(*model).require_clean(
-                "ModelRepository[" + key.to_string() + "]");
-        return model;
-    });
+    static obs::Counter& hits = obs::counter("serve.model.hit");
+    static obs::Counter& misses = obs::counter("serve.model.miss");
+    static obs::Counter& waits = obs::counter("serve.model.wait");
+    CacheOutcome outcome = CacheOutcome::kHit;
+    ModelPtr result = cache_.get_or_produce(
+        key.to_string(),
+        [&] {
+            ModelPtr model = load_or_characterize(key);
+            // Pre-flight audit on every production (store load, legacy
+            // migration, or fresh characterization): a defective model is
+            // rejected here, before anything is served from it, and the
+            // failure is never cached (single-flight failure contract).
+            if (options_.lint_on_load)
+                analysis::audit_model(*model).require_clean(
+                    "ModelRepository[" + key.to_string() + "]");
+            return model;
+        },
+        &outcome);
+    switch (outcome) {
+        case CacheOutcome::kHit: hits.add(); break;
+        case CacheOutcome::kMiss: misses.add(); break;
+        case CacheOutcome::kWait: waits.add(); break;
+    }
+    return result;
 }
 
 ModelRepository::ModelPtr ModelRepository::load_or_characterize(
@@ -80,9 +95,11 @@ ModelRepository::ModelPtr ModelRepository::load_or_characterize(
     if (!options_.dir.empty()) {
         std::error_code ec;
         const std::string bin = binary_path(key);
-        if (fs::exists(bin, ec))
+        if (fs::exists(bin, ec)) {
+            obs::counter("serve.model.store_loads").add();
             return std::make_shared<const core::CsmModel>(
                 load_model_binary(bin));
+        }
         const std::string txt =
             options_.dir + "/" + key.to_string() + kTextModelExt;
         if (fs::exists(txt, ec)) {
@@ -97,6 +114,10 @@ ModelRepository::ModelPtr ModelRepository::load_or_characterize(
                                  " not in store and no cell library "
                                  "attached for characterization");
     ++characterize_count_;
+    obs::counter("serve.model.characterize").add();
+    const obs::Span span("serve.characterize", key.to_string());
+    const obs::ScopedLatency latency(
+        obs::histogram("serve.characterize_ns"));
     const cells::CellLibrary& lib = library_for(key.corner);
     const core::Characterizer chr(lib);
     const core::CharOptions& copt = key.pins.size() >= 3

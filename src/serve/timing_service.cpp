@@ -10,6 +10,8 @@
 #include "common/error.h"
 #include "common/parallel.h"
 #include "core/model_scenarios.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/model_store.h"
 #include "spice/tran_solver.h"
 #include "wave/edges.h"
@@ -293,6 +295,7 @@ TimingResult TimingService::eval_transient(const core::CsmModel& model,
 TimingService::SurfacePtr TimingService::build_surface(
     const TimingQuery& q) {
     const std::string id = arc_id(q);
+    const obs::Span span("serve.build_surface", id);
     const std::vector<lut::Axis> axes = surface_axes(q.pins.size());
     const std::string path = surface_path(id);
 
@@ -327,6 +330,7 @@ TimingService::SurfacePtr TimingService::build_surface(
                     surface->delay = std::move(data.delay);
                     surface->slew = std::move(data.slew);
                     ++surface_loads_;
+                    obs::counter("serve.surface.disk_loads").add();
                     return surface;
                 }
             } catch (const ModelError&) {
@@ -429,10 +433,20 @@ TimingService::SurfacePtr TimingService::build_surface(
 }
 
 TimingService::SurfacePtr TimingService::surface_for(const TimingQuery& q) {
+    static obs::Counter& hits = obs::counter("serve.surface.hit");
+    static obs::Counter& misses = obs::counter("serve.surface.miss");
+    static obs::Counter& waits = obs::counter("serve.surface.wait");
     // Same single-flight contract as the repository: concurrent misses
     // build once, failures are never cached.
-    return surfaces_.get_or_produce(arc_id(q),
-                                    [&] { return build_surface(q); });
+    CacheOutcome outcome = CacheOutcome::kHit;
+    SurfacePtr surface = surfaces_.get_or_produce(
+        arc_id(q), [&] { return build_surface(q); }, &outcome);
+    switch (outcome) {
+        case CacheOutcome::kHit: hits.add(); break;
+        case CacheOutcome::kMiss: misses.add(); break;
+        case CacheOutcome::kWait: waits.add(); break;
+    }
+    return surface;
 }
 
 double TimingService::effective_cap(const ArcSurface& surface,
@@ -546,6 +560,16 @@ TimingResult TimingService::eval_lut(const ArcSurface& surface,
 
 std::vector<TimingResult> TimingService::run_batch(
     std::span<const TimingQuery> queries) {
+    static obs::Counter& batches = obs::counter("serve.batches");
+    static obs::Counter& lut_queries = obs::counter("serve.query.lut");
+    static obs::Counter& exact_queries = obs::counter("serve.query.exact");
+    static obs::Counter& query_errors = obs::counter("serve.query.errors");
+    static obs::Histogram& batch_ns = obs::histogram("serve.batch_ns");
+    static obs::Histogram& lut_ns = obs::histogram("serve.query.lut_ns");
+    static obs::Histogram& exact_ns = obs::histogram("serve.query.exact_ns");
+    const obs::Span batch_span("serve.run_batch");
+    const obs::ScopedLatency batch_latency(batch_ns);
+    batches.add();
     std::vector<TimingResult> results(queries.size());
 
     // Phase 1: warm every distinct arc once (surface or model), so the
@@ -591,6 +615,8 @@ std::vector<TimingResult> TimingService::run_batch(
         queries.size(),
         [&](std::size_t i) {
             const TimingQuery& q = queries[i];
+            const obs::Span query_span("serve.query", q.cell);
+            const std::uint64_t t0 = obs::now_ns();
             try {
                 validate(q);
                 if (const std::string* error = failure_of(q)) {
@@ -601,13 +627,18 @@ std::vector<TimingResult> TimingService::run_batch(
                     const auto model = repo_->get(
                         ModelKey::arc(q.cell, q.pins, q.corner));
                     results[i] = eval_transient(*model, q);
+                    exact_queries.add();
+                    exact_ns.observe(static_cast<double>(obs::now_ns() - t0));
                 } else {
                     results[i] = eval_lut(*surface_for(q), q);
+                    lut_queries.add();
+                    lut_ns.observe(static_cast<double>(obs::now_ns() - t0));
                 }
             } catch (const std::exception& e) {
                 results[i] = TimingResult{};
                 results[i].error = e.what();
             }
+            if (!results[i].error.empty()) query_errors.add();
         },
         options_.threads);
     return results;

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mcsm::spice {
 
@@ -63,10 +65,20 @@ int newton_dc(Circuit& circuit, const DcOptions& options, double gmin,
     return -1;
 }
 
+// Mirrors DcResult::iterations into the obs counters (one source: the
+// result field is authoritative, the counters are its process-wide sum).
+void publish_dc_iters(int iterations) {
+    static obs::Counter& solves = obs::counter("solver.dc.solves");
+    static obs::Counter& iters = obs::counter("solver.dc.newton_iters");
+    solves.add();
+    iters.add(iterations);
+}
+
 }  // namespace
 
 DcResult solve_dc(Circuit& circuit, const DcOptions& options,
                   const std::vector<double>* initial) {
+    const obs::Span span("spice.solve_dc");
     circuit.prepare();
     const std::size_t x_size = static_cast<std::size_t>(
         circuit.node_count() + circuit.branch_total());
@@ -89,6 +101,7 @@ DcResult solve_dc(Circuit& circuit, const DcOptions& options,
         newton_dc(circuit, options, options.gmin_final, result.x, probe_budget);
     if (iters >= 0) {
         result.iterations = iters;
+        publish_dc_iters(result.iterations);
         return result;
     }
 
@@ -110,6 +123,7 @@ DcResult solve_dc(Circuit& circuit, const DcOptions& options,
     if (iters < 0)
         throw NumericalError("solve_dc: final stage failed to converge");
     result.iterations = total + iters;
+    publish_dc_iters(result.iterations);
     return result;
 }
 

@@ -4,6 +4,8 @@
 
 #include "common/error.h"
 #include "common/linear_solver.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "spice/circuit.h"
 
 namespace mcsm::spice {
@@ -138,6 +140,12 @@ Stamper& SolverWorkspace::begin_assembly() {
 }
 
 Stamper& SolverWorkspace::assemble(const SimContext& ctx) {
+    // DetailSpan/Counter keep the zero-allocation Newton contract: with
+    // tracing off the span is one relaxed load + branch, and the counter
+    // reference is resolved once per process.
+    const obs::DetailSpan span("spice.assemble");
+    static obs::Counter& assembles = obs::counter("solver.ws.assembles");
+    assembles.add();
     stamper_.clear();
     if (!batch_.empty())
         batch_.evaluate_and_stamp(matrix_, stamper_.rhs(), ctx);
@@ -150,6 +158,9 @@ Stamper& SolverWorkspace::assemble(const SimContext& ctx) {
 void SolverWorkspace::factor() {
     require(backend_ == SolverBackend::kSparse,
             "SolverWorkspace: factor() needs the sparse backend");
+    const obs::DetailSpan span("spice.factor");
+    static obs::Counter& factors = obs::counter("solver.ws.factors");
+    factors.add();
     lu_.factor(matrix_);
 }
 
@@ -157,6 +168,9 @@ void SolverWorkspace::solve_block(const double* b, double* x,
                                   std::size_t nrhs) {
     require(backend_ == SolverBackend::kSparse,
             "SolverWorkspace: solve_block() needs the sparse backend");
+    const obs::DetailSpan span("spice.solve");
+    static obs::Counter& solves = obs::counter("solver.ws.solves");
+    solves.add();
     ++solves_;
     lu_.solve_block(b, x, nrhs);
 }
@@ -171,6 +185,9 @@ void SolverWorkspace::residual(std::span<const double> x_unknown,
 }
 
 const std::vector<double>& SolverWorkspace::solve() {
+    const obs::DetailSpan span("spice.factor_solve");
+    static obs::Counter& solves = obs::counter("solver.ws.solves");
+    solves.add();
     ++solves_;
     if (backend_ == SolverBackend::kSparse) {
         lu_.factor(matrix_);

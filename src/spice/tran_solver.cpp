@@ -6,6 +6,8 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mcsm::spice {
 
@@ -177,7 +179,7 @@ bool step_has_breakpoint(const std::vector<double>& breakpoints, double t0,
 void advance(Circuit& circuit, const TranOptions& options,
              const std::vector<double>& breakpoints, double t0, double dt,
              std::vector<double>& x, std::vector<double>& state,
-             TranScratch& scratch, int depth) {
+             TranScratch& scratch, int depth, TranStats& stats) {
     const Integrator integrator =
         step_has_breakpoint(breakpoints, t0, dt) ? Integrator::kBackwardEuler
                                                  : options.integrator;
@@ -185,21 +187,48 @@ void advance(Circuit& circuit, const TranOptions& options,
     const long long step_id =
         g_step_counter.fetch_add(1, std::memory_order_relaxed);
     if (newton_tran(circuit, options, integrator, t0 + dt, dt, x, state,
-                    scratch.x_new, step_id)) {
+                    scratch.x_new, step_id, &stats)) {
         commit_step(circuit, integrator, t0 + dt, dt, x, state, scratch.x_new,
                     scratch.state_next, step_id);
         x.swap(scratch.x_new);
         state.swap(scratch.state_next);
+        ++stats.steps_accepted;
         return;
     }
+    ++stats.steps_rejected;
     if (depth >= options.max_subdivisions) {
         throw NumericalError("solve_tran: step at t=" + std::to_string(t0) +
                              " failed after max subdivisions");
     }
     advance(circuit, options, breakpoints, t0, dt * 0.5, x, state, scratch,
-            depth + 1);
+            depth + 1, stats);
     advance(circuit, options, breakpoints, t0 + dt * 0.5, dt * 0.5, x, state,
-            scratch, depth + 1);
+            scratch, depth + 1, stats);
+}
+
+// TranStats is the single source for stepping-loop accounting: the engines
+// fill the struct (surfaced per-result through TranResult::stats(), which
+// the bench gates read), and each solve publishes the same struct into the
+// process-wide obs counters here -- the two views cannot drift apart.
+void publish_tran_stats(const TranStats& stats) {
+    static obs::Counter& solves = obs::counter("solver.tran.solves");
+    static obs::Counter& accepted =
+        obs::counter("solver.tran.steps_accepted");
+    static obs::Counter& rejected =
+        obs::counter("solver.tran.steps_rejected");
+    static obs::Counter& lte = obs::counter("solver.tran.lte_rejections");
+    static obs::Counter& iters = obs::counter("solver.tran.newton_iters");
+    static obs::Counter& refactors =
+        obs::counter("solver.tran.lu_refactors");
+    static obs::Counter& reuse =
+        obs::counter("solver.tran.jacobian_reuse_steps");
+    solves.add();
+    accepted.add(stats.steps_accepted);
+    rejected.add(stats.steps_rejected);
+    lte.add(stats.lte_rejections);
+    iters.add(stats.newton_iters);
+    refactors.add(stats.lu_refactors);
+    reuse.add(stats.jacobian_reuse_steps);
 }
 
 // --- fast path: Jacobian reuse + LTE-adaptive stepping -------------------
@@ -351,6 +380,7 @@ private:
                     // Newton bailed early because the step is already far
                     // over the LTE budget: shrink like an LTE rejection and
                     // keep the factorization (it is still valid).
+                    ++stats.lte_rejections;
                     dt = std::max(h * std::clamp(0.9 / std::sqrt(att_lte_ratio_),
                                                  0.25, 0.9),
                                   dt_floor_);
@@ -374,6 +404,7 @@ private:
                 ratio = lte_ratio(x, h);
                 if (ratio > 1.0 && h > dt_floor_ * 1.001) {
                     ++stats.steps_rejected;
+                    ++stats.lte_rejections;
                     dt = std::max(
                         h * std::clamp(0.9 / std::sqrt(ratio), 0.25, 0.9),
                         dt_floor_);
@@ -712,6 +743,7 @@ TranResult solve_tran(Circuit& circuit, const TranOptions& opts_in) {
             options.step_control = StepControl::kAdaptiveLte;
     }
     validate_tran_options(options);
+    const obs::Span span("spice.solve_tran");
     circuit.prepare();
 
     // Operating point at t=0.
@@ -763,19 +795,23 @@ TranResult solve_tran(Circuit& circuit, const TranOptions& opts_in) {
         TranEngine engine(circuit, options, breakpoints);
         engine.run(x, state, result);
         result.set_stats(engine.stats);
+        publish_tran_stats(engine.stats);
         return result;
     }
 
     TranScratch scratch;
     scratch.x_new.reserve(x.size());
     scratch.state_next.reserve(state.size());
+    TranStats stats;
     for (std::size_t k = 0; k < n_steps; ++k) {
         const double t0 = options.dt * static_cast<double>(k);
         const double t1 = std::min(options.tstop, t0 + options.dt);
         advance(circuit, options, breakpoints, t0, t1 - t0, x, state, scratch,
-                0);
+                0, stats);
         result.record(t1, x, circuit.node_count(), circuit.branch_total());
     }
+    result.set_stats(stats);
+    publish_tran_stats(stats);
     return result;
 }
 

@@ -82,6 +82,7 @@ TranOptions fast_tran_options(double tstop, double dt);
 struct TranStats {
     long long steps_accepted = 0;
     long long steps_rejected = 0;  // LTE rejections + Newton failures
+    long long lte_rejections = 0;  // subset of steps_rejected: LTE only
     long long newton_iters = 0;    // linear solves across all attempts
     long long lu_refactors = 0;    // factorizations (reuse mode only)
     // Accepted steps whose Newton loop ran entirely against a frozen

@@ -2,12 +2,18 @@
 // store (size, cold-load latency, bit-exact round trip), TimingService
 // batch throughput (LUT fast path, exact transient path, serial-vs-parallel
 // determinism), the 3-pin MIS arc path (6-D characterize-on-miss + surface
-// build + warm throughput) and the RC pi-load path (throughput + a loose
-// LUT-vs-exact sanity gate; the tight 5% gate lives in test_serve_golden).
+// build + warm throughput), the RC pi-load path (throughput + a loose
+// LUT-vs-exact sanity gate; the tight 5% gate lives in test_serve_golden)
+// and the socket front end (4 concurrent pipelined clients through
+// net::NetServer; gated at >= 50% of the in-process warm LUT rate, with a
+// bitwise-identity check against the same batch run in process).
 // Results are written as machine-readable BENCH_serve.json ({"threads",
 // "model_store": {...}, "timing_service": {...}, "mis3": {...},
-// "pi_load": {...}}) for CI trend tracking, next to BENCH_perf.json; set
-// MCSM_BENCH_JSON to change the path, or =0 to skip the file.
+// "pi_load": {...}, "net": {...}}) for CI trend tracking, next to
+// BENCH_perf.json; set MCSM_BENCH_JSON to change the path, or =0 to skip
+// the file.
+#include <sys/socket.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -16,12 +22,16 @@
 #include <functional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/parallel.h"
 #include "core/characterizer.h"
 #include "core/model_io.h"
+#include "net/client.h"
+#include "net/query_text.h"
+#include "net/server.h"
 #include "serve/model_store.h"
 #include "serve/repository.h"
 #include "serve/timing_service.h"
@@ -339,6 +349,111 @@ int main() {
                     "exact path");
     }
 
+    // --- socket front end: 4 concurrent pipelined clients -----------------
+    const std::size_t net_clients = 4;
+    const std::size_t net_per_client = 5000;
+    const std::size_t net_total = net_clients * net_per_client;
+    double net_qps = 0.0;
+    double net_ref_qps = 0.0;
+    {
+        net::NetServerOptions nopt;
+        nopt.unix_path = (dir / "bench_net.sock").string();
+        nopt.batch_max = 4096;
+        nopt.linger_us = 200;
+        net::NetServer server(service, nopt);
+        std::thread server_thread([&] { server.run(); });
+
+        // Requests render outside the timed window, and the timed client
+        // loop is send-everything then drain-to-EOF: the measurement is
+        // the serving stack (line split, parse, batch, eval, format,
+        // socket I/O), not client-side formatting.
+        std::vector<std::string> request(net_clients);
+        std::vector<serve::TimingQuery> net_ref;
+        net_ref.reserve(net_total);
+        bool net_lines_parse = true;
+        for (std::size_t c = 0; c < net_clients; ++c) {
+            for (std::size_t i = 0; i < net_per_client; ++i) {
+                const std::string line = net::format_query_line(
+                    mixed_query(c * net_per_client + i));
+                request[c] += line;
+                request[c] += '\n';
+                serve::TimingQuery q;
+                net_lines_parse =
+                    net_lines_parse && net::parse_query_line(line, q);
+                net_ref.push_back(q);
+            }
+        }
+        check.check(net_lines_parse, "every rendered query line parses");
+        // In-process reference over the SAME parsed queries: what the
+        // socket responses must match bitwise. Its wall clock, taken
+        // back-to-back with the socket run, is the fair throughput
+        // baseline (warm_qps was measured minutes earlier in this
+        // process; clock throttling between sections would skew a
+        // cross-section ratio both ways).
+        std::vector<serve::TimingResult> ref_results;
+        const double ref_ms =
+            wall_ms([&] { ref_results = service.run_batch(net_ref); });
+        const double ref_qps =
+            1e3 * static_cast<double>(net_total) / ref_ms;
+
+        std::vector<std::string> received(net_clients);
+        const double net_ms = wall_ms([&] {
+            std::vector<std::thread> clients;
+            for (std::size_t c = 0; c < net_clients; ++c) {
+                clients.emplace_back([&, c] {
+                    net::LineClient cli =
+                        net::LineClient::connect_unix(nopt.unix_path);
+                    cli.send_text(request[c]);
+                    cli.shutdown_write();
+                    std::string& sink = received[c];
+                    char buf[1 << 16];
+                    for (;;) {
+                        const ssize_t n = ::recv(cli.fd(), buf, sizeof buf, 0);
+                        if (n <= 0) break;
+                        sink.append(buf, static_cast<std::size_t>(n));
+                    }
+                });
+            }
+            for (auto& t : clients) t.join();
+        });
+        server.stop();
+        server_thread.join();
+        net_qps = 1e3 * static_cast<double>(net_total) / net_ms;
+
+        // Bitwise identity + per-connection ordering: response i on each
+        // connection carries id i and the exact doubles run_batch produced.
+        std::size_t matched = 0;
+        for (std::size_t c = 0; c < net_clients; ++c) {
+            std::size_t pos = 0;
+            std::size_t idx = 0;
+            while (pos < received[c].size() && idx < net_per_client) {
+                const std::size_t nl = received[c].find('\n', pos);
+                if (nl == std::string::npos) break;
+                std::uint64_t id = 0;
+                const serve::TimingResult got = net::parse_result_line(
+                    received[c].substr(pos, nl - pos), id);
+                const serve::TimingResult& want =
+                    ref_results[c * net_per_client + idx];
+                // Response ids are 1-based per connection (0 is reserved
+                // for connection-level errors).
+                if (id == idx + 1 && got.valid && want.valid &&
+                    got.delay == want.delay && got.slew == want.slew &&
+                    got.path == want.path)
+                    ++matched;
+                ++idx;
+                pos = nl + 1;
+            }
+        }
+        check.check(matched == net_total,
+                    "socket responses are bitwise-identical to the "
+                    "in-process batch (" + std::to_string(matched) + "/" +
+                        std::to_string(net_total) + ")");
+        check.check(net_qps >= 0.5 * ref_qps,
+                    "socket front end holds >= 50% of in-process warm LUT "
+                    "throughput with 4 concurrent clients");
+        net_ref_qps = ref_qps;
+    }
+
     // Measurements done; drop the scratch store before any early return in
     // the reporting below can leak it.
     fs::remove_all(dir);
@@ -363,6 +478,10 @@ int main() {
                 "err delay %.0f%%, slew %.0f%% of the max(20%%, 8 ps) "
                 "bound (24-query probe)\n",
                 pi_qps, 100.0 * pi_max_delay_err, 100.0 * pi_max_slew_err);
+    std::printf("# serve/net: %zu pipelined clients x %zu queries over a "
+                "unix socket -> %.0f q/s (%.0f%% of in-process warm LUT)\n",
+                net_clients, net_per_client, net_qps,
+                100.0 * net_qps / net_ref_qps);
 
     const char* path_env = std::getenv("MCSM_BENCH_JSON");
     const std::string json_path =
@@ -399,8 +518,14 @@ int main() {
         std::fprintf(f,
                      "  \"pi_load\": {\"warm_lut_qps\": %.0f, "
                      "\"max_delay_err_of_bound\": %.4f, "
-                     "\"max_slew_err_of_bound\": %.4f}\n}\n",
+                     "\"max_slew_err_of_bound\": %.4f},\n",
                      pi_qps, pi_max_delay_err, pi_max_slew_err);
+        std::fprintf(f,
+                     "  \"net\": {\"clients\": %zu, \"queries\": %zu, "
+                     "\"net_qps\": %.0f, \"in_process_qps\": %.0f, "
+                     "\"ratio\": %.3f}\n}\n",
+                     net_clients, net_total, net_qps, net_ref_qps,
+                     net_qps / net_ref_qps);
         std::fclose(f);
         std::printf("# wrote %s\n", json_path.c_str());
     }

@@ -3,16 +3,18 @@
 // end-to-end throughput of ModelRepository + TimingService across the full
 // scenario space (1/2/3-pin MIS arcs, linear and RC pi loads, Vdd/temp
 // corners). Run with --help for the query grammar.
+#include <csignal>
+
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "cells/library.h"
+#include "net/query_text.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/repository.h"
@@ -86,93 +88,21 @@ Environment:
                             gauges, latency histograms) as JSON at exit.
 )";
 
-// Whole-token double parse: trailing junk ("1.1,temp=85" fed to stod)
-// must be a reported error, not silently dropped.
-double parse_full_double(const std::string& token, const std::string& line) {
-    std::size_t pos = 0;
-    double v = 0.0;
-    try {
-        v = std::stod(token, &pos);
-    } catch (const std::exception&) {
-        pos = 0;
-    }
-    require(pos == token.size() && !token.empty(),
-            "bad number '" + token + "': " + line);
-    return v;
-}
+// Batch flush on SIGINT/SIGTERM: the handler just raises a flag; the
+// stdin read loop is installed WITHOUT SA_RESTART so a blocking getline
+// fails with EINTR, the loop falls through, and the final run(batch)
+// executes the still-pending queries before exit -- a Ctrl-C'd pipeline
+// still gets answers for everything it submitted.
+volatile std::sig_atomic_t g_stop = 0;
 
-std::vector<double> parse_ps_list(const std::string& csv,
-                                  const std::string& line) {
-    std::vector<double> out;
-    std::stringstream ss(csv);
-    std::string item;
-    while (std::getline(ss, item, ','))
-        out.push_back(parse_full_double(item, line) * 1e-12);
-    return out;
-}
-
-std::vector<std::string> parse_name_list(const std::string& csv) {
-    std::vector<std::string> out;
-    std::stringstream ss(csv);
-    std::string item;
-    while (std::getline(ss, item, ',')) out.push_back(item);
-    return out;
-}
-
-// Parses one query line; returns false on blank/comment lines and throws
-// ModelError on malformed ones (reported per line, batch continues).
-bool parse_query(const std::string& line, serve::TimingQuery& q) {
-    std::stringstream ss(line);
-    std::string cell;
-    std::string pins;
-    std::string dir;
-    std::string slews;
-    std::string skews;
-    double load_ff = 0.0;
-    if (!(ss >> cell) || cell.empty() || cell[0] == '#') return false;
-    require(static_cast<bool>(ss >> pins >> dir >> slews >> skews >> load_ff),
-            "malformed query line: " + line);
-    require(dir == "rise" || dir == "fall",
-            "edge direction must be rise|fall: " + line);
-    q = serve::TimingQuery{};
-    q.cell = cell;
-    q.pins = parse_name_list(pins);
-    q.inputs_rise = dir == "rise";
-    q.slews = parse_ps_list(slews, line);
-    q.skews = parse_ps_list(skews, line);
-    // A lone "0" means simultaneous switching for any pin count (the
-    // service wants either an empty list or one skew per pin).
-    if (q.skews.size() == 1 && q.skews[0] == 0.0 && q.pins.size() > 1)
-        q.skews.clear();
-    q.load_cap = load_ff * 1e-15;
-
-    // Trailing options: pi=<near_fF>:<r_ohm>:<far_fF>, vdd=<V>,
-    // temp=<degC>, exact.
-    std::string opt;
-    while (ss >> opt) {
-        if (opt == "exact") {
-            q.exact = true;
-        } else if (opt.rfind("pi=", 0) == 0) {
-            std::stringstream pi(opt.substr(3));
-            std::string part;
-            std::vector<double> vals;
-            while (std::getline(pi, part, ':'))
-                vals.push_back(parse_full_double(part, line));
-            require(vals.size() == 3,
-                    "bad pi load (want pi=<near_fF>:<r_ohm>:<far_fF>): " +
-                        line);
-            q.c_near = vals[0] * 1e-15;
-            q.r_wire = vals[1];
-            q.c_far = vals[2] * 1e-15;
-        } else if (opt.rfind("vdd=", 0) == 0) {
-            q.corner.vdd = parse_full_double(opt.substr(4), line);
-        } else if (opt.rfind("temp=", 0) == 0) {
-            q.corner.temp_c = parse_full_double(opt.substr(5), line);
-        } else {
-            throw ModelError("unknown query option " + opt + ": " + line);
-        }
-    }
-    return true;
+void install_signal_handlers() {
+    // Results often stream into a pipe (head, awk); a closed reader must
+    // surface as a failed printf, not a process-killing SIGPIPE mid-batch.
+    std::signal(SIGPIPE, SIG_IGN);
+    struct sigaction sa{};
+    sa.sa_handler = [](int) { g_stop = 1; };
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
 }
 
 void stream_results(const std::vector<serve::TimingQuery>& batch,
@@ -245,6 +175,7 @@ std::vector<serve::TimingQuery> demo_batch() {
 }  // namespace
 
 int main(int argc, char** argv) {
+    install_signal_handlers();
     bool demo = false;
     bool stats = false;
     std::vector<std::string> positional;
@@ -337,14 +268,20 @@ int main(int argc, char** argv) {
             }
             serve::TimingQuery q;
             try {
-                if (parse_query(line, q)) batch.push_back(q);
+                // Shared wire grammar (net/query_text): the same line
+                // parses identically here and across a socket, and numbers
+                // go through std::from_chars -- a comma-radix LC_NUMERIC
+                // locale can no longer truncate "2.5" to 2.
+                if (net::parse_query_line(line, q)) batch.push_back(q);
             } catch (const std::exception& e) {
-                // ModelError from parse_query, std::invalid_argument from
-                // std::stod on a bad number -- skip the line either way.
                 std::fprintf(stderr, "# skipped (%s): %s\n", e.what(),
                              line.c_str());
             }
+            if (g_stop != 0) break;
         }
+        // EOF or signal: execute whatever is still pending (run() skips
+        // the spurious empty flush when the stream ended cleanly on a
+        // "flush" line).
         run(batch);
     }
 

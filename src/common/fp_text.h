@@ -15,6 +15,7 @@
 #define MCSM_COMMON_FP_TEXT_H
 
 #include <cctype>
+#include <charconv>
 #include <clocale>
 #include <cmath>
 #include <cstdio>
@@ -22,6 +23,7 @@
 #include <cstring>
 #include <ostream>
 #include <string>
+#include <string_view>
 
 namespace mcsm {
 
@@ -59,6 +61,26 @@ inline bool parse_exact_double(const std::string& token, double& out) {
     if (dot != std::string::npos) local.replace(dot, 1, radix);
     out = std::strtod(local.c_str(), &end);
     return end == local.c_str() + local.size();
+}
+
+// Parses a whole token as a decimal (or scientific) double, LOCALE-
+// INDEPENDENTLY: std::from_chars always uses the '.' radix and never
+// consults LC_NUMERIC, so a wire protocol parsed through here reads
+// "2.5e-12" identically whether the embedding process runs under "C" or a
+// comma-radix locale like de_DE (strtod/std::stod would stop at the '.'
+// and silently drop the fraction). Returns false for empty tokens,
+// trailing garbage, or non-finite results -- a network peer cannot smuggle
+// "inf"/"nan" into a query. This is the parser for NETWORK/CLI input;
+// store files keep parse_exact_double (hexfloat via strtod).
+inline bool parse_double_token(std::string_view token, double& out) {
+    double v = 0.0;
+    const auto [end, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), v);
+    if (ec != std::errc() || end != token.data() + token.size() ||
+        !std::isfinite(v))
+        return false;
+    out = v;
+    return true;
 }
 
 }  // namespace mcsm

@@ -92,6 +92,26 @@ public:
             std::make_shared<Entry>(Entry{ready.get_future().share()});
     }
 
+    // Removes every COMPLETED entry whose key satisfies `pred`; in-flight
+    // productions are left untouched (their producers still need the entry
+    // to publish or evict). Returns the number of entries removed. The
+    // serve layer uses this to drop surfaces of a retired pack generation
+    // after a hot reload, so the old mapping's refcount can reach zero.
+    std::size_t erase_ready_if(
+        const std::function<bool(const std::string&)>& pred) {
+        MutexLock lock(mutex_);
+        std::size_t n = 0;
+        for (auto it = entries_.begin(); it != entries_.end();) {
+            if (is_ready(it->second->future) && pred(it->first)) {
+                it = entries_.erase(it);
+                ++n;
+            } else {
+                ++it;
+            }
+        }
+        return n;
+    }
+
     // True when `id` holds a completed (successful or not-yet-evicted)
     // production; false for absent or still-in-flight keys.
     bool ready(const std::string& id) const {

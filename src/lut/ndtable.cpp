@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "lut/table_view.h"
 
 namespace mcsm::lut {
 
@@ -74,58 +75,10 @@ double NdTable::at(std::span<const double> x) const {
 
 double NdTable::at_with_gradient(std::span<const double> x,
                                  std::span<double> grad) const {
-    const std::size_t rank = axes_.size();
-    require(x.size() == rank, "NdTable::at: coordinate rank mismatch");
-    const bool want_grad = !grad.empty();
-    if (want_grad)
-        require(grad.size() == rank, "NdTable::at: gradient rank mismatch");
-
-    // Locate the cell and the normalized position within it per axis.
-    std::size_t base = 0;
-    double u[8];
-    double inv_h[8];
-    std::size_t stride[8];
-    for (std::size_t d = 0; d < rank; ++d) {
-        const Axis::Locate loc = axes_[d].locate(x[d]);
-        base += loc.index * strides_[d];
-        u[d] = loc.u;
-        const auto& knots = axes_[d].knots();
-        inv_h[d] = 1.0 / (knots[loc.index + 1] - knots[loc.index]);
-        stride[d] = strides_[d];
-    }
-
-    // Accumulate over the 2^rank cell corners.
-    const std::size_t corners = static_cast<std::size_t>(1) << rank;
-    double value = 0.0;
-    if (want_grad)
-        for (std::size_t d = 0; d < rank; ++d) grad[d] = 0.0;
-    for (std::size_t corner = 0; corner < corners; ++corner) {
-        std::size_t flat = base;
-        double weight = 1.0;
-        for (std::size_t d = 0; d < rank; ++d) {
-            const bool high = (corner >> d) & 1u;
-            if (high) flat += stride[d];
-            weight *= high ? u[d] : (1.0 - u[d]);
-        }
-        const double v = values_[flat];
-        value += weight * v;
-        if (want_grad) {
-            for (std::size_t d = 0; d < rank; ++d) {
-                // d(weight)/du_d: replace this axis factor by +/-1.
-                double w = 1.0;
-                for (std::size_t e = 0; e < rank; ++e) {
-                    if (e == d) continue;
-                    const bool high = (corner >> e) & 1u;
-                    w *= high ? u[e] : (1.0 - u[e]);
-                }
-                const bool high_d = (corner >> d) & 1u;
-                grad[d] += (high_d ? 1.0 : -1.0) * w * v;
-            }
-        }
-    }
-    if (want_grad)
-        for (std::size_t d = 0; d < rank; ++d) grad[d] *= inv_h[d];
-    return value;
+    // One multilinear kernel serves owned tables and borrowed storage
+    // alike: delegate to TableView so NdTable::at and a view over an
+    // mmap'd copy of the same data are bitwise-identical by construction.
+    return TableView::of(*this).at_with_gradient(x, grad);
 }
 
 double NdTable::max_abs() const {

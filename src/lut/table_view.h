@@ -1,0 +1,71 @@
+// Non-owning view of an N-dimensional lookup table: named axes over
+// borrowed knot spans plus a borrowed value span, with the same multilinear
+// interpolation (and analytic gradient) as NdTable. NdTable::at delegates
+// here, so an owned table and a view over foreign storage -- e.g. doubles
+// inside an mmap'd model pack (serve/mapped_store) -- evaluate through ONE
+// kernel and produce bitwise-identical results. The view allocates nothing
+// and is cheap to copy; the borrowed storage must outlive it (the serve
+// layer pins the mapping with a shared_ptr next to the view).
+#ifndef MCSM_LUT_TABLE_VIEW_H
+#define MCSM_LUT_TABLE_VIEW_H
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string_view>
+
+namespace mcsm::lut {
+
+class NdTable;
+
+class TableView {
+public:
+    // Rank cap shared with NdTable (which rejects rank > 8 on
+    // construction); keeps the view fixed-size and allocation-free.
+    static constexpr std::size_t kMaxRank = 8;
+
+    struct AxisView {
+        std::string_view name;
+        std::span<const double> knots;  // strictly increasing, >= 2 knots
+
+        double lo() const { return knots.front(); }
+        double hi() const { return knots.back(); }
+        std::size_t size() const { return knots.size(); }
+    };
+
+    TableView() = default;
+    // Axes/values must satisfy the NdTable invariants (each axis >= 2
+    // strictly increasing knots, values.size() == product of axis sizes);
+    // throws ModelError otherwise. Axis name/knot storage is borrowed.
+    TableView(std::span<const AxisView> axes, std::span<const double> values,
+              std::string_view name = {});
+
+    // View over an owned table; borrows its axes and values.
+    static TableView of(const NdTable& table);
+
+    std::string_view name() const { return name_; }
+    std::size_t rank() const { return rank_; }
+    const AxisView& axis(std::size_t d) const { return axes_[d]; }
+    std::span<const double> values() const { return values_; }
+
+    // Multilinear interpolation at x (clamped to the axis ranges).
+    double at(std::span<const double> x) const { return eval(x, {}); }
+    // Interpolated value and exact multilinear gradient.
+    double at_with_gradient(std::span<const double> x,
+                            std::span<double> grad) const {
+        return eval(x, grad);
+    }
+
+private:
+    double eval(std::span<const double> x, std::span<double> grad) const;
+
+    std::string_view name_;
+    std::size_t rank_ = 0;
+    std::array<AxisView, kMaxRank> axes_{};
+    std::array<std::size_t, kMaxRank> strides_{};
+    std::span<const double> values_;
+};
+
+}  // namespace mcsm::lut
+
+#endif  // MCSM_LUT_TABLE_VIEW_H

@@ -1,0 +1,137 @@
+#include "net/client.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/error.h"
+
+namespace mcsm::net {
+
+LineClient LineClient::connect_unix(const std::string& path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    require(path.size() < sizeof(addr.sun_path),
+            "LineClient: unix socket path too long: " + path);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    require(fd >= 0, "LineClient: socket(AF_UNIX) failed");
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+        0) {
+        ::close(fd);
+        throw ModelError("LineClient: cannot connect to " + path);
+    }
+    return LineClient(fd);
+}
+
+LineClient LineClient::connect_tcp(int port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    require(fd >= 0, "LineClient: socket(AF_INET) failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+        0) {
+        ::close(fd);
+        throw ModelError("LineClient: cannot connect to 127.0.0.1:" +
+                         std::to_string(port));
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return LineClient(fd);
+}
+
+LineClient::LineClient(LineClient&& other) noexcept
+    : fd_(other.fd_), buf_(std::move(other.buf_)) {
+    other.fd_ = -1;
+}
+
+LineClient& LineClient::operator=(LineClient&& other) noexcept {
+    if (this != &other) {
+        if (fd_ >= 0) ::close(fd_);
+        fd_ = other.fd_;
+        buf_ = std::move(other.buf_);
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+LineClient::~LineClient() {
+    if (fd_ >= 0) ::close(fd_);
+}
+
+void LineClient::send_text(std::string_view text) {
+    std::size_t off = 0;
+    while (off < text.size()) {
+        const ssize_t n = ::send(fd_, text.data() + off, text.size() - off,
+                                 MSG_NOSIGNAL);
+        if (n > 0) {
+            off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        throw ModelError("LineClient: send failed (peer gone?)");
+    }
+}
+
+void LineClient::send_line(std::string_view line) {
+    std::string text(line);
+    text += '\n';
+    send_text(text);
+}
+
+std::string LineClient::recv_line() {
+    for (;;) {
+        const std::size_t nl = buf_.find('\n');
+        if (nl != std::string::npos) {
+            std::string line = buf_.substr(0, nl);
+            buf_.erase(0, nl + 1);
+            if (!line.empty() && line.back() == '\r') line.pop_back();
+            return line;
+        }
+        char chunk[16384];
+        const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+        if (n > 0) {
+            buf_.append(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        throw ModelError(n == 0 ? "LineClient: server closed the connection"
+                                : "LineClient: recv failed");
+    }
+}
+
+std::string LineClient::recv_bytes(std::size_t n) {
+    while (buf_.size() < n) {
+        char chunk[16384];
+        const ssize_t r = ::recv(fd_, chunk, sizeof chunk, 0);
+        if (r > 0) {
+            buf_.append(chunk, static_cast<std::size_t>(r));
+            continue;
+        }
+        if (r < 0 && errno == EINTR) continue;
+        throw ModelError(r == 0 ? "LineClient: server closed mid-payload"
+                                : "LineClient: recv failed");
+    }
+    std::string payload = buf_.substr(0, n);
+    buf_.erase(0, n);
+    return payload;
+}
+
+std::string LineClient::request(const std::string& line) {
+    send_line(line);
+    return recv_line();
+}
+
+void LineClient::shutdown_write() {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+}  // namespace mcsm::net

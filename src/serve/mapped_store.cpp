@@ -1,0 +1,515 @@
+#include "serve/mapped_store.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/error.h"
+
+// The zero-parse contract hands out spans over raw file bytes as doubles;
+// that is only the on-disk format (little-endian IEEE-754, like the v1/v2
+// stores) on a little-endian host. Big-endian ports would need a decoding
+// reader here.
+static_assert(std::endian::native == std::endian::little,
+              "mapped_store: the zero-parse pack requires a little-endian "
+              "host");
+
+namespace mcsm::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint64_t kPageSize = 4096;
+// Header field block right after the 8-byte magic.
+constexpr std::uint64_t kHeaderFields = 4 + 4 + 8 * 6;
+constexpr std::uint64_t kHeaderBytes = sizeof(kPackMagic) + kHeaderFields;
+// 24 distinct models/surfaces serve the whole demo library; a corrupt
+// count must fail before any allocation, so cap generously.
+constexpr std::uint64_t kMaxEntries = 1u << 20;
+constexpr std::uint32_t kDirRecordBytes = 4 + 4 + 8 * 4;
+
+std::uint64_t fnv1a_bytes(const unsigned char* data, std::uint64_t size) {
+    std::uint64_t h = 14695981039346656037ull;
+    for (std::uint64_t i = 0; i < size; ++i) {
+        h ^= data[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::uint64_t page_align(std::uint64_t off) {
+    return (off + kPageSize - 1) & ~(kPageSize - 1);
+}
+
+// --- little-endian append helpers (writer side) --------------------------
+
+void put_u32(std::string& buf, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+        buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::string& buf, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+        buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_f64(std::string& buf, double v) {
+    put_u64(buf, std::bit_cast<std::uint64_t>(v));
+}
+
+// Length-prefixed string padded to 8 bytes, so every subsequent double
+// stays naturally aligned.
+void put_padded_str(std::string& buf, std::string_view s) {
+    put_u64(buf, s.size());
+    buf.append(s);
+    while (buf.size() % 8 != 0) buf.push_back('\0');
+}
+
+void put_table(std::string& buf, const lut::NdTable& table) {
+    put_padded_str(buf, table.name());
+    put_u64(buf, table.rank());
+    for (const lut::Axis& ax : table.axes()) {
+        put_padded_str(buf, ax.name());
+        put_u64(buf, ax.knots().size());
+        for (double k : ax.knots()) put_f64(buf, k);
+    }
+    put_u64(buf, table.values().size());
+    for (double v : table.values()) put_f64(buf, v);
+}
+
+// --- bounds-checked cursor over the mapped bytes (map-time validation) ---
+
+class MapCursor {
+public:
+    MapCursor(const unsigned char* base, std::uint64_t begin,
+              std::uint64_t end)
+        : base_(base), pos_(begin), end_(end) {}
+
+    std::uint64_t u64() {
+        need(8);
+        std::uint64_t v = 0;
+        std::memcpy(&v, base_ + pos_, 8);
+        pos_ += 8;
+        return v;
+    }
+    double f64() { return std::bit_cast<double>(u64()); }
+
+    std::string_view padded_str() {
+        const std::uint64_t n = u64();
+        need(n);
+        std::string_view s(reinterpret_cast<const char*>(base_ + pos_), n);
+        pos_ += n;
+        const std::uint64_t pad = (8 - pos_ % 8) % 8;
+        need(pad);
+        pos_ += pad;
+        return s;
+    }
+
+    // Span of `n` doubles in place -- the zero-parse handout.
+    std::span<const double> f64_span(std::uint64_t n) {
+        require(n <= remaining() / 8, "mapped_store: truncated array");
+        const auto* p = reinterpret_cast<const double*>(base_ + pos_);
+        pos_ += n * 8;
+        return {p, n};
+    }
+
+    bool exhausted() const { return pos_ == end_; }
+    std::uint64_t remaining() const { return end_ - pos_; }
+
+private:
+    void need(std::uint64_t n) const {
+        require(n <= remaining(), "mapped_store: truncated payload");
+    }
+
+    const unsigned char* base_;
+    std::uint64_t pos_;
+    std::uint64_t end_;
+};
+
+lut::TableView read_table_view(MapCursor& c) {
+    const std::string_view name = c.padded_str();
+    const std::uint64_t rank = c.u64();
+    require(rank >= 1 && rank <= lut::TableView::kMaxRank,
+            "mapped_store: implausible table rank");
+    std::array<lut::TableView::AxisView, lut::TableView::kMaxRank> axes;
+    for (std::uint64_t d = 0; d < rank; ++d) {
+        const std::string_view axis_name = c.padded_str();
+        const std::uint64_t nknots = c.u64();
+        require(nknots >= 2 && nknots <= c.remaining() / 8,
+                "mapped_store: implausible knot count");
+        const std::span<const double> knots = c.f64_span(nknots);
+        for (std::size_t i = 0; i < knots.size(); ++i)
+            require(std::isfinite(knots[i]) &&
+                        (i == 0 || knots[i] > knots[i - 1]),
+                    "mapped_store: non-finite or non-increasing axis knots");
+        axes[d] = lut::TableView::AxisView{axis_name, knots};
+    }
+    const std::uint64_t nvalues = c.u64();
+    require(nvalues <= c.remaining() / 8,
+            "mapped_store: implausible value count");
+    const std::span<const double> values = c.f64_span(nvalues);
+    for (double v : values)
+        require(std::isfinite(v), "mapped_store: non-finite table value");
+    // TableView's own constructor re-checks value_count == product of axis
+    // sizes and re-validates monotonicity.
+    return lut::TableView({axes.data(), rank}, values, name);
+}
+
+MappedSurface read_surface(MapCursor& c) {
+    MappedSurface s;
+    const std::string_view id = c.padded_str();
+    s.arc_id = id;
+    s.dt = c.f64();
+    s.settle = c.f64();
+    s.model_check = c.u64();
+    require(!id.empty() && std::isfinite(s.dt) && s.dt > 0.0 &&
+                std::isfinite(s.settle) && s.settle > 0.0,
+            "mapped_store: implausible surface parameters");
+    s.delay = read_table_view(c);
+    s.slew = read_table_view(c);
+    require(s.delay.rank() == s.slew.rank(),
+            "mapped_store: surface delay/slew rank mismatch");
+    require(c.exhausted(), "mapped_store: trailing bytes after surface");
+    return s;
+}
+
+MappedPack::FileId stat_to_id(const struct ::stat& st) {
+    MappedPack::FileId id;
+    id.dev = static_cast<std::uint64_t>(st.st_dev);
+    id.ino = static_cast<std::uint64_t>(st.st_ino);
+    id.size = static_cast<std::uint64_t>(st.st_size);
+    id.mtime_ns = static_cast<std::int64_t>(st.st_mtim.tv_sec) * 1000000000 +
+                  st.st_mtim.tv_nsec;
+    return id;
+}
+
+}  // namespace
+
+// --- PackWriter ----------------------------------------------------------
+
+void PackWriter::add(std::uint32_t kind, const std::string& name,
+                     std::string payload) {
+    require(!name.empty(), "PackWriter: empty entry name");
+    require(by_name_.emplace(name, entries_.size()).second,
+            "PackWriter: duplicate entry name " + name);
+    entries_.push_back(Entry{kind, name, std::move(payload)});
+}
+
+void PackWriter::add_model(const std::string& name,
+                           const core::CsmModel& model) {
+    // Stored as the complete v2 envelope: the directory content_check is
+    // then FNV over those bytes == model_checksum(model), which surfaces
+    // reference to detect stale pairings.
+    std::ostringstream os;
+    write_model_binary(os, model);
+    add(kModelKind, name, std::move(os).str());
+}
+
+void PackWriter::add_surface(const std::string& name,
+                             const ArcSurfaceData& surface) {
+    require(!surface.arc_id.empty(), "PackWriter: empty surface arc id");
+    require(std::isfinite(surface.dt) && surface.dt > 0.0 &&
+                std::isfinite(surface.settle) && surface.settle > 0.0,
+            "PackWriter: implausible surface parameters");
+    std::string buf;
+    put_padded_str(buf, surface.arc_id);
+    put_f64(buf, surface.dt);
+    put_f64(buf, surface.settle);
+    put_u64(buf, surface.model_check);
+    put_table(buf, surface.delay);
+    put_table(buf, surface.slew);
+    add(kSurfaceKind, name, std::move(buf));
+}
+
+void PackWriter::write(const std::string& path) const {
+    // Layout pass: header page, then page-aligned payload sections, then
+    // the page-aligned directory (records + name blob).
+    std::vector<std::uint64_t> offsets(entries_.size(), 0);
+    std::uint64_t off = kPageSize;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        offsets[i] = off;
+        off = page_align(off + entries_[i].payload.size());
+    }
+    const std::uint64_t dir_offset = off;
+
+    std::string dir;
+    std::string names;
+    std::uint64_t name_base =
+        dir_offset + kDirRecordBytes * entries_.size();
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const Entry& e = entries_[i];
+        put_u32(dir, e.kind);
+        put_u32(dir, static_cast<std::uint32_t>(e.name.size()));
+        put_u64(dir, name_base + names.size());
+        put_u64(dir, offsets[i]);
+        put_u64(dir, e.payload.size());
+        put_u64(dir, fnv1a_bytes(
+                         reinterpret_cast<const unsigned char*>(
+                             e.payload.data()),
+                         e.payload.size()));
+        names += e.name;
+    }
+    const std::uint64_t file_size = name_base + names.size();
+
+    std::string file;
+    file.reserve(file_size);
+    file.append(kPackMagic, sizeof kPackMagic);
+    put_u32(file, kPackFormatVersion);
+    put_u32(file, 0);  // reserved
+    put_u64(file, file_size);
+    put_u64(file, entries_.size());
+    put_u64(file, dir_offset);
+    put_u64(file, kPageSize);  // body_offset
+    const std::size_t check_slot = file.size();
+    put_u64(file, 0);  // payload_check, patched below
+    put_u64(file, 0);  // header_check, patched below
+    file.resize(kPageSize, '\0');
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        file.resize(offsets[i], '\0');
+        file += entries_[i].payload;
+    }
+    file.resize(dir_offset, '\0');
+    file += dir;
+    file += names;
+    require(file.size() == file_size, "PackWriter: layout bookkeeping bug");
+
+    const std::uint64_t payload_check = fnv1a_bytes(
+        reinterpret_cast<const unsigned char*>(file.data()) + kPageSize,
+        file_size - kPageSize);
+    std::string patch;
+    put_u64(patch, payload_check);
+    file.replace(check_slot, 8, patch);
+    const std::uint64_t header_check = fnv1a_bytes(
+        reinterpret_cast<const unsigned char*>(file.data()), check_slot + 8);
+    patch.clear();
+    put_u64(patch, header_check);
+    file.replace(check_slot + 8, 8, patch);
+
+    // Same durable publish as every store writer: a crash mid-write can
+    // only ever leave a *.tmp.* dropping, never a truncated pack.
+    save_bytes_atomically(path, file);
+}
+
+PackWriter pack_from_dirs(const std::string& model_dir,
+                          const std::string& surface_dir) {
+    PackWriter writer;
+    const auto scan = [](const std::string& dir, const char* ext,
+                         const auto& consume) {
+        if (dir.empty()) return;
+        std::error_code ec;
+        std::vector<fs::path> paths;
+        for (const fs::directory_entry& entry :
+             fs::directory_iterator(dir, ec)) {
+            if (ec) break;
+            const std::string name = entry.path().filename().string();
+            if (name.size() > std::strlen(ext) &&
+                name.ends_with(ext) &&
+                name.find(".tmp.") == std::string::npos)
+                paths.push_back(entry.path());
+        }
+        // Deterministic pack bytes for a given store state.
+        std::sort(paths.begin(), paths.end());
+        for (const fs::path& p : paths) consume(p);
+    };
+    scan(model_dir, kBinaryModelExt, [&](const fs::path& p) {
+        std::string stem = p.filename().string();
+        stem.resize(stem.size() - std::strlen(kBinaryModelExt));
+        writer.add_model(stem, load_model_binary(p.string()));
+    });
+    scan(surface_dir, kSurfaceExt, [&](const fs::path& p) {
+        const ArcSurfaceData s = load_surface_binary(p.string());
+        writer.add_surface(s.arc_id, s);
+    });
+    return writer;
+}
+
+// --- MappedPack ----------------------------------------------------------
+
+std::shared_ptr<const MappedPack> MappedPack::map(const std::string& path) {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    require(fd >= 0, "mapped_store: cannot open " + path);
+    struct ::stat st {};
+    if (::fstat(fd, &st) != 0) {
+        ::close(fd);
+        throw ModelError("mapped_store: cannot stat " + path);
+    }
+    const auto size = static_cast<std::uint64_t>(st.st_size);
+    if (size < kPageSize) {
+        ::close(fd);
+        throw ModelError("mapped_store: " + path +
+                         " is too small to be a pack");
+    }
+    void* mem = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+    ::close(fd);  // the mapping holds its own reference
+    require(mem != MAP_FAILED, "mapped_store: mmap failed for " + path);
+
+    // From here the mapping must be released on any validation failure.
+    auto pack = std::shared_ptr<MappedPack>(new MappedPack());
+    pack->path_ = path;
+    pack->id_ = stat_to_id(st);
+    pack->base_ = static_cast<const unsigned char*>(mem);
+    pack->size_ = size;
+
+    const unsigned char* base = pack->base_;
+    require(std::memcmp(base, kPackMagic, sizeof kPackMagic) == 0,
+            "mapped_store: bad magic (not an MCSM pack): " + path);
+    MapCursor header(base, sizeof kPackMagic, kHeaderBytes);
+    std::uint32_t version = 0;
+    std::memcpy(&version, base + sizeof kPackMagic, 4);
+    const std::uint64_t file_size = [&] {
+        MapCursor c(base, sizeof kPackMagic + 8, kHeaderBytes);
+        return c.u64();
+    }();
+    require(version == kPackFormatVersion,
+            "mapped_store: unsupported pack version " +
+                std::to_string(version));
+    MapCursor c(base, sizeof kPackMagic + 8 + 8, kHeaderBytes);
+    const std::uint64_t entry_count = c.u64();
+    const std::uint64_t dir_offset = c.u64();
+    const std::uint64_t body_offset = c.u64();
+    const std::uint64_t payload_check = c.u64();
+    const std::uint64_t header_check = c.u64();
+
+    require(file_size == size,
+            "mapped_store: header size does not match the file (truncated "
+            "or concatenated pack): " + path);
+    require(fnv1a_bytes(base, kHeaderBytes - 8) == header_check,
+            "mapped_store: header checksum mismatch: " + path);
+    require(entry_count <= kMaxEntries,
+            "mapped_store: implausible entry count (corrupt header)");
+    require(body_offset == kPageSize && dir_offset >= body_offset &&
+                dir_offset % kPageSize == 0 && dir_offset <= size &&
+                entry_count * kDirRecordBytes <= size - dir_offset,
+            "mapped_store: corrupt section layout: " + path);
+    // The one full-body pass of a map: checksum everything after the
+    // header page. After this, readers trust the bytes.
+    require(fnv1a_bytes(base + body_offset, size - body_offset) ==
+                payload_check,
+            "mapped_store: body checksum mismatch: " + path);
+
+    for (std::uint64_t i = 0; i < entry_count; ++i) {
+        const std::uint64_t rec = dir_offset + i * kDirRecordBytes;
+        std::uint32_t kind = 0;
+        std::uint32_t name_len = 0;
+        std::memcpy(&kind, base + rec, 4);
+        std::memcpy(&name_len, base + rec + 4, 4);
+        MapCursor r(base, rec + 8, rec + kDirRecordBytes);
+        const std::uint64_t name_off = r.u64();
+        const std::uint64_t payload_off = r.u64();
+        const std::uint64_t payload_size = r.u64();
+        const std::uint64_t content_check = r.u64();
+        require(name_off <= size && name_len <= size - name_off,
+                "mapped_store: directory name out of bounds");
+        require(payload_off % 8 == 0 && payload_off <= size &&
+                    payload_size <= size - payload_off,
+                "mapped_store: directory payload out of bounds");
+        std::string name(reinterpret_cast<const char*>(base + name_off),
+                         name_len);
+        require(!name.empty(), "mapped_store: empty entry name");
+        if (kind == kSurfaceKind) {
+            MapCursor sc(base, payload_off, payload_off + payload_size);
+            require(pack->surfaces_.emplace(std::move(name),
+                                            read_surface(sc)).second,
+                    "mapped_store: duplicate surface entry");
+        } else if (kind == kModelKind) {
+            ModelEntry entry;
+            entry.payload = reinterpret_cast<const char*>(base + payload_off);
+            entry.size = payload_size;
+            entry.check = content_check;
+            require(pack->models_.emplace(std::move(name), entry).second,
+                    "mapped_store: duplicate model entry");
+        } else {
+            throw ModelError("mapped_store: unknown entry kind " +
+                             std::to_string(kind));
+        }
+    }
+    return pack;
+}
+
+MappedPack::~MappedPack() {
+    if (base_ != nullptr)
+        ::munmap(const_cast<unsigned char*>(base_), size_);
+}
+
+const MappedSurface* MappedPack::find_surface(const std::string& name) const {
+    const auto it = surfaces_.find(name);
+    return it == surfaces_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t MappedPack::model_check(const std::string& name) const {
+    const auto it = models_.find(name);
+    return it == models_.end() ? 0 : it->second.check;
+}
+
+core::CsmModel MappedPack::materialize_model(const std::string& name) const {
+    const auto it = models_.find(name);
+    require(it != models_.end(),
+            "mapped_store: no model '" + name + "' in pack " + path_);
+    // The payload is the standard v2 envelope; reuse its hardened reader.
+    std::istringstream is(
+        std::string(it->second.payload, it->second.size));
+    return read_model_binary(is);
+}
+
+std::vector<std::string> MappedPack::model_names() const {
+    std::vector<std::string> names;
+    names.reserve(models_.size());
+    for (const auto& [name, entry] : models_) names.push_back(name);
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+std::vector<std::string> MappedPack::surface_names() const {
+    std::vector<std::string> names;
+    names.reserve(surfaces_.size());
+    for (const auto& [name, entry] : surfaces_) names.push_back(name);
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+// --- PackHost ------------------------------------------------------------
+
+PackHost::PackHost(std::string path) : path_(std::move(path)) {
+    MutexLock lock(mutex_);
+    pack_ = MappedPack::map(path_);
+}
+
+std::shared_ptr<const MappedPack> PackHost::current() const {
+    MutexLock lock(mutex_);
+    return pack_;
+}
+
+bool PackHost::refresh() {
+    struct ::stat st {};
+    if (::stat(path_.c_str(), &st) != 0) return false;
+    {
+        MutexLock lock(mutex_);
+        if (stat_to_id(st) == pack_->id()) return false;
+    }
+    // Map outside the lock (checksumming a large pack is not free); a
+    // failed map -- torn deploy, corrupt file -- keeps the old mapping.
+    std::shared_ptr<const MappedPack> fresh;
+    try {
+        fresh = MappedPack::map(path_);
+    } catch (const ModelError&) {
+        return false;
+    }
+    MutexLock lock(mutex_);
+    if (fresh->id() == pack_->id()) return false;
+    pack_ = std::move(fresh);  // old mapping retires via refcount
+    generation_.fetch_add(1, std::memory_order_acq_rel);
+    return true;
+}
+
+}  // namespace mcsm::serve

@@ -76,8 +76,36 @@ ArcSurfaceData read_surface_binary(std::istream& is);
 // derived caches (arc surfaces).
 std::uint64_t model_checksum(const core::CsmModel& model);
 
-// File convenience wrappers; save overwrites atomically (temp file +
-// rename), load throws ModelError when the file is missing, truncated,
+// --- durable file plumbing ---------------------------------------------
+//
+// Every store writer publishes through write-temp + fsync + rename +
+// fsync(parent dir): after save_* returns, the new file survives a crash
+// or power loss, and a reader can never observe a truncated payload under
+// the final name (the incomplete bytes only ever live under a "*.tmp.*"
+// name). These helpers are shared with the pack writer in
+// serve/mapped_store.
+
+// Writes `bytes` to `path` durably and atomically: unique same-directory
+// temp file, full write, fsync, rename over `path`, fsync of the parent
+// directory. Throws ModelError on any failure (the temp is cleaned up).
+void save_bytes_atomically(const std::string& path, const std::string& bytes);
+
+// Durably renames the fully-written, fsync'd `tmp` over `path` and fsyncs
+// the parent directory of `path`. When the rename fails with EXDEV (tmp on
+// a different filesystem), falls back to copying into a fresh temp next to
+// `path` first, so cross-filesystem temp directories still publish
+// atomically. Throws ModelError on failure; `tmp` is removed either way.
+void durable_replace_file(const std::string& tmp, const std::string& path);
+
+// Removes "*.tmp.*" droppings left in `dir` by writers that died between
+// write and rename. Only files older than `min_age_s` are removed, so a
+// concurrently-running writer's in-flight temp is never yanked away.
+// Returns the number of files removed; missing/unreadable directories
+// count as empty. ModelRepository runs this on construction.
+std::size_t clean_orphan_temps(const std::string& dir, long min_age_s);
+
+// File convenience wrappers; save overwrites atomically AND durably (see
+// above), load throws ModelError when the file is missing, truncated,
 // corrupt, or structurally inconsistent.
 void save_model_binary(const std::string& path, const core::CsmModel& model);
 core::CsmModel load_model_binary(const std::string& path);

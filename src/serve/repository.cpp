@@ -53,9 +53,27 @@ ModelKey ModelKey::arc(std::string cell, std::vector<std::string> pins,
     return key;
 }
 
+namespace {
+
+// Orphaned "*.tmp.*" droppings (writer died between write and rename) are
+// removed on repository construction, but only once they are old enough
+// that no live writer can still own them: a characterization run filling
+// the store can legitimately keep temps in flight for minutes.
+constexpr long kOrphanMinAgeS = 3600;
+
+}  // namespace
+
 ModelRepository::ModelRepository(const cells::CellLibrary* lib,
                                  RepositoryOptions options)
-    : lib_(lib), options_(std::move(options)) {}
+    : lib_(lib), options_(std::move(options)) {
+    if (!options_.dir.empty()) {
+        const std::size_t removed =
+            clean_orphan_temps(options_.dir, kOrphanMinAgeS);
+        if (removed > 0)
+            obs::counter("serve.store.orphans_cleaned")
+                .add(static_cast<long long>(removed));
+    }
+}
 
 std::string ModelRepository::binary_path(const ModelKey& key) const {
     if (options_.dir.empty()) return {};
@@ -92,6 +110,19 @@ std::shared_ptr<const core::CsmModel> ModelRepository::get(
 
 ModelRepository::ModelPtr ModelRepository::load_or_characterize(
     const ModelKey& key) {
+    if (options_.pack) {
+        // Pack hit: parse the packed v2 envelope into an owned model (the
+        // exact path needs real tables); the in-memory cache then serves
+        // every later get(). Absent keys fall through to the per-file
+        // stores.
+        const std::shared_ptr<const MappedPack> pack =
+            options_.pack->current();
+        if (pack->model_check(key.to_string()) != 0) {
+            obs::counter("serve.model.pack_loads").add();
+            return std::make_shared<const core::CsmModel>(
+                pack->materialize_model(key.to_string()));
+        }
+    }
     if (!options_.dir.empty()) {
         std::error_code ec;
         const std::string bin = binary_path(key);

@@ -30,6 +30,7 @@
 #include "common/single_flight.h"
 #include "core/characterizer.h"
 #include "core/model.h"
+#include "serve/mapped_store.h"
 #include "tech/tech130.h"
 
 namespace mcsm::serve {
@@ -68,6 +69,13 @@ struct ModelKey {
 struct RepositoryOptions {
     // Store directory; empty runs the repository purely in memory.
     std::string dir;
+    // Optional mmap'd model pack (serve/mapped_store). When set, lookups
+    // consult the pack's current mapping before touching per-file stores or
+    // characterizing: memory -> pack -> .csm.bin -> .csm -> characterize.
+    // Pack hits parse the packed v2 envelope once per process (the
+    // in-memory cache holds the result); the mapping itself is shared
+    // page-cache across every process hosting the same pack.
+    std::shared_ptr<PackHost> pack;
     // Persist freshly characterized models into `dir`.
     bool write_back = true;
     // Run analysis::audit_model on every model production (store load,

@@ -125,6 +125,11 @@ void validate_options(const ServeOptions& o) {
 TimingService::TimingService(ModelRepository& repo, ServeOptions options)
     : repo_(&repo), options_(std::move(options)) {
     validate_options(options_);
+    // Same orphan policy as the model repository: sweep "*.tmp.*"
+    // droppings a dead writer left in the surface store, but never a
+    // potentially live writer's in-flight temp.
+    if (!options_.surface_dir.empty())
+        clean_orphan_temps(options_.surface_dir, 3600);
 }
 
 void TimingService::validate(const TimingQuery& q) {
@@ -299,6 +304,45 @@ TimingService::SurfacePtr TimingService::build_surface(
     const std::vector<lut::Axis> axes = surface_axes(q.pins.size());
     const std::string path = surface_path(id);
 
+    // Packed-surface fast path: serve TableViews pointing straight into
+    // the mapping -- no parse, no copy, no model fetch (which could
+    // trigger characterization). Accepted only when the evaluation
+    // parameters match AND the surface's source-model checksum equals the
+    // pack's own model entry: a pack is a consistent snapshot or it is
+    // ignored entry-by-entry.
+    if (options_.pack) {
+        std::shared_ptr<const MappedPack> pack = options_.pack->current();
+        const MappedSurface* mapped = pack->find_surface(id);
+        const auto axes_match_view = [&](const lut::TableView& t) {
+            if (t.rank() != axes.size()) return false;
+            for (std::size_t d = 0; d < axes.size(); ++d) {
+                const lut::TableView::AxisView& ax = t.axis(d);
+                const std::vector<double>& knots = axes[d].knots();
+                if (ax.name != axes[d].name() ||
+                    ax.knots.size() != knots.size() ||
+                    !std::equal(ax.knots.begin(), ax.knots.end(),
+                                knots.begin()))
+                    return false;
+            }
+            return true;
+        };
+        if (mapped != nullptr && mapped->dt == options_.dt &&
+            mapped->settle == options_.settle &&
+            mapped->model_check != 0 &&
+            mapped->model_check ==
+                pack->model_check(
+                    ModelKey::arc(q.cell, q.pins, q.corner).to_string()) &&
+            axes_match_view(mapped->delay) && axes_match_view(mapped->slew)) {
+            auto surface = std::make_shared<ArcSurface>();
+            surface->delay = mapped->delay;
+            surface->slew = mapped->slew;
+            surface->pack = std::move(pack);
+            ++surface_loads_;
+            obs::counter("serve.surface.pack_loads").add();
+            return surface;
+        }
+    }
+
     const std::shared_ptr<const core::CsmModel> model =
         repo_->get(ModelKey::arc(q.cell, q.pins, q.corner));
     const std::uint64_t model_check = model_checksum(*model);
@@ -327,8 +371,10 @@ TimingService::SurfacePtr TimingService::build_surface(
                     data.model_check == model_check &&
                     axes_match(data.delay) && axes_match(data.slew)) {
                     auto surface = std::make_shared<ArcSurface>();
-                    surface->delay = std::move(data.delay);
-                    surface->slew = std::move(data.slew);
+                    surface->delay_owned = std::move(data.delay);
+                    surface->slew_owned = std::move(data.slew);
+                    surface->delay = lut::TableView::of(surface->delay_owned);
+                    surface->slew = lut::TableView::of(surface->slew_owned);
                     ++surface_loads_;
                     obs::counter("serve.surface.disk_loads").add();
                     return surface;
@@ -340,8 +386,8 @@ TimingService::SurfacePtr TimingService::build_surface(
     }
 
     auto surface = std::make_shared<ArcSurface>();
-    surface->delay = lut::NdTable(axes, id + ".delay");
-    surface->slew = lut::NdTable(axes, id + ".slew");
+    surface->delay_owned = lut::NdTable(axes, id + ".delay");
+    surface->slew_owned = lut::NdTable(axes, id + ".slew");
 
     // Enumerate the grid sequentially, then fan the independent transient
     // evaluations out over the pool; every point writes disjoint slots, so
@@ -405,10 +451,12 @@ TimingService::SurfacePtr TimingService::build_surface(
                 eval_transient(*model, knot, /*ref_pin0=*/true);
             require(r.valid, "TimingService: surface grid point failed for " +
                                  id + ": " + r.error);
-            surface->delay.set_grid_value(at, r.delay);
-            surface->slew.set_grid_value(at, r.slew);
+            surface->delay_owned.set_grid_value(at, r.delay);
+            surface->slew_owned.set_grid_value(at, r.slew);
         },
         options_.threads);
+    surface->delay = lut::TableView::of(surface->delay_owned);
+    surface->slew = lut::TableView::of(surface->slew_owned);
 
     if (!path.empty()) {
         // Persistence is an optimization: a full-disk or unwritable
@@ -422,14 +470,35 @@ TimingService::SurfacePtr TimingService::build_surface(
             data.dt = options_.dt;
             data.settle = options_.settle;
             data.model_check = model_check;
-            data.delay = surface->delay;
-            data.slew = surface->slew;
+            data.delay = surface->delay_owned;
+            data.slew = surface->slew_owned;
             save_surface_binary(path, data);
         } catch (const std::exception&) {
         }
     }
 
     return surface;
+}
+
+std::string TimingService::surface_cache_key(const std::string& arc) {
+    if (!options_.pack) return arc;
+    // Key by pack generation: after a hot reload, queries re-resolve
+    // against the new mapping instead of serving stale cached surfaces.
+    // On the first query of a new generation, evict every completed
+    // surface of older generations -- they are the last references pinning
+    // the retired mapping (in-flight batches still hold theirs until the
+    // batch returns).
+    const std::uint64_t gen = options_.pack->generation();
+    std::uint64_t seen = surface_generation_.load(std::memory_order_acquire);
+    const std::string prefix = "g" + std::to_string(gen) + "|";
+    if (seen != gen &&
+        surface_generation_.compare_exchange_strong(
+            seen, gen, std::memory_order_acq_rel)) {
+        surfaces_.erase_ready_if([&](const std::string& key) {
+            return key.compare(0, prefix.size(), prefix) != 0;
+        });
+    }
+    return prefix + arc;
 }
 
 TimingService::SurfacePtr TimingService::surface_for(const TimingQuery& q) {
@@ -440,7 +509,8 @@ TimingService::SurfacePtr TimingService::surface_for(const TimingQuery& q) {
     // build once, failures are never cached.
     CacheOutcome outcome = CacheOutcome::kHit;
     SurfacePtr surface = surfaces_.get_or_produce(
-        arc_id(q), [&] { return build_surface(q); }, &outcome);
+        surface_cache_key(arc_id(q)), [&] { return build_surface(q); },
+        &outcome);
     switch (outcome) {
         case CacheOutcome::kHit: hits.add(); break;
         case CacheOutcome::kMiss: misses.add(); break;
@@ -490,19 +560,19 @@ namespace {
 // single-late-input answer instead of a clamped-coordinate artifact whose
 // delay error would grow linearly with the excess skew. Slew/load axes
 // keep the plain clamping of NdTable::at.
-double eval_skew_extrapolated(const lut::NdTable& table,
+double eval_skew_extrapolated(const lut::TableView& table,
                               std::span<const double> coords,
                               std::size_t first_skew, std::size_t n_skew) {
     bool outside = false;
     for (std::size_t i = first_skew; i < first_skew + n_skew; ++i) {
-        const lut::Axis& ax = table.axis(i);
+        const lut::TableView::AxisView& ax = table.axis(i);
         outside = outside || coords[i] < ax.lo() || coords[i] > ax.hi();
     }
     if (!outside) return table.at(coords);
 
     std::vector<double> clamped(coords.begin(), coords.end());
     for (std::size_t i = first_skew; i < first_skew + n_skew; ++i) {
-        const lut::Axis& ax = table.axis(i);
+        const lut::TableView::AxisView& ax = table.axis(i);
         clamped[i] = std::clamp(clamped[i], ax.lo(), ax.hi());
     }
     std::vector<double> grad(table.rank(), 0.0);

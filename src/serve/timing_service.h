@@ -46,6 +46,8 @@
 
 #include "common/single_flight.h"
 #include "lut/ndtable.h"
+#include "lut/table_view.h"
+#include "serve/mapped_store.h"
 #include "serve/repository.h"
 #include "wave/waveform.h"
 
@@ -122,6 +124,15 @@ struct ServeOptions {
     // files (different knots/dt/settle) are rebuilt and overwritten, never
     // served.
     std::string surface_dir;
+    // Optional mmap'd pack (serve/mapped_store) consulted BEFORE
+    // surface_dir: a matching packed surface is served zero-parse straight
+    // off the mapping (TableViews into the mapped bytes, no copy, no
+    // transients), validated against the pack's own model entry so a stale
+    // model/surface pairing is rebuilt, never served. The pack is
+    // hot-reloadable: PackHost::refresh() swaps mappings, and the surface
+    // cache is keyed by the pack generation so post-reload queries re-
+    // resolve while in-flight batches finish on the retired mapping.
+    std::shared_ptr<PackHost> pack;
 };
 
 class TimingService {
@@ -192,8 +203,20 @@ private:
     //    reproduces exactly. The mapping is bijective: given (m, d),
     //    u_b = m, u_c = m - d for d >= 0, else u_c = m, u_b = m + d.
     struct ArcSurface {
-        lut::NdTable delay;
-        lut::NdTable slew;
+        // Owned tables, populated when the surface was built or loaded
+        // from the per-file store; left empty for pack-served surfaces.
+        lut::NdTable delay_owned;
+        lut::NdTable slew_owned;
+        // The evaluation handles: views over the owned tables or straight
+        // into the pack mapping. Every eval goes through lut::TableView's
+        // single interpolation kernel, so owned and mapped serving are
+        // bitwise-identical by construction.
+        lut::TableView delay;
+        lut::TableView slew;
+        // Pins the mapping the views borrow from (null for owned
+        // surfaces); a hot reload cannot munmap a mapping this surface
+        // still references.
+        std::shared_ptr<const MappedPack> pack;
     };
     using SurfacePtr = std::shared_ptr<const ArcSurface>;
 
@@ -226,11 +249,17 @@ private:
                                 const TimingQuery& query,
                                 bool ref_pin0 = false) const;
 
+    // Cache key of `arc` under the current pack generation (plain arc id
+    // without a pack); detects generation changes and evicts surfaces of
+    // retired generations so old mappings can actually munmap.
+    std::string surface_cache_key(const std::string& arc);
+
     ModelRepository* repo_;
     ServeOptions options_;
 
     SingleFlightCache<ArcSurface> surfaces_;
     std::atomic<std::size_t> surface_loads_{0};
+    std::atomic<std::uint64_t> surface_generation_{0};
 };
 
 }  // namespace mcsm::serve

@@ -11,6 +11,7 @@
 // the path, or =0 to skip.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <array>
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +24,7 @@
 #include "core/explicit_sim.h"
 #include "core/model_scenarios.h"
 #include "engine/scenarios.h"
+#include "spice/ekv_lanes.h"
 #include "spice/tran_solver.h"
 
 using namespace mcsm;
@@ -277,8 +279,25 @@ void write_bench_perf_json() {
                      s.baseline.min_ms / s.current.min_ms,
                      i + 1 < stages.size() ? "," : "");
     }
+    // SIMD lane-kernel block: pure full-batch EKV evaluation on the 48-cell
+    // chain, scalar fast kernel vs the dispatched lane kernel (best-of-5;
+    // at scalar dispatch both sides run the same code and speedup ~1).
+    double simd_scalar_us = 1e300;
+    double simd_lanes_us = 1e300;
+    for (int r = 0; r < 5; ++r) {
+        simd_scalar_us = std::min(
+            simd_scalar_us, bench::time_ekv_kernel_us(ctx.lib(), 48, false));
+        simd_lanes_us = std::min(
+            simd_lanes_us, bench::time_ekv_kernel_us(ctx.lib(), 48, true));
+    }
     std::fprintf(f,
-                 "  },\n  \"jacobian_reuse_rate\": %.4f\n}\n", reuse_rate);
+                 "  },\n  \"simd\": {\"width\": %d, \"kernel\": \"%s\", "
+                 "\"scalar_kernel_ms\": %.5f, \"lane_kernel_ms\": %.5f, "
+                 "\"speedup\": %.3f},\n",
+                 spice::ekv_lane_width(), spice::ekv_lane_kernel_name(),
+                 simd_scalar_us * 1e-3, simd_lanes_us * 1e-3,
+                 simd_scalar_us / simd_lanes_us);
+    std::fprintf(f, "  \"jacobian_reuse_rate\": %.4f\n}\n", reuse_rate);
     std::fclose(f);
     std::printf("# wrote %s\n", path.c_str());
     for (const Stage& s : stages)
@@ -287,6 +306,11 @@ void write_bench_perf_json() {
                     s.name.c_str(), s.baseline.min_ms, s.current.min_ms,
                     s.baseline.min_ms / s.current.min_ms, s.baseline.mean_ms,
                     s.current.mean_ms);
+    std::printf("#   simd ekv_kernel_48 w=%d (%s)  scalar %8.3f ms   lanes "
+                "%8.3f ms   speedup %5.2fx\n",
+                spice::ekv_lane_width(), spice::ekv_lane_kernel_name(),
+                simd_scalar_us * 1e-3, simd_lanes_us * 1e-3,
+                simd_scalar_us / simd_lanes_us);
     std::printf("#   jacobian_reuse_rate          %.2f\n", reuse_rate);
 }
 

@@ -19,6 +19,7 @@
 #include "common/parallel.h"
 #include "obs/metrics.h"
 #include "spice/dc_solver.h"
+#include "spice/ekv_lanes.h"
 #include "spice/tran_solver.h"
 #include "wave/metrics.h"
 
@@ -62,6 +63,44 @@ int main() {
             check.check(b < v,
                         "batched SoA device evaluation beats the virtual "
                         "scalar loop");
+    }
+
+    // --- SIMD lane kernel vs scalar fast kernel --------------------------
+    // Pure device-evaluation math on the 48-cell chain batch (no stamping):
+    // the dispatched lane kernel against the scalar fast kernel it mirrors.
+    // Gated at >=2x only when a vector width actually dispatched (the
+    // scalar fallback trivially measures 1x); min-of-5 with remeasurement
+    // keeps VM scheduler noise from failing the gate.
+    {
+        const int width = spice::ekv_lane_width();
+        std::printf("\n%-28s %10s %10s %9s\n", "stage", "scalar", "simd",
+                    "speedup");
+        double sc = 0.0;
+        double ln = 0.0;
+        bool ok = false;
+        for (int attempt = 0; attempt < 3 && !ok; ++attempt) {
+            sc = 1e300;
+            ln = 1e300;
+            for (int r = 0; r < 5; ++r) {
+                sc = std::min(sc,
+                              bench::time_ekv_kernel_us(ctx.lib(), 48, false));
+                ln = std::min(ln,
+                              bench::time_ekv_kernel_us(ctx.lib(), 48, true));
+            }
+            ok = width < 4 || ln * 2.0 <= sc;
+        }
+        std::printf("ekv_kernel_48 cells w=%d %4s %8.2fus %8.2fus %8.2fx  "
+                    "(%s)\n",
+                    width, "", sc, ln, sc / ln,
+                    spice::ekv_lane_kernel_name());
+        if (width >= 4)
+            check.check(ok,
+                        "vectorized full-batch EKV kernel >=2x the scalar "
+                        "fast kernel (measured " + std::to_string(sc / ln) +
+                            "x at width " + std::to_string(width) + ")");
+        else
+            std::printf("ekv_kernel gate skipped: scalar dispatch (width "
+                        "%d)\n", width);
     }
 
     // --- multi-RHS vs single-RHS solves ----------------------------------

@@ -9,6 +9,8 @@
 #include <unordered_map>
 
 #include "spice/dc_solver.h"
+#include "spice/device_batch.h"
+#include "spice/solver_workspace.h"
 #include "spice/tran_solver.h"
 #include "wave/edges.h"
 
@@ -187,6 +189,28 @@ double time_device_eval_us(const cells::CellLibrary& lib, int stages,
             spice::Stamper& st = ws.begin_assembly();
             for (const auto& dev : c.devices()) dev->stamp(st, ctx);
         }
+    }
+    return std::chrono::duration<double, std::micro>(Clock::now() - t0)
+               .count() /
+           reps;
+}
+
+double time_ekv_kernel_us(const cells::CellLibrary& lib, int stages,
+                          bool lanes) {
+    using Clock = std::chrono::steady_clock;
+    spice::Circuit c = make_chain_circuit(lib, stages);
+    c.set_solver_backend(spice::SolverBackend::kSparse);
+    const spice::DcResult op = spice::solve_dc(c);
+    const spice::MosfetBatch& batch = c.workspace().mosfet_batch();
+    std::vector<spice::MosCurrent> out(batch.size());
+
+    const int reps = 20000;
+    const auto t0 = Clock::now();
+    for (int r = 0; r < reps; ++r) {
+        if (lanes)
+            batch.evaluate_lanes(op.x, out.data());
+        else
+            batch.evaluate(op.x, out.data(), /*fast=*/true);
     }
     return std::chrono::duration<double, std::micro>(Clock::now() - t0)
                .count() /

@@ -107,6 +107,15 @@ double time_newton_cycle_us(const cells::CellLibrary& lib, int stages,
 double time_device_eval_us(const cells::CellLibrary& lib, int stages,
                            bool batched);
 
+// Per-pass cost of the pure EKV device-evaluation kernel on the flattened
+// chain's MosfetBatch (no stamping, no CSR writes): `lanes` runs the
+// dispatched SIMD lane kernel through evaluate_lanes, otherwise the scalar
+// fast kernel through evaluate(fast=true). This isolates the math the SIMD
+// tier vectorizes; time_device_eval_us measures the whole assembly
+// including the scalar stamping that follows either kernel. Microseconds.
+double time_ekv_kernel_us(const cells::CellLibrary& lib, int stages,
+                          bool lanes);
+
 // Per-batch cost of producing `nrhs` solutions on the chain circuit's
 // factored system, microseconds. `blocked` uses one refactor plus one
 // interleaved SparseLu::solve_block; otherwise each solution pays its own

@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "common/error.h"
+#include "common/numeric_tables.h"
 
 namespace mcsm {
 
@@ -42,31 +43,20 @@ namespace {
 // 2^-12 (where the mantissa reduction would cancel). Worst relative error
 // against the libm reference is ~2e-12 on both outputs over the full
 // double range — asserted in test_ekv_batch.
-
-struct FastTables {
-    double exp2neg[32];  // 2^(-j/32)
-    double inv_m0[64];   // 1 / (1 + j/64)
-    double log_m0[64];   // log(1 + j/64)
-};
-
-FastTables make_fast_tables() {
-    FastTables t;
-    for (int j = 0; j < 32; ++j) t.exp2neg[j] = std::exp2(-j / 32.0);
-    for (int j = 0; j < 64; ++j) {
-        t.inv_m0[j] = 1.0 / (1.0 + j / 64.0);
-        t.log_m0[j] = std::log(1.0 + j / 64.0);
-    }
-    return t;
-}
-
-const FastTables kFastTables = make_fast_tables();
+//
+// The reduction tables are compile-time constants (common/numeric_tables.h)
+// shared with the SIMD lane kernel, so neither path carries a first-call
+// init branch or a static-init ordering hazard.
+using numeric_tables::kExp2Neg32;
+using numeric_tables::kInvM0_64;
+using numeric_tables::kLogM0_64;
 
 // e^-u for u in [0, 708]: u = (32k + j) * ln2/32 - r with |r| <= ln2/64,
 // so e^-u = e^r * 2^-k * 2^(-j/32).
 inline double exp_neg(double u) {
-    constexpr double kInvStep = 46.166241308446828384;    // 32/ln2
-    constexpr double kStepHi = 2.166084939249829418e-02;  // ln2/32 (hi)
-    constexpr double kStepLo = -4.5170722176016611e-19;
+    constexpr double kInvStep = numeric_tables::kExpInvStep32;
+    constexpr double kStepHi = numeric_tables::kExpStep32Hi;
+    constexpr double kStepLo = numeric_tables::kExpStep32Lo;
     const double nd = std::floor(u * kInvStep + 0.5);
     const double r = (nd * kStepHi - u) + nd * kStepLo;
     const auto n = static_cast<std::int64_t>(nd);
@@ -79,19 +69,19 @@ inline double exp_neg(double u) {
     p = p * r + 1.0;
     const double scale = std::bit_cast<double>(
         static_cast<std::uint64_t>(1023 - k) << 52);
-    return p * (kFastTables.exp2neg[j] * scale);
+    return p * (kExp2Neg32[j] * scale);
 }
 
 // log(y) for y in (1, 2]: y = 2^e * m0 * (1 + t) with m0 = 1 + j/64 picked
 // from the top mantissa bits, t in [0, 1/64].
 inline double log_y(double y) {
-    constexpr double kLn2 = 6.93147180559945310e-01;
+    constexpr double kLn2 = numeric_tables::kLn2;
     const auto bits = std::bit_cast<std::uint64_t>(y);
     const auto e = static_cast<int>(bits >> 52) - 1023;  // 0, or 1 at y = 2
     const double m = std::bit_cast<double>(
         (bits & 0x000FFFFFFFFFFFFFull) | 0x3FF0000000000000ull);
     const auto j = (bits >> 46) & 63u;
-    const double t = m * kFastTables.inv_m0[j] - 1.0;
+    const double t = m * kInvM0_64[j] - 1.0;
     double q = -1.0 / 7.0;
     q = q * t + 1.0 / 6.0;
     q = q * t - 1.0 / 5.0;
@@ -99,7 +89,7 @@ inline double log_y(double y) {
     q = q * t - 1.0 / 3.0;
     q = q * t + 0.5;
     const double l1pt = t - t * t * q;
-    return static_cast<double>(e) * kLn2 + kFastTables.log_m0[j] + l1pt;
+    return static_cast<double>(e) * kLn2 + kLogM0_64[j] + l1pt;
 }
 
 }  // namespace

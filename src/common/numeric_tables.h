@@ -1,0 +1,122 @@
+// Compile-time reduction tables for the fast softplus/logistic kernel.
+//
+// The table-reduced exponential and mantissa-reduced log in
+// softplus_logistic_fast (common/numeric.cpp) and the width-templated EKV
+// lane kernel (spice/ekv_lane_kernel.h) index the same three tables. They
+// used to be filled by a static initializer calling libm; baking them in as
+// hexfloat literals removes the first-call init branch and every
+// static-init ordering hazard from the hot loop, and lets the per-target
+// SIMD translation units fold the loads against a constexpr array. The
+// literals are the exact libm doubles (test_ekv_batch asserts bit equality
+// against std::exp2/std::log at runtime, so a platform whose libm ever
+// disagreed would fail loudly rather than drift).
+#ifndef MCSM_COMMON_NUMERIC_TABLES_H
+#define MCSM_COMMON_NUMERIC_TABLES_H
+
+namespace mcsm::numeric_tables {
+
+// Reduction constants shared by the scalar and lane kernels:
+// u = (32k + j) * ln2/32 - r with the step split hi/lo for an exact
+// double-double subtraction.
+inline constexpr double kExpInvStep32 = 46.166241308446828384;    // 32/ln2
+inline constexpr double kExpStep32Hi = 2.166084939249829418e-02;  // ln2/32
+inline constexpr double kExpStep32Lo = -4.5170722176016611e-19;
+inline constexpr double kLn2 = 6.93147180559945310e-01;
+
+// 2^(-j/32) for j = 0..31: the 32-slot exponential reduction.
+inline constexpr double kExp2Neg32[32] = {
+    0x1p+0,                0x1.f50765b6e454p-1,
+    0x1.ea4afa2a490dap-1,  0x1.dfc97337b9b5fp-1,
+    0x1.d5818dcfba487p-1,  0x1.cb720dcef9069p-1,
+    0x1.c199bdd85529cp-1,  0x1.b7f76f2fb5e47p-1,
+    0x1.ae89f995ad3adp-1,  0x1.a5503b23e255dp-1,
+    0x1.9c49182a3f09p-1,   0x1.93737b0cdc5e5p-1,
+    0x1.8ace5422aa0dbp-1,  0x1.82589994cce13p-1,
+    0x1.7a11473eb0187p-1,  0x1.71f75e8ec5f74p-1,
+    0x1.6a09e667f3bcdp-1,  0x1.6247eb03a5585p-1,
+    0x1.5ab07dd485429p-1,  0x1.5342b569d4f82p-1,
+    0x1.4bfdad5362a27p-1,  0x1.44e086061892dp-1,
+    0x1.3dea64c123422p-1,  0x1.371a7373aa9cbp-1,
+    0x1.306fe0a31b715p-1,  0x1.29e9df51fdee1p-1,
+    0x1.2387a6e756238p-1,  0x1.1d4873168b9aap-1,
+    0x1.172b83c7d517bp-1,  0x1.11301d0125b51p-1,
+    0x1.0b5586cf9890fp-1,  0x1.059b0d3158574p-1,
+};
+
+// 1 / (1 + j/64) for j = 0..63: the mantissa-reduction reciprocals.
+// Exactly-rounded divisions; constexpr-computable, spelled out anyway so
+// all three tables read the same.
+inline constexpr double kInvM0_64[64] = {
+    0x1p+0,                0x1.f81f81f81f82p-1,
+    0x1.f07c1f07c1f08p-1,  0x1.e9131abf0b767p-1,
+    0x1.e1e1e1e1e1e1ep-1,  0x1.dae6076b981dbp-1,
+    0x1.d41d41d41d41dp-1,  0x1.cd85689039b0bp-1,
+    0x1.c71c71c71c71cp-1,  0x1.c0e070381c0ep-1,
+    0x1.bacf914c1badp-1,   0x1.b4e81b4e81b4fp-1,
+    0x1.af286bca1af28p-1,  0x1.a98ef606a63bep-1,
+    0x1.a41a41a41a41ap-1,  0x1.9ec8e951033d9p-1,
+    0x1.999999999999ap-1,  0x1.948b0fcd6e9ep-1,
+    0x1.8f9c18f9c18fap-1,  0x1.8acb90f6bf3aap-1,
+    0x1.8618618618618p-1,  0x1.8181818181818p-1,
+    0x1.7d05f417d05f4p-1,  0x1.78a4c8178a4c8p-1,
+    0x1.745d1745d1746p-1,  0x1.702e05c0b817p-1,
+    0x1.6c16c16c16c17p-1,  0x1.6816816816817p-1,
+    0x1.642c8590b2164p-1,  0x1.6058160581606p-1,
+    0x1.5c9882b931057p-1,  0x1.58ed2308158edp-1,
+    0x1.5555555555555p-1,  0x1.51d07eae2f815p-1,
+    0x1.4e5e0a72f0539p-1,  0x1.4afd6a052bf5bp-1,
+    0x1.47ae147ae147bp-1,  0x1.446f86562d9fbp-1,
+    0x1.4141414141414p-1,  0x1.3e22cbce4a902p-1,
+    0x1.3b13b13b13b14p-1,  0x1.3813813813814p-1,
+    0x1.3521cfb2b78c1p-1,  0x1.323e34a2b10bfp-1,
+    0x1.2f684bda12f68p-1,  0x1.2c9fb4d812cap-1,
+    0x1.29e4129e4129ep-1,  0x1.27350b8812735p-1,
+    0x1.2492492492492p-1,  0x1.21fb78121fb78p-1,
+    0x1.1f7047dc11f7p-1,   0x1.1cf06ada2811dp-1,
+    0x1.1a7b9611a7b96p-1,  0x1.1811811811812p-1,
+    0x1.15b1e5f75270dp-1,  0x1.135c81135c811p-1,
+    0x1.1111111111111p-1,  0x1.0ecf56be69c9p-1,
+    0x1.0c9714fbcda3bp-1,  0x1.0a6810a6810a7p-1,
+    0x1.0842108421084p-1,  0x1.0624dd2f1a9fcp-1,
+    0x1.041041041041p-1,   0x1.0204081020408p-1,
+};
+
+// log(1 + j/64) for j = 0..63: the mantissa-reduction log anchors.
+inline constexpr double kLogM0_64[64] = {
+    0x0p+0,                0x1.fc0a8b0fc03e4p-7,
+    0x1.f829b0e7833p-6,    0x1.77458f632dcfcp-5,
+    0x1.f0a30c01162a6p-5,  0x1.341d7961bd1d1p-4,
+    0x1.6f0d28ae56b4cp-4,  0x1.a926d3a4ad563p-4,
+    0x1.e27076e2af2e6p-4,  0x1.0d77e7cd08e59p-3,
+    0x1.29552f81ff523p-3,  0x1.44d2b6ccb7d1ep-3,
+    0x1.5ff3070a793d4p-3,  0x1.7ab890210d909p-3,
+    0x1.9525a9cf456b4p-3,  0x1.af3c94e80bff3p-3,
+    0x1.c8ff7c79a9a22p-3,  0x1.e27076e2af2e6p-3,
+    0x1.fb9186d5e3e2bp-3,  0x1.0a324e27390e3p-2,
+    0x1.1675cababa60ep-2,  0x1.22941fbcf7966p-2,
+    0x1.2e8e2bae11d31p-2,  0x1.3a64c556945eap-2,
+    0x1.4618bc21c5ec2p-2,  0x1.51aad872df82dp-2,
+    0x1.5d1bdbf5809cap-2,  0x1.686c81e9b14afp-2,
+    0x1.739d7f6bbd007p-2,  0x1.7eaf83b82afc3p-2,
+    0x1.89a3386c1425bp-2,  0x1.947941c2116fbp-2,
+    0x1.9f323ecbf984cp-2,  0x1.a9cec9a9a084ap-2,
+    0x1.b44f77bcc8f63p-2,  0x1.beb4d9da71b7cp-2,
+    0x1.c8ff7c79a9a22p-2,  0x1.d32fe7e00ebd5p-2,
+    0x1.dd46a04c1c4a1p-2,  0x1.e744261d68788p-2,
+    0x1.f128f5faf06edp-2,  0x1.faf588f78f31fp-2,
+    0x1.02552a5a5d0ffp-1,  0x1.0723e5c1cdf4p-1,
+    0x1.0be72e4252a83p-1,  0x1.109f39e2d4c97p-1,
+    0x1.154c3d2f4d5eap-1,  0x1.19ee6b467c96fp-1,
+    0x1.1e85f5e7040dp-1,   0x1.23130d7bebf43p-1,
+    0x1.2795e1289b11bp-1,  0x1.2c0e9ed448e8cp-1,
+    0x1.307d7334f10bep-1,  0x1.34e289d9ce1d3p-1,
+    0x1.393e0d3562a1ap-1,  0x1.3d9026a7156fbp-1,
+    0x1.41d8fe84672aep-1,  0x1.4618bc21c5ec2p-1,
+    0x1.4a4f85db03ebbp-1,  0x1.4e7d811b75bb1p-1,
+    0x1.52a2d265bc5abp-1,  0x1.56bf9d5b3f399p-1,
+    0x1.5ad404c359f2dp-1,  0x1.5ee02a9241675p-1,
+};
+
+}  // namespace mcsm::numeric_tables
+
+#endif  // MCSM_COMMON_NUMERIC_TABLES_H

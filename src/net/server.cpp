@@ -16,6 +16,7 @@
 #include "common/error.h"
 #include "net/query_text.h"
 #include "obs/metrics.h"
+#include "spice/ekv_lanes.h"
 
 namespace mcsm::net {
 
@@ -53,6 +54,11 @@ NetServer::NetServer(serve::TimingService& service, NetServerOptions options)
     require(options_.max_line >= 64, "NetServer: max_line must be >= 64");
     require(!options_.unix_path.empty() || options_.tcp_port >= 0,
             "NetServer: no listener configured (unix_path or tcp_port)");
+
+    // Register the solver's dispatched lane width up front so the `stats`
+    // snapshot reports it even when the serve tier never builds a solver
+    // workspace (pure pack serving).
+    obs::gauge("solver.simd.width").set(spice::ekv_lane_width());
 
     epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
     require(epoll_fd_ >= 0, "NetServer: epoll_create1 failed");

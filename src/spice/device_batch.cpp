@@ -5,10 +5,15 @@
 #include <limits>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace mcsm::spice {
 
 namespace {
+
+// Scratch padding for the widest lane kernel (DVec<8>), so any active-set
+// size can be rounded up to a whole number of lanes.
+constexpr std::size_t kLanePad = 8;
 
 // Unknown-space row/col of a node (ground is eliminated), mirroring
 // Stamper::unknown_of_node.
@@ -33,12 +38,15 @@ void MosfetBatch::build(const std::vector<const Mosfet*>& mosfets,
     count_ = mosfets.size();
     devices_ = mosfets;
 
-    pol_.resize(count_);
-    is_.resize(count_);
-    nn_.resize(count_);
-    vt0_.resize(count_);
-    lambda_.resize(count_);
-    ut_.resize(count_);
+    // The coefficient arrays carry kLanePad benign pad devices (is = 0, so
+    // a pad lane's current and conductances are exactly zero) so the SIMD
+    // full-batch path can hand them to the lane kernel unchanged.
+    pol_.assign(count_ + kLanePad, 1.0);
+    is_.assign(count_ + kLanePad, 0.0);
+    nn_.assign(count_ + kLanePad, 1.0);
+    vt0_.assign(count_ + kLanePad, 0.0);
+    lambda_.assign(count_ + kLanePad, 0.0);
+    ut_.assign(count_ + kLanePad, 0.025);
     nd_.resize(count_);
     ng_.resize(count_);
     ns_.resize(count_);
@@ -60,6 +68,29 @@ void MosfetBatch::build(const std::vector<const Mosfet*>& mosfets,
     chan_run_id_ = -1;
     chan_v_.assign(count_ * 4, std::numeric_limits<double>::quiet_NaN());
     chan_lin_.assign(count_ * 5, 0.0);
+
+    // SIMD gather/output scratch, padded like the coefficient arrays. The
+    // benign initial values keep every pad lane's arithmetic finite; the
+    // pad region of the voltage planes is never overwritten afterwards
+    // (compaction writes only the active prefix).
+    act_idx_.assign(count_, 0);
+    const std::size_t padded = count_ + kLanePad;
+    lane_vd_.assign(padded, 0.0);
+    lane_vg_.assign(padded, 0.0);
+    lane_vs_.assign(padded, 0.0);
+    lane_vb_.assign(padded, 0.0);
+    lane_pol_.assign(padded, 1.0);
+    lane_is_.assign(padded, 0.0);
+    lane_nn_.assign(padded, 1.0);
+    lane_vt0_.assign(padded, 0.0);
+    lane_lambda_.assign(padded, 0.0);
+    lane_ut_.assign(padded, 0.025);
+    lane_gm_.assign(padded, 0.0);
+    lane_gds_.assign(padded, 0.0);
+    lane_gms_.assign(padded, 0.0);
+    lane_gmb_.assign(padded, 0.0);
+    lane_ids_.assign(padded, 0.0);
+    lane_ia_.assign(padded, 0.0);
 
     for (std::size_t i = 0; i < count_; ++i) {
         const Mosfet& m = *mosfets[i];
@@ -115,10 +146,13 @@ void MosfetBatch::stamp_channel(SparseMatrix& matrix,
                                 std::vector<double>& rhs,
                                 const SimContext& ctx,
                                 SpSigFn&& sp_sig) const {
+    static obs::Counter& scalar_evals =
+        obs::counter("solver.simd.scalar_evals");
     const std::vector<double>& x = *ctx.x;
     double* vals = matrix.values().data();
     const double tol = ctx.stale_dv;
     const bool gate = tol > 0.0 && ctx.run_id >= 0;
+    long long n_eval = 0;
     if (gate && chan_run_id_ != ctx.run_id) {
         // New solve_tran run: drop every cached eval point so nothing from
         // a previous scenario on this (pooled) circuit can be revalidated.
@@ -145,6 +179,7 @@ void MosfetBatch::stamp_channel(SparseMatrix& matrix,
             gmb = cl[3];
             i_affine = cl[4];
         } else {
+            ++n_eval;
             const MosCurrent cur =
                 ekv_current(coeffs_at(i), vd, vg, vs, vb, sp_sig);
             gm = cur.gm;
@@ -164,6 +199,185 @@ void MosfetBatch::stamp_channel(SparseMatrix& matrix,
                 cl[3] = gmb;
                 cl[4] = i_affine;
             }
+        }
+
+        const int* ms = &mat_slots_[i * 8];
+        if (ms[0] >= 0) vals[ms[0]] += gm;
+        if (ms[1] >= 0) vals[ms[1]] += gds;
+        if (ms[2] >= 0) vals[ms[2]] += gms;
+        if (ms[3] >= 0) vals[ms[3]] += gmb;
+        if (ms[4] >= 0) vals[ms[4]] -= gm;
+        if (ms[5] >= 0) vals[ms[5]] -= gds;
+        if (ms[6] >= 0) vals[ms[6]] -= gms;
+        if (ms[7] >= 0) vals[ms[7]] -= gmb;
+
+        if (rhs_d_[i] >= 0)
+            rhs[static_cast<std::size_t>(rhs_d_[i])] -= i_affine;
+        if (rhs_s_[i] >= 0)
+            rhs[static_cast<std::size_t>(rhs_s_[i])] += i_affine;
+    }
+    scalar_evals.add(n_eval);
+}
+
+std::size_t MosfetBatch::gather_full_batch(const std::vector<double>& x,
+                                           EkvLanes& lanes,
+                                           int width) const {
+    for (std::size_t i = 0; i < count_; ++i) {
+        lane_vd_[i] = x[static_cast<std::size_t>(nd_[i])];
+        lane_vg_[i] = x[static_cast<std::size_t>(ng_[i])];
+        lane_vs_[i] = x[static_cast<std::size_t>(ns_[i])];
+        lane_vb_[i] = x[static_cast<std::size_t>(nb_[i])];
+    }
+    lanes.vd = lane_vd_.data();
+    lanes.vg = lane_vg_.data();
+    lanes.vs = lane_vs_.data();
+    lanes.vb = lane_vb_.data();
+    lanes.pol = pol_.data();
+    lanes.is = is_.data();
+    lanes.nn = nn_.data();
+    lanes.vt0 = vt0_.data();
+    lanes.lambda = lambda_.data();
+    lanes.ut = ut_.data();
+    lanes.gm = lane_gm_.data();
+    lanes.gds = lane_gds_.data();
+    lanes.gms = lane_gms_.data();
+    lanes.gmb = lane_gmb_.data();
+    lanes.ids = lane_ids_.data();
+    lanes.ia = lane_ia_.data();
+    const std::size_t w = static_cast<std::size_t>(width);
+    return count_ == 0 ? 0 : (count_ + w - 1) / w * w;
+}
+
+void MosfetBatch::stamp_channel_lanes(SparseMatrix& matrix,
+                                      std::vector<double>& rhs,
+                                      const SimContext& ctx) const {
+    static obs::Counter& vec_evals =
+        obs::counter("solver.simd.vector_evals");
+    static obs::Counter& gate_reuses =
+        obs::counter("solver.simd.gate_reuses");
+    static obs::Gauge& active_gauge = obs::gauge("solver.simd.active_set");
+    static obs::Histogram& occupancy =
+        obs::histogram("solver.simd.lane_occupancy_pct");
+
+    const std::vector<double>& x = *ctx.x;
+    double* vals = matrix.values().data();
+    const double tol = ctx.stale_dv;
+    const bool gated = tol > 0.0 && ctx.run_id >= 0;
+    if (gated && chan_run_id_ != ctx.run_id) {
+        // Same run-scope reset as stamp_channel: NaN sentinels fail every
+        // |v - cached| <= tol test.
+        std::fill(chan_v_.begin(), chan_v_.end(),
+                  std::numeric_limits<double>::quiet_NaN());
+        chan_run_id_ = ctx.run_id;
+    }
+
+    const int width = ekv_lane_width();
+    EkvLanes lanes;
+    std::size_t na;     // active devices, compacted to the lane prefix
+    std::size_t n_pad;  // active count rounded up to whole lanes
+    if (gated) {
+        // Phase 1: compact the devices outside the stale_dv gate into a
+        // dense active list, gathering voltages and coefficients
+        // lane-contiguously as we go. Pad lanes keep their benign build()
+        // values (or finite leftovers from a larger earlier active set);
+        // either way the kernel's tail arithmetic is well-defined and its
+        // results are never stamped.
+        na = 0;
+        for (std::size_t i = 0; i < count_; ++i) {
+            const double vd = x[static_cast<std::size_t>(nd_[i])];
+            const double vg = x[static_cast<std::size_t>(ng_[i])];
+            const double vs = x[static_cast<std::size_t>(ns_[i])];
+            const double vb = x[static_cast<std::size_t>(nb_[i])];
+            const double* cv = &chan_v_[i * 4];
+            if (std::fabs(vd - cv[0]) <= tol &&
+                std::fabs(vg - cv[1]) <= tol &&
+                std::fabs(vs - cv[2]) <= tol &&
+                std::fabs(vb - cv[3]) <= tol)
+                continue;
+            act_idx_[na] = static_cast<int>(i);
+            lane_vd_[na] = vd;
+            lane_vg_[na] = vg;
+            lane_vs_[na] = vs;
+            lane_vb_[na] = vb;
+            lane_pol_[na] = pol_[i];
+            lane_is_[na] = is_[i];
+            lane_nn_[na] = nn_[i];
+            lane_vt0_[na] = vt0_[i];
+            lane_lambda_[na] = lambda_[i];
+            lane_ut_[na] = ut_[i];
+            ++na;
+        }
+        lanes.vd = lane_vd_.data();
+        lanes.vg = lane_vg_.data();
+        lanes.vs = lane_vs_.data();
+        lanes.vb = lane_vb_.data();
+        lanes.pol = lane_pol_.data();
+        lanes.is = lane_is_.data();
+        lanes.nn = lane_nn_.data();
+        lanes.vt0 = lane_vt0_.data();
+        lanes.lambda = lane_lambda_.data();
+        lanes.ut = lane_ut_.data();
+        lanes.gm = lane_gm_.data();
+        lanes.gds = lane_gds_.data();
+        lanes.gms = lane_gms_.data();
+        lanes.gmb = lane_gmb_.data();
+        lanes.ids = lane_ids_.data();
+        lanes.ia = lane_ia_.data();
+        const std::size_t w = static_cast<std::size_t>(width);
+        n_pad = na == 0 ? 0 : (na + w - 1) / w * w;
+    } else {
+        // DC / ungated: the full batch is active; the padded coefficient
+        // arrays go to the kernel directly, no compaction pass.
+        for (std::size_t i = 0; i < count_; ++i)
+            act_idx_[i] = static_cast<int>(i);
+        na = count_;
+        n_pad = gather_full_batch(x, lanes, width);
+    }
+
+    // Phase 2: one kernel sweep over the padded active block.
+    if (n_pad > 0) ekv_lane_kernel()(lanes, n_pad);
+
+    vec_evals.add(static_cast<long long>(na));
+    gate_reuses.add(static_cast<long long>(count_ - na));
+    active_gauge.set(static_cast<long long>(na));
+    if (n_pad > 0)
+        occupancy.observe(100.0 * static_cast<double>(na) /
+                          static_cast<double>(n_pad));
+
+    // Phase 3: scatter in original device order. act_idx_ is ascending, so
+    // one cursor walks the active results while gated devices replay the
+    // cached tangent — the CSR/RHS accumulation order is exactly the scalar
+    // path's, which is what keeps the two tiers bit-identical.
+    std::size_t a = 0;
+    for (std::size_t i = 0; i < count_; ++i) {
+        double gm, gds, gms, gmb, i_affine;
+        if (a < na && act_idx_[a] == static_cast<int>(i)) {
+            gm = lane_gm_[a];
+            gds = lane_gds_[a];
+            gms = lane_gms_[a];
+            gmb = lane_gmb_[a];
+            i_affine = lane_ia_[a];
+            if (gated) {
+                double* cv = &chan_v_[i * 4];
+                double* cl = &chan_lin_[i * 5];
+                cv[0] = lane_vd_[a];
+                cv[1] = lane_vg_[a];
+                cv[2] = lane_vs_[a];
+                cv[3] = lane_vb_[a];
+                cl[0] = gm;
+                cl[1] = gds;
+                cl[2] = gms;
+                cl[3] = gmb;
+                cl[4] = i_affine;
+            }
+            ++a;
+        } else {
+            const double* cl = &chan_lin_[i * 5];
+            gm = cl[0];
+            gds = cl[1];
+            gms = cl[2];
+            gmb = cl[3];
+            i_affine = cl[4];
         }
 
         const int* ms = &mat_slots_[i * 8];
@@ -228,7 +442,13 @@ void MosfetBatch::evaluate_and_stamp(SparseMatrix& matrix,
 #ifdef MCSM_NO_FAST_EKV
     stamp_channel(matrix, rhs, ctx, mcsm::softplus_logistic_ref);
 #else
-    stamp_channel(matrix, rhs, ctx, mcsm::softplus_logistic_fast);
+    // Width 1 means the SIMD tier is compiled out, the CPU lacks AVX2+FMA,
+    // or MCSM_NO_SIMD forced scalar — the plain fused loop wins there (no
+    // gather/scatter detour for zero lane parallelism).
+    if (ekv_lane_width() > 1)
+        stamp_channel_lanes(matrix, rhs, ctx);
+    else
+        stamp_channel(matrix, rhs, ctx, mcsm::softplus_logistic_fast);
 #endif
 
     if (!ctx.is_tran() || ctx.dt <= 0.0) return;
@@ -420,6 +640,20 @@ void MosfetBatch::evaluate(const std::vector<double>& x, MosCurrent* out,
                                     mcsm::softplus_logistic_fast)
                       : ekv_current(c, vd, vg, vs, vb,
                                     mcsm::softplus_logistic_ref);
+    }
+}
+
+void MosfetBatch::evaluate_lanes(const std::vector<double>& x,
+                                 MosCurrent* out) const {
+    EkvLanes lanes;
+    const std::size_t n_pad = gather_full_batch(x, lanes, ekv_lane_width());
+    if (n_pad > 0) ekv_lane_kernel()(lanes, n_pad);
+    for (std::size_t i = 0; i < count_; ++i) {
+        out[i].ids = lane_ids_[i];
+        out[i].gm = lane_gm_[i];
+        out[i].gds = lane_gds_[i];
+        out[i].gms = lane_gms_[i];
+        out[i].gmb = lane_gmb_[i];
     }
 }
 

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/sparse_matrix.h"
+#include "spice/ekv_lanes.h"
 #include "spice/linear_devices.h"
 #include "spice/mosfet.h"
 
@@ -58,6 +59,11 @@ public:
     void evaluate(const std::vector<double>& x, MosCurrent* out,
                   bool fast) const;
 
+    // Same hook through the dispatched SIMD lane kernel (full batch, no
+    // delta gating). With the tier compiled out this runs the W=1 lane
+    // instantiation, which matches the fast scalar kernel bit for bit.
+    void evaluate_lanes(const std::vector<double>& x, MosCurrent* out) const;
+
 private:
     EkvCoeffs coeffs_at(std::size_t i) const {
         EkvCoeffs c;
@@ -73,6 +79,20 @@ private:
     template <typename SpSigFn>
     void stamp_channel(SparseMatrix& matrix, std::vector<double>& rhs,
                        const SimContext& ctx, SpSigFn&& sp_sig) const;
+    // The SIMD tier's phase-split equivalent of stamp_channel: compact the
+    // devices outside the stale_dv gate into a dense active list, gather
+    // their voltages (and coefficients) lane-contiguously, run the
+    // dispatched EKV lane kernel once over the padded block, then stamp
+    // every device in original index order (active results from the lane
+    // outputs, gated devices from the cached tangent) so the CSR/RHS
+    // accumulation order — and therefore every bit — matches the scalar
+    // path. Selected by evaluate_and_stamp when the dispatch width is > 1.
+    void stamp_channel_lanes(SparseMatrix& matrix, std::vector<double>& rhs,
+                             const SimContext& ctx) const;
+    // Fills the gather/output scratch pointers into `lanes` for a
+    // full-batch sweep over `x` and returns the padded lane count.
+    std::size_t gather_full_batch(const std::vector<double>& x,
+                                  EkvLanes& lanes, int width) const;
     // Recomputes the per-step companion-cap conductances/current sources
     // (keyed on SimContext::step_id like the per-device caches).
     void refresh_caps(const SimContext& ctx) const;
@@ -132,6 +152,32 @@ private:
     mutable long long chan_run_id_ = -1;
     mutable std::vector<double> chan_v_;
     mutable std::vector<double> chan_lin_;
+
+    // SIMD lane scratch, preallocated in build() (the Newton loop is
+    // allocation-free) and padded by the widest lane count. The coefficient
+    // planes are gathered only on the delta-gated path; full-batch sweeps
+    // pass the (equally padded) pol_/is_/... arrays straight to the kernel.
+    // Pad lanes hold benign device parameters (is = 0) written once in
+    // build(), so masked remainder lanes never read uninitialized params.
+    // Like the caches above, scratch makes stamping non-reentrant per
+    // batch; each pool worker owns its workspace, so this is never shared.
+    mutable std::vector<int> act_idx_;
+    mutable std::vector<double> lane_vd_;
+    mutable std::vector<double> lane_vg_;
+    mutable std::vector<double> lane_vs_;
+    mutable std::vector<double> lane_vb_;
+    mutable std::vector<double> lane_pol_;
+    mutable std::vector<double> lane_is_;
+    mutable std::vector<double> lane_nn_;
+    mutable std::vector<double> lane_vt0_;
+    mutable std::vector<double> lane_lambda_;
+    mutable std::vector<double> lane_ut_;
+    mutable std::vector<double> lane_gm_;
+    mutable std::vector<double> lane_gds_;
+    mutable std::vector<double> lane_gms_;
+    mutable std::vector<double> lane_gmb_;
+    mutable std::vector<double> lane_ids_;
+    mutable std::vector<double> lane_ia_;
 };
 
 // The linear counterpart of MosfetBatch: resistors, capacitors and

@@ -1,0 +1,13 @@
+// W=1 instantiation: the guaranteed scalar fallback, built with baseline
+// flags (plus the project-wide -ffp-contract=off) in every configuration.
+#include "spice/ekv_lanes.h"
+
+#include "spice/ekv_lane_kernel.h"
+
+namespace mcsm::spice {
+
+void ekv_eval_lanes_w1(const EkvLanes& a, std::size_t n) {
+    ekv_eval_lanes_impl<1>(a, n);
+}
+
+}  // namespace mcsm::spice

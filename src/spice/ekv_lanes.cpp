@@ -1,0 +1,58 @@
+#include "spice/ekv_lanes.h"
+
+#include <atomic>
+
+#include "common/simd.h"
+
+namespace mcsm::spice {
+
+namespace {
+
+struct Kernel {
+    EkvLaneFn fn;
+    int width;
+    const char* name;
+};
+
+Kernel kernel_for_width(int w) {
+#ifdef MCSM_SIMD_AVX512
+    if (w >= 8) return {&ekv_eval_lanes_w8, 8, "avx512x8"};
+#endif
+#ifdef MCSM_SIMD_AVX2
+    if (w >= 4) return {&ekv_eval_lanes_w4, 4, "avx2x4"};
+#endif
+    (void)w;
+    return {&ekv_eval_lanes_w1, 1, "scalar"};
+}
+
+// 0 = follow simd::default_width(); otherwise a pinned width from
+// ekv_lane_force_width (tests/bench only).
+std::atomic<int> g_forced{0};
+
+Kernel current_kernel() {
+    const int forced = g_forced.load(std::memory_order_relaxed);
+    if (forced > 0) {
+        // Pin only what the build and CPU can actually run.
+        const int w = forced;
+        if (w >= 8 && simd::cpu_caps().avx512 && simd::width_compiled(8))
+            return kernel_for_width(8);
+        if (w >= 4 && simd::cpu_caps().avx2_fma && simd::width_compiled(4))
+            return kernel_for_width(4);
+        return kernel_for_width(1);
+    }
+    return kernel_for_width(simd::default_width());
+}
+
+}  // namespace
+
+EkvLaneFn ekv_lane_kernel() { return current_kernel().fn; }
+
+int ekv_lane_width() { return current_kernel().width; }
+
+const char* ekv_lane_kernel_name() { return current_kernel().name; }
+
+void ekv_lane_force_width(int w) {
+    g_forced.store(w > 0 ? w : 0, std::memory_order_relaxed);
+}
+
+}  // namespace mcsm::spice

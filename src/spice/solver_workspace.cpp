@@ -7,6 +7,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "spice/circuit.h"
+#include "spice/ekv_lanes.h"
 
 namespace mcsm::spice {
 
@@ -123,10 +124,28 @@ SolverWorkspace::SolverWorkspace(const Circuit& circuit, SolverBackend backend)
         scalar_devices_.push_back(dev.get());
     }
     if (!mosfets.empty()) batch_.build(mosfets, matrix_);
+    // Dispatch is per-process, but surfacing it per workspace makes the
+    // active kernel visible wherever stats are read (obs dump, server
+    // stats line) without a solve having run yet.
+    static obs::Gauge& width_gauge = obs::gauge("solver.simd.width");
+    width_gauge.set(simd_width());
     if (!resistors.empty() || !capacitors.empty() || !vsources.empty() ||
         !isources.empty())
         linear_batch_.build(resistors, capacitors, vsources, isources,
                             matrix_, circuit.node_count());
+}
+
+int SolverWorkspace::simd_width() const {
+    if (backend_ != SolverBackend::kSparse) return 1;
+#ifdef MCSM_NO_FAST_EKV
+    return 1;
+#else
+    return ekv_lane_width();
+#endif
+}
+
+const char* SolverWorkspace::simd_kernel_name() const {
+    return simd_width() > 1 ? ekv_lane_kernel_name() : "scalar";
 }
 
 std::size_t SolverWorkspace::pattern_nnz() const {
